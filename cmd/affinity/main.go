@@ -1,0 +1,50 @@
+// Command affinity regenerates Figure 2 of the paper: the percentage of
+// loop iterations executed by the same core in consecutive parallel loops
+// of the balanced and unbalanced microbenchmarks, on 32 simulated cores,
+// at the paper's three working-set sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridloop/internal/harness"
+	"hybridloop/internal/sim"
+	"hybridloop/internal/topology"
+	"hybridloop/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "working-set scale factor")
+	seeds := flag.Int("seeds", 3, "repetitions per data point")
+	outer := flag.Int("outer", 8, "sequential outer-loop repetitions")
+	iters := flag.Int("iters", 1024, "parallel iterations per loop")
+	svgDir := flag.String("svg", "", "also write the chart as an SVG into this directory")
+	flag.Parse()
+
+	m := topology.Paper()
+	seedList := make([]uint64, *seeds)
+	for i := range seedList {
+		seedList[i] = uint64(i + 1)
+	}
+	var ws []sim.Workload
+	for _, balanced := range []bool{true, false} {
+		for _, size := range workload.PaperSizes(m.Sockets) {
+			ws = append(ws, workload.Micro(workload.MicroConfig{
+				N:              *iters,
+				OuterLoops:     *outer,
+				TotalBytes:     int64(float64(size) * *scale),
+				Balanced:       balanced,
+				ComputePerLine: 2,
+			}))
+		}
+	}
+	res := harness.Affinity{Machine: m, Workloads: ws, Seeds: seedList}.Run()
+	res.Render(os.Stdout)
+	if *svgDir != "" {
+		if err := harness.WriteSVG(*svgDir, "fig2_affinity", res.SVGChart().SVG()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Command loopbench regenerates Figure 1 of the paper: work efficiency and
+// scalability of the balanced and unbalanced microbenchmarks at the three
+// working-set sizes, for all five scheduling strategies, on the simulated
+// 32-core four-socket machine.
+//
+// Usage:
+//
+//	loopbench [-scale f] [-seeds n] [-outer n] [-iters n]
+//
+// -scale shrinks the working sets (use e.g. 0.25 for a quick look).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridloop/internal/harness"
+	"hybridloop/internal/topology"
+	"hybridloop/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "working-set scale factor")
+	seeds := flag.Int("seeds", 5, "repetitions per data point (the paper used 5)")
+	outer := flag.Int("outer", 8, "sequential outer-loop repetitions")
+	iters := flag.Int("iters", 1024, "parallel iterations per loop")
+	svgDir := flag.String("svg", "", "also write each panel as an SVG chart into this directory")
+	csvDir := flag.String("csv", "", "also write each panel's data points as CSV into this directory")
+	flag.Parse()
+
+	m := topology.Paper()
+	seedList := make([]uint64, *seeds)
+	for i := range seedList {
+		seedList[i] = uint64(i + 1)
+	}
+
+	for _, balanced := range []bool{true, false} {
+		for _, size := range workload.PaperSizes(m.Sockets) {
+			total := int64(float64(size) * *scale)
+			w := workload.Micro(workload.MicroConfig{
+				N:              *iters,
+				OuterLoops:     *outer,
+				TotalBytes:     total,
+				Balanced:       balanced,
+				ComputePerLine: 2,
+			})
+			exp := harness.Scalability{
+				Machine:   m,
+				Workload:  w,
+				Seeds:     seedList,
+				IncludeFF: true,
+			}
+			res := exp.Run()
+			res.Render(os.Stdout)
+			fmt.Println()
+			if *svgDir != "" {
+				if err := harness.WriteSVG(*svgDir, "fig1_"+w.Name, res.SVGChart().SVG()); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+			}
+			if *csvDir != "" {
+				if err := harness.WriteCSV(*csvDir, "fig1_"+w.Name, res.CSV()); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Command memcounts regenerates Figures 4 and 5 of the paper: the number
+// of memory accesses serviced at each level of the hierarchy (L1, L2,
+// local L3, local DRAM, remote L3, remote DRAM) for the NAS kernel
+// profiles at 32 simulated cores, with the latency-weighted "inferred
+// latency" column, plus the per-level latency table of the simulated
+// machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridloop/internal/harness"
+	"hybridloop/internal/topology"
+	"hybridloop/internal/workload"
+)
+
+func main() {
+	latOnly := flag.Bool("latencies", false, "print only the Figure 5 latency table")
+	svgDir := flag.String("svg", "", "also write per-kernel charts as SVGs into this directory")
+	flag.Parse()
+
+	m := topology.Paper()
+	harness.RenderLatencies(os.Stdout, m)
+	if *latOnly {
+		return
+	}
+	fmt.Println()
+	res := harness.MemCounts{Machine: m, Workloads: workload.NASProfiles()}.Run()
+	res.Render(os.Stdout)
+	if *svgDir != "" {
+		for i, c := range res.SVGCharts() {
+			if err := harness.WriteSVG(*svgDir, fmt.Sprintf("fig4_%s", res.Names[i]), c.SVG()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Command nasbench regenerates Figure 3 of the paper: work efficiency and
+// scalability of loop profiles mirroring the five NAS kernels (mg, ep,
+// ft, is, cg) on the simulated 32-core four-socket machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hybridloop/internal/harness"
+	"hybridloop/internal/topology"
+	"hybridloop/internal/workload"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 3, "repetitions per data point (the paper used 10)")
+	only := flag.String("only", "", "comma-separated kernel subset (mg,ep,ft,is,cg)")
+	svgDir := flag.String("svg", "", "also write each panel as an SVG chart into this directory")
+	csvDir := flag.String("csv", "", "also write each panel's data points as CSV into this directory")
+	flag.Parse()
+
+	m := topology.Paper()
+	seedList := make([]uint64, *seeds)
+	for i := range seedList {
+		seedList[i] = uint64(i + 1)
+	}
+	want := map[string]bool{}
+	for _, k := range strings.Split(*only, ",") {
+		if k != "" {
+			want[k] = true
+		}
+	}
+
+	for _, w := range workload.NASProfiles() {
+		if len(want) > 0 && !want[w.Name] {
+			continue
+		}
+		res := harness.Scalability{Machine: m, Workload: w, Seeds: seedList, IncludeFF: true}.Run()
+		res.Render(os.Stdout)
+		fmt.Println()
+		if *svgDir != "" {
+			if err := harness.WriteSVG(*svgDir, "fig3_"+w.Name, res.SVGChart().SVG()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+		if *csvDir != "" {
+			if err := harness.WriteCSV(*csvDir, "fig3_"+w.Name, res.CSV()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}
+}

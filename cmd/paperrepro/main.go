@@ -1,0 +1,211 @@
+// Command paperrepro regenerates every figure of the paper in one run —
+// the end-to-end reproduction driver:
+//
+//	Figure 1: microbenchmark work efficiency and scalability
+//	Figure 2: same-core (affinity) percentages at 32 cores
+//	Figure 3: NAS kernel profile scalability
+//	Figure 4: memory accesses serviced per hierarchy level + inferred latency
+//	Figure 5: the machine's per-level latency table
+//
+// It also runs the *real* NAS kernels (internal/nas) on the goroutine
+// runtime and verifies each one, demonstrating that the library executes
+// the paper's workloads for real, not only in simulation.
+//
+// Use -quick for a reduced-size pass (~seconds); the default sizes match
+// the experiment commands' defaults (a few minutes).
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"hybridloop"
+	"hybridloop/internal/harness"
+	"hybridloop/internal/nas"
+	"hybridloop/internal/sim"
+	"hybridloop/internal/topology"
+	"hybridloop/internal/workload"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced problem sizes for a fast pass")
+	htmlPath := flag.String("html", "", "also write a self-contained HTML report (tables + SVG figures)")
+	flag.Parse()
+
+	report := &harness.Report{Title: "A Hybrid Scheduling Scheme for Parallel Loops — reproduction report"}
+
+	scale, seeds, outer := 1.0, 3, 8
+	if *quick {
+		scale, seeds, outer = 0.25, 1, 4
+	}
+	m := topology.Paper()
+	seedList := make([]uint64, seeds)
+	for i := range seedList {
+		seedList[i] = uint64(i + 1)
+	}
+
+	banner("Figure 1: microbenchmark work efficiency and scalability")
+	var micro []sim.Workload
+	for _, balanced := range []bool{true, false} {
+		for _, size := range workload.PaperSizes(m.Sockets) {
+			micro = append(micro, workload.Micro(workload.MicroConfig{
+				N:              1024,
+				OuterLoops:     outer,
+				TotalBytes:     int64(float64(size) * scale),
+				Balanced:       balanced,
+				ComputePerLine: 2,
+			}))
+		}
+	}
+	for _, w := range micro {
+		res := harness.Scalability{Machine: m, Workload: w, Seeds: seedList, IncludeFF: true}.Run()
+		var buf bytes.Buffer
+		res.Render(io.MultiWriter(os.Stdout, &buf))
+		fmt.Println()
+		report.AddText("Figure 1 — "+w.Name, buf.String())
+		report.AddSVG("", res.SVGChart().SVG())
+	}
+
+	banner("Figure 2: same-core iteration percentage (affinity), 32 cores")
+	affRes := harness.Affinity{Machine: m, Workloads: micro, Seeds: seedList}.Run()
+	{
+		var buf bytes.Buffer
+		affRes.Render(io.MultiWriter(os.Stdout, &buf))
+		report.AddText("Figure 2 — affinity", buf.String())
+		report.AddSVG("", affRes.SVGChart().SVG())
+	}
+	fmt.Println()
+
+	banner("Figure 3: NAS kernel profiles, work efficiency and scalability")
+	profiles := workload.NASProfiles()
+	if *quick {
+		profiles = []sim.Workload{
+			workload.MGProfile(5, 3),
+			workload.EPProfile(1024, 1024),
+			workload.FTProfile(32, 32, 32, 3),
+			workload.ISProfile(1<<21, 3),
+			workload.CGProfile(1<<16, 6, 2, 8, 271828),
+		}
+	}
+	for _, w := range profiles {
+		res := harness.Scalability{Machine: m, Workload: w, Seeds: seedList, IncludeFF: true}.Run()
+		var buf bytes.Buffer
+		res.Render(io.MultiWriter(os.Stdout, &buf))
+		fmt.Println()
+		report.AddText("Figure 3 — "+w.Name, buf.String())
+		report.AddSVG("", res.SVGChart().SVG())
+	}
+
+	banner("Figure 4: memory accesses per hierarchy level, 32 cores")
+	memRes := harness.MemCounts{Machine: m, Workloads: profiles}.Run()
+	{
+		var buf bytes.Buffer
+		memRes.Render(io.MultiWriter(os.Stdout, &buf))
+		report.AddText("Figure 4 — memory hierarchy counts", buf.String())
+		for _, c := range memRes.SVGCharts() {
+			report.AddSVG("", c.SVG())
+		}
+	}
+	fmt.Println()
+
+	banner("Figure 5: per-level access latency (simulator cost model)")
+	{
+		var buf bytes.Buffer
+		harness.RenderLatencies(io.MultiWriter(os.Stdout, &buf), m)
+		report.AddText("Figure 5 — access latencies", buf.String())
+	}
+	fmt.Println()
+
+	banner("Real NAS kernels on the goroutine work-stealing runtime")
+	{
+		var buf bytes.Buffer
+		runRealKernels(*quick, io.MultiWriter(os.Stdout, &buf))
+		report.AddText("Real NAS kernels (goroutine runtime)", buf.String())
+	}
+
+	if *htmlPath != "" {
+		if err := report.WriteFile(*htmlPath); err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote HTML report to %s (%d sections)\n", *htmlPath, report.Sections())
+	}
+}
+
+func banner(s string) {
+	fmt.Printf("==== %s ====\n\n", s)
+}
+
+// runRealKernels executes and verifies the actual kernel implementations
+// under the hybrid strategy.
+func runRealKernels(quick bool, out io.Writer) {
+	pool := hybridloop.NewPool(runtime.GOMAXPROCS(0))
+	defer pool.Close()
+
+	check := func(name string, ok bool, detail string) {
+		status := "ok"
+		if !ok {
+			status = "FAILED"
+		}
+		fmt.Fprintf(out, "  %-4s %-6s %s\n", name, status, detail)
+	}
+
+	t0 := time.Now()
+	epSize := 20
+	if quick {
+		epSize = 16
+	}
+	ep := nas.EP{M: epSize, LogBlock: 10}
+	epPar := ep.Parallel(pool)
+	epSeq := ep.Sequential()
+	check("ep", epPar == epSeq, fmt.Sprintf("2^%d pairs, %d accepted, sums match sequential exactly (%.2fs)",
+		epSize-1, epPar.Pairs, time.Since(t0).Seconds()))
+
+	t0 = time.Now()
+	isN := 1 << 20
+	if quick {
+		isN = 1 << 17
+	}
+	is := nas.IS{N: isN, MaxKey: 1 << 11}
+	isRes := is.Parallel(pool)
+	err := nas.VerifyRanks(isRes.Keys, isRes.Ranks)
+	check("is", err == nil, fmt.Sprintf("%d keys ranked and verified sorted (%.2fs)", isN, time.Since(t0).Seconds()))
+
+	t0 = time.Now()
+	cgN := 20000
+	if quick {
+		cgN = 4000
+	}
+	cg := nas.CG{N: cgN, NIters: 3}
+	cgRes := cg.Parallel(pool)
+	check("cg", cgRes.Residual < 1e-4, fmt.Sprintf("n=%d, final residual %.2e, zeta %.6f (%.2fs)",
+		cgN, cgRes.Residual, cgRes.Zeta, time.Since(t0).Seconds()))
+
+	t0 = time.Now()
+	mgSize := 5
+	if quick {
+		mgSize = 4
+	}
+	mg := nas.MG{Log2N: mgSize, Cycles: 4}
+	mgRes := mg.Parallel(pool)
+	check("mg", mgRes.Final() < 0.2*mgRes.InitialResidual,
+		fmt.Sprintf("grid %d^3, residual %.3e -> %.3e over %d cycles (%.2fs)",
+			1<<mgSize, mgRes.InitialResidual, mgRes.Final(), mg.Cycles, time.Since(t0).Seconds()))
+
+	t0 = time.Now()
+	ftDim := 64
+	if quick {
+		ftDim = 16
+	}
+	ft := nas.FT{N1: ftDim, N2: ftDim, N3: ftDim, Iterations: 3}
+	ftRes := ft.Parallel(pool)
+	rt := ft.RoundTripError()
+	check("ft", rt < 1e-10 && len(ftRes.Checksums) == 3,
+		fmt.Sprintf("%d^3, FFT round-trip error %.2e, checksum %v (%.2fs)",
+			ftDim, rt, ftRes.Checksums[len(ftRes.Checksums)-1], time.Since(t0).Seconds()))
+}

@@ -1,0 +1,166 @@
+// Command realbench measures the *real* goroutine runtime — not the
+// simulator — sweeping worker counts up to the machine's CPUs and
+// printing Figure-1-style work efficiency and scalability for the
+// microbenchmarks and the real NAS kernels under every strategy.
+//
+// On a single-CPU machine the sweep degenerates to P = 1 (the simulator
+// commands cover the paper's 32-core machine); on a real multicore this
+// reproduces the paper's experiment end to end on actual hardware.
+//
+// Usage: realbench [-maxp n] [-reps n] [-kernels ep,is,cg,mg,ft] [-micro]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"hybridloop"
+	"hybridloop/internal/harness"
+	"hybridloop/internal/nas"
+)
+
+var allStrategies = []hybridloop.Strategy{
+	hybridloop.Hybrid, hybridloop.DynamicStealing, hybridloop.Static,
+	hybridloop.DynamicSharing, hybridloop.Guided,
+}
+
+func main() {
+	maxP := flag.Int("maxp", 0, "largest worker count (0 = NumCPU)")
+	reps := flag.Int("reps", 3, "repetitions per point (min taken)")
+	kernels := flag.String("kernels", "ep,is,cg,mg,ft", "kernel subset")
+	micro := flag.Bool("micro", true, "include the balanced/unbalanced microbenchmarks")
+	flag.Parse()
+
+	top := *maxP
+	if top <= 0 {
+		top = runtime.NumCPU()
+	}
+	var ps []int
+	for p := 1; p <= top; p *= 2 {
+		ps = append(ps, p)
+	}
+	if ps[len(ps)-1] != top {
+		ps = append(ps, top)
+	}
+	fmt.Printf("real-runtime sweep on %d CPUs, P in %v, %d reps (min)\n\n",
+		runtime.NumCPU(), ps, *reps)
+
+	if *micro {
+		runSweep("micro/balanced", ps, *reps, microBench(true))
+		runSweep("micro/unbalanced", ps, *reps, microBench(false))
+	}
+	want := map[string]bool{}
+	for _, k := range strings.Split(*kernels, ",") {
+		want[strings.TrimSpace(k)] = true
+	}
+	if want["ep"] {
+		runSweep("ep", ps, *reps, func(pool *hybridloop.Pool, s hybridloop.Strategy) {
+			nas.EP{M: 20, LogBlock: 10}.Parallel(pool, hybridloop.WithStrategy(s))
+		})
+	}
+	if want["is"] {
+		runSweep("is", ps, *reps, func(pool *hybridloop.Pool, s hybridloop.Strategy) {
+			nas.NPBIS(nas.NPBISClasses['S'], pool, hybridloop.WithStrategy(s))
+		})
+	}
+	if want["cg"] {
+		cg := nas.CG{N: 14000, NIters: 2}
+		a := cg.Matrix()
+		runSweep("cg", ps, *reps, func(pool *hybridloop.Pool, s hybridloop.Strategy) {
+			cg.ParallelOn(pool, a, hybridloop.WithStrategy(s))
+		})
+	}
+	if want["mg"] {
+		runSweep("mg", ps, *reps, func(pool *hybridloop.Pool, s hybridloop.Strategy) {
+			nas.MG{Log2N: 5, Cycles: 2}.ParallelNPB(pool, hybridloop.WithStrategy(s))
+		})
+	}
+	if want["ft"] {
+		runSweep("ft", ps, *reps, func(pool *hybridloop.Pool, s hybridloop.Strategy) {
+			nas.FT{N1: 64, N2: 64, N3: 32, Iterations: 2}.Parallel(pool, hybridloop.WithStrategy(s))
+		})
+	}
+}
+
+// microBench returns a runner for the paper's microbenchmark on the real
+// runtime: an outer sequential loop of parallel loops whose iterations
+// walk disjoint array segments.
+func microBench(balanced bool) func(*hybridloop.Pool, hybridloop.Strategy) {
+	const n, outer = 512, 6
+	const totalBytes = 32 << 20
+	data := make([]float64, totalBytes/8)
+	offs := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		size := len(data) / n
+		if !balanced {
+			size = int(float64(len(data)) * (0.25 + 1.5*float64(i)/float64(n-1)) /
+				(float64(n)))
+		}
+		offs[i+1] = offs[i] + size
+		if offs[i+1] > len(data) {
+			offs[i+1] = len(data)
+		}
+	}
+	return func(pool *hybridloop.Pool, s hybridloop.Strategy) {
+		for rep := 0; rep < outer; rep++ {
+			pool.For(0, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					seg := data[offs[i]:offs[i+1]]
+					// Stride-13 walk, like the paper's microbenchmark.
+					for k := 0; k < len(seg); k += 13 {
+						seg[k] += 1
+					}
+				}
+			}, hybridloop.WithStrategy(s))
+		}
+	}
+}
+
+// runSweep measures the workload at each P and prints Ts-normalized rows.
+func runSweep(name string, ps []int, reps int, run func(*hybridloop.Pool, hybridloop.Strategy)) {
+	t := harness.Table{
+		Title:  fmt.Sprintf("%s — wall time and scalability (T1/TP), real runtime", name),
+		Header: append([]string{"strategy \\ P"}, intStrings(ps)...),
+	}
+	for _, s := range allStrategies {
+		times := map[int]time.Duration{}
+		for _, p := range ps {
+			pool := hybridloop.NewPool(p, hybridloop.WithSeed(uint64(p)))
+			best := time.Duration(0)
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				run(pool, s)
+				el := time.Since(start)
+				if best == 0 || el < best {
+					best = el
+				}
+			}
+			pool.Close()
+			times[p] = best
+		}
+		row := []string{s.String()}
+		t1 := times[ps[0]]
+		for _, p := range ps {
+			row = append(row, fmt.Sprintf("%v (%.2fx)",
+				times[p].Round(time.Millisecond), float64(t1)/float64(times[p])))
+		}
+		t.AddRow(row...)
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+}
+
+func intStrings(ps []int) []string {
+	out := make([]string, len(ps))
+	sorted := append([]int(nil), ps...)
+	sort.Ints(sorted)
+	for i, p := range sorted {
+		out[i] = fmt.Sprint(p)
+	}
+	return out
+}

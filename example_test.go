@@ -1,0 +1,178 @@
+package hybridloop_test
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hybridloop"
+)
+
+// The basic parallel loop: the body receives disjoint chunks covering
+// [0, n) exactly once; scheduling defaults to the hybrid scheme.
+func ExamplePool_For() {
+	pool := hybridloop.NewPool(4)
+	defer pool.Close()
+
+	data := make([]int, 1000)
+	pool.For(0, len(data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i] = i * i
+		}
+	})
+	fmt.Println(data[3], data[999])
+	// Output: 9 998001
+}
+
+// Strategies are selectable per loop; all cover the iteration space
+// identically and differ only in how iterations map to workers.
+func ExampleWithStrategy() {
+	pool := hybridloop.NewPool(4)
+	defer pool.Close()
+
+	var count atomic.Int64
+	for _, s := range []hybridloop.Strategy{
+		hybridloop.Hybrid, hybridloop.Static, hybridloop.DynamicStealing,
+	} {
+		pool.For(0, 100, func(lo, hi int) {
+			count.Add(int64(hi - lo))
+		}, hybridloop.WithStrategy(s))
+	}
+	fmt.Println(count.Load())
+	// Output: 300
+}
+
+// Reduce folds fixed-size block partials in block order, so the result is
+// deterministic no matter how the blocks were scheduled.
+func ExampleReduce() {
+	pool := hybridloop.NewPool(4)
+	defer pool.Close()
+
+	sum := hybridloop.Reduce(pool, 1, 101, 16, 0,
+		func(lo, hi int) int {
+			s := 0
+			for i := lo; i < hi; i++ {
+				s += i
+			}
+			return s
+		},
+		func(a, b int) int { return a + b })
+	fmt.Println(sum)
+	// Output: 5050
+}
+
+// Sum is the common special case of Reduce.
+func ExampleSum() {
+	pool := hybridloop.NewPool(2)
+	defer pool.Close()
+
+	dot := hybridloop.Sum(pool, 0, 4, func(i int) float64 {
+		return float64(i) * 2
+	})
+	fmt.Println(dot)
+	// Output: 12
+}
+
+// For2D tiles a two-dimensional space; tiles are scheduled like loop
+// iterations, so repeated sweeps keep tiles on the same workers.
+func ExamplePool_For2D() {
+	pool := hybridloop.NewPool(4)
+	defer pool.Close()
+
+	var cells atomic.Int64
+	pool.For2D(0, 30, 0, 40, 8, 8, func(rlo, rhi, clo, chi int) {
+		cells.Add(int64((rhi - rlo) * (chi - clo)))
+	})
+	fmt.Println(cells.Load())
+	// Output: 1200
+}
+
+// Bodies that start nested parallel loops must use the worker-aware form
+// and route nested work through the executing worker.
+func ExamplePool_ForWorker() {
+	pool := hybridloop.NewPool(4)
+	defer pool.Close()
+
+	var total atomic.Int64
+	pool.ForWorker(0, 4, func(w *hybridloop.Worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hybridloop.For(w, 0, 25, func(l2, h2 int) {
+				total.Add(int64(h2 - l2))
+			})
+		}
+	})
+	fmt.Println(total.Load())
+	// Output: 100
+}
+
+// Fork-join task parallelism underlies the loop schedulers and is
+// available directly: Wait helps execute outstanding work, it never
+// blocks the worker.
+func ExamplePool_Run() {
+	pool := hybridloop.NewPool(4)
+	defer pool.Close()
+
+	var fib func(w *hybridloop.Worker, n int) int
+	fib = func(w *hybridloop.Worker, n int) int {
+		if n < 2 {
+			return n
+		}
+		var g hybridloop.Group
+		var a int
+		w.Spawn(&g, func(cw *hybridloop.Worker) { a = fib(cw, n-1) })
+		b := fib(w, n-2)
+		w.Wait(&g)
+		return a + b
+	}
+	var result int
+	pool.Run(func(w *hybridloop.Worker) { result = fib(w, 12) })
+	fmt.Println(result)
+	// Output: 144
+}
+
+// An affinity tracker measures the fraction of iterations that stayed on
+// the same worker across consecutive loops — with the Static strategy it
+// is always 100%.
+func ExampleNewAffinityTracker() {
+	pool := hybridloop.NewPool(4, hybridloop.WithSeed(1))
+	defer pool.Close()
+
+	tr := hybridloop.NewAffinityTracker(1000)
+	for sweep := 0; sweep < 3; sweep++ {
+		pool.For(0, 1000, func(lo, hi int) {},
+			hybridloop.WithStrategy(hybridloop.Static),
+			hybridloop.WithRecorder(tr))
+		frac := tr.EndLoop()
+		if sweep > 0 {
+			fmt.Printf("sweep %d: %.0f%%\n", sweep, 100*frac)
+		}
+	}
+	// Output:
+	// sweep 1: 100%
+	// sweep 2: 100%
+}
+
+// Weight hints shift static and hybrid partition boundaries so partitions
+// carry equal cost instead of equal iteration counts.
+func ExampleWithWeight() {
+	pool := hybridloop.NewPool(2, hybridloop.WithSeed(1))
+	defer pool.Close()
+
+	tr := hybridloop.NewAffinityTracker(100)
+	// Iteration i costs i: the first partition must cover ~70 iterations
+	// to carry half of the total weight (sqrt(1/2) of the triangle).
+	pool.For(0, 100, func(lo, hi int) {},
+		hybridloop.WithStrategy(hybridloop.Static),
+		hybridloop.WithWeight(func(i int) float64 { return float64(i) }),
+		hybridloop.WithRecorder(tr))
+	tr.EndLoop()
+	asg := tr.Assignment()
+	boundary := 0
+	for i, w := range asg {
+		if w != 0 {
+			boundary = i
+			break
+		}
+	}
+	fmt.Println(boundary > 60 && boundary < 80)
+	// Output: true
+}

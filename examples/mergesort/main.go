@@ -1,0 +1,112 @@
+// Mergesort: fork-join task parallelism (Spawn/Wait) combined with
+// parallel loops — a divide-and-conquer sort whose merge phase is a
+// hybrid-scheduled parallel loop. Demonstrates the general task API that
+// underlies the loop schedulers, including nesting loops inside tasks via
+// the worker handle.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hybridloop"
+)
+
+const (
+	sortCutoff  = 1 << 13 // below this, sort.Slice sequentially
+	mergeCutoff = 1 << 12 // below this, merge sequentially
+)
+
+// parSort sorts src into dst (both len n), using buf as scratch.
+func parSort(w *hybridloop.Worker, src, dst []float64) {
+	n := len(src)
+	if n <= sortCutoff {
+		copy(dst, src)
+		sort.Float64s(dst)
+		return
+	}
+	mid := n / 2
+	var g hybridloop.Group
+	// Sort both halves in place of src (using dst halves as scratch via
+	// recursion parity: sort into src halves, then merge into dst).
+	w.Spawn(&g, func(cw *hybridloop.Worker) {
+		parSort(cw, src[:mid], dst[:mid])
+		copy(src[:mid], dst[:mid])
+	})
+	parSort(w, src[mid:], dst[mid:])
+	copy(src[mid:], dst[mid:])
+	w.Wait(&g)
+	parMerge(w, src[:mid], src[mid:], dst)
+}
+
+// parMerge merges sorted a and b into out, in parallel: a is cut into
+// equal pieces, each piece's matching range of b is found by binary
+// search, and the piece pairs merge independently — output offsets follow
+// from the two range starts. Elements of b equal to a split value all go
+// to the right piece (lower-bound search), which keeps pieces disjoint
+// and the concatenation globally sorted.
+func parMerge(w *hybridloop.Worker, a, b, out []float64) {
+	n := len(a) + len(b)
+	if n <= mergeCutoff {
+		seqMerge(a, b, out)
+		return
+	}
+	const pieces = 16
+	// Precompute the split points sequentially (16 binary searches).
+	aCut := make([]int, pieces+1)
+	bCut := make([]int, pieces+1)
+	aCut[pieces] = len(a)
+	bCut[pieces] = len(b)
+	for p := 1; p < pieces; p++ {
+		aCut[p] = p * len(a) / pieces
+		bCut[p] = sort.SearchFloat64s(b, a[aCut[p]])
+	}
+	hybridloop.ForWorkerNested(w, 0, pieces, func(cw *hybridloop.Worker, plo, phi int) {
+		for p := plo; p < phi; p++ {
+			oLo := aCut[p] + bCut[p]
+			oHi := aCut[p+1] + bCut[p+1]
+			seqMerge(a[aCut[p]:aCut[p+1]], b[bCut[p]:bCut[p+1]], out[oLo:oHi])
+		}
+	}, hybridloop.WithChunk(1))
+}
+
+func seqMerge(a, b, out []float64) {
+	i, j := 0, 0
+	for k := range out {
+		if j >= len(b) || (i < len(a) && a[i] <= b[j]) {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+	}
+}
+
+func main() {
+	pool := hybridloop.NewPool(0, hybridloop.WithSeed(7))
+	defer pool.Close()
+
+	const n = 1 << 21
+	data := make([]float64, n)
+	out := make([]float64, n)
+	state := uint64(42)
+	for i := range data {
+		state = state*6364136223846793005 + 1442695040888963407
+		data[i] = float64(state>>11) / (1 << 53)
+	}
+
+	start := time.Now()
+	pool.Run(func(w *hybridloop.Worker) { parSort(w, data, out) })
+	elapsed := time.Since(start)
+
+	sorted := sort.Float64sAreSorted(out)
+	fmt.Printf("parallel mergesort of %d float64s: %v (sorted: %v, workers: %d)\n",
+		n, elapsed.Round(time.Millisecond), sorted, pool.Workers())
+	s := pool.Stats()
+	fmt.Printf("scheduler: %d tasks, %d steals\n", s.Tasks, s.Steals)
+	if !sorted {
+		panic("output not sorted")
+	}
+}

@@ -1,0 +1,53 @@
+// Quickstart: the smallest useful hybridloop program — parallel map and
+// parallel reduction over a slice, plus a look at what the scheduler did.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"hybridloop"
+)
+
+func main() {
+	pool := hybridloop.NewPool(0) // one worker per CPU
+	defer pool.Close()
+
+	// Parallel map: loops default to the paper's hybrid strategy.
+	const n = 1 << 20
+	data := make([]float64, n)
+	pool.For(0, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i] = math.Sqrt(float64(i))
+		}
+	})
+
+	// Parallel reduction: fixed per-chunk partials folded afterwards.
+	// (Chunks are disjoint, so no synchronization is needed inside.)
+	partials := make([]float64, pool.Workers()*64)
+	pool.For(0, n, func(lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += data[i]
+		}
+		// Each chunk writes a distinct slot: derive it from the range.
+		partials[lo*len(partials)/n] += s
+	}, hybridloop.WithChunk(n/len(partials)))
+	var sum float64
+	for _, p := range partials {
+		sum += p
+	}
+	fmt.Printf("sum of sqrt(0..%d) = %.4e (closed form ~ %.4e)\n",
+		n-1, sum, 2.0/3.0*math.Pow(n, 1.5))
+
+	// The same loop under a different strategy, for comparison.
+	pool.For(0, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i] = math.Sqrt(data[i])
+		}
+	}, hybridloop.WithStrategy(hybridloop.DynamicStealing))
+
+	s := pool.Stats()
+	fmt.Printf("scheduler: %d tasks, %d steals, %d hybrid-loop entries\n",
+		s.Tasks, s.Steals, s.LoopEntries)
+}

@@ -1,0 +1,3 @@
+module hybridloop
+
+go 1.22

@@ -1,0 +1,249 @@
+// Package hybridloop is a task-parallel runtime for scheduling parallel
+// loops on shared-memory multicores, implementing the hybrid scheduling
+// scheme of Handleman, Rattew, Lee and Schardl, "A Hybrid Scheduling
+// Scheme for Parallel Loops" (2021), together with the standard schemes it
+// is evaluated against.
+//
+// The hybrid scheme first partitions a loop statically — R = 2^k
+// partitions, one earmarked per worker — and lets each worker claim
+// partitions in a semi-deterministic sequence derived from its worker ID
+// (r = i XOR w). Claims are single atomic operations; a worker that loses
+// its designated partition falls back to ordinary randomized work
+// stealing, and the work inside every partition is itself load balanced by
+// stealing. The result keeps the loop affinity of static scheduling on
+// iterative applications (the same iterations land on the same workers
+// loop after loop) while retaining the provable load balancing of dynamic
+// scheduling: a loop of n iterations runs in expected time
+// T1/P + O(P + lg n + max span of any iteration).
+//
+// # Quick start
+//
+//	pool := hybridloop.NewPool(8)
+//	defer pool.Close()
+//
+//	pool.For(0, len(data), func(lo, hi int) {
+//		for i := lo; i < hi; i++ {
+//			data[i] = process(data[i])
+//		}
+//	})
+//
+// Loops default to the hybrid strategy; pass WithStrategy to compare
+// against Static, DynamicStealing (a Cilk-style cilk_for), DynamicSharing
+// (OpenMP schedule(dynamic)) or Guided (OpenMP schedule(guided)).
+// Arbitrary fork-join task parallelism is available through Pool.Run,
+// Worker.Spawn and Worker.Wait.
+package hybridloop
+
+import (
+	"runtime"
+
+	"hybridloop/internal/loop"
+	"hybridloop/internal/sched"
+)
+
+// Strategy selects how a parallel loop's iterations are scheduled onto
+// workers. See the package documentation of each constant.
+type Strategy = loop.Strategy
+
+const (
+	// Hybrid is the paper's scheme: static partitioning, XOR claiming,
+	// work-stealing fallback. The default.
+	Hybrid Strategy = loop.Hybrid
+	// Static pins the i-th of P equal partitions to worker i, like OpenMP
+	// schedule(static): deterministic and cheap, but no load balancing.
+	Static Strategy = loop.Static
+	// DynamicStealing is dynamic partitioning with randomized work
+	// stealing — the classic Cilk cilk_for.
+	DynamicStealing Strategy = loop.DynamicStealing
+	// DynamicSharing is dynamic partitioning with a central chunk queue,
+	// like OpenMP schedule(dynamic, chunk).
+	DynamicSharing Strategy = loop.DynamicSharing
+	// Guided is work sharing with geometrically decreasing chunks, like
+	// OpenMP schedule(guided, chunk).
+	Guided Strategy = loop.Guided
+)
+
+// Worker is a scheduler worker — the surrogate of a processing core. Loop
+// bodies and tasks receive the worker executing them; use it to spawn
+// nested work or nested parallel loops.
+type Worker = sched.Worker
+
+// Group tracks spawned tasks for a join; Worker.Wait(g) helps execute
+// outstanding work instead of blocking.
+type Group = sched.Group
+
+// Stats aggregates scheduler counters (tasks run, steals, hybrid loop
+// entries); see Pool.Stats.
+type Stats = sched.Stats
+
+// Recorder observes which worker executed which iterations; pass one via
+// WithRecorder to measure loop affinity.
+type Recorder = loop.Recorder
+
+// Body is a parallel loop body. It is invoked with half-open chunks
+// [lo, hi) of the iteration space; distinct chunks may run concurrently
+// on different workers, and every iteration is covered exactly once.
+type Body = loop.Body
+
+// Pool is a work-stealing scheduler with a fixed set of workers.
+type Pool struct {
+	s           *sched.Pool
+	strategy    Strategy
+	chunk       int
+	seed        uint64
+	lockThreads bool
+}
+
+// Option configures a Pool.
+type Option func(*Pool)
+
+// WithSeed fixes the seed of the workers' random number generators,
+// making victim selection reproducible.
+func WithSeed(seed uint64) Option {
+	return func(p *Pool) { p.seed = seed }
+}
+
+// WithDefaultStrategy sets the strategy used by For when no per-loop
+// override is given. The default is Hybrid.
+func WithDefaultStrategy(s Strategy) Option {
+	return func(p *Pool) { p.strategy = s }
+}
+
+// WithDefaultChunk sets the default chunk size for loops; 0 keeps the
+// paper's rule min(2048, N/(8P)).
+func WithDefaultChunk(chunk int) Option {
+	return func(p *Pool) { p.chunk = chunk }
+}
+
+// WithOSThreads locks each worker goroutine to its own OS thread. Use on
+// dedicated multicore machines (ideally with threads pinned to cores by
+// the OS) so worker identity corresponds to a physical core and the
+// hybrid scheme's affinity translates into cache locality.
+func WithOSThreads() Option {
+	return func(p *Pool) { p.lockThreads = true }
+}
+
+// NewPool creates a pool with the given number of workers and starts
+// them; workers <= 0 selects runtime.GOMAXPROCS(0). Close the pool when
+// done.
+func NewPool(workers int, opts ...Option) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{strategy: Hybrid, seed: 0x484c4f4f50 /* "HLOOP" */}
+	for _, o := range opts {
+		o(p)
+	}
+	if p.lockThreads {
+		p.s = sched.NewPoolLocked(workers, p.seed)
+	} else {
+		p.s = sched.NewPool(workers, p.seed)
+	}
+	return p
+}
+
+// Workers returns the number of workers in the pool.
+func (p *Pool) Workers() int { return p.s.P() }
+
+// Close shuts down the pool's workers. Outstanding For/Run calls must
+// have returned.
+func (p *Pool) Close() { p.s.Close() }
+
+// Stats returns aggregate scheduler counters since the last ResetStats.
+func (p *Pool) Stats() Stats { return p.s.Stats() }
+
+// ResetStats zeroes the scheduler counters.
+func (p *Pool) ResetStats() { p.s.ResetStats() }
+
+// Run executes root on a worker and blocks until it returns. Use it for
+// fork-join task parallelism (Worker.Spawn / Worker.Wait) or to host
+// nested parallel loops via For.
+func (p *Pool) Run(root func(w *Worker)) { p.s.Run(root) }
+
+// ForOption configures a single parallel loop.
+type ForOption func(*loop.Options)
+
+// WithStrategy overrides the loop's scheduling strategy.
+func WithStrategy(s Strategy) ForOption {
+	return func(o *loop.Options) { o.Strategy = s }
+}
+
+// WithChunk overrides the number of consecutive iterations executed as
+// one sequential unit; 0 means min(2048, N/(8P)).
+func WithChunk(chunk int) ForOption {
+	return func(o *loop.Options) { o.Chunk = chunk }
+}
+
+// WithRecorder attaches an affinity recorder to the loop.
+func WithRecorder(r Recorder) ForOption {
+	return func(o *loop.Options) { o.Recorder = r }
+}
+
+// WithSerialCutoff runs loops of at most n iterations inline on the
+// calling worker, skipping the scheduling machinery entirely — useful for
+// programs whose loop trip counts vary and sometimes collapse to trivial
+// sizes (the adaptive-scheduler shortcut in the paper's related work).
+func WithSerialCutoff(n int) ForOption {
+	return func(o *loop.Options) { o.SerialCutoff = n }
+}
+
+func (p *Pool) options(opts []ForOption) loop.Options {
+	o := loop.Options{Strategy: p.strategy, Chunk: p.chunk}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// For executes body over the iteration space [begin, end) in parallel and
+// returns when every iteration has completed. It must be called from
+// outside the pool's workers; inside a running task, use the free
+// function For with the current Worker.
+func (p *Pool) For(begin, end int, body Body, opts ...ForOption) {
+	loop.For(p.s, begin, end, body, p.options(opts))
+}
+
+// ForEach is For with a per-index body — more convenient, slightly slower
+// for very fine-grained loops.
+func (p *Pool) ForEach(begin, end int, body func(i int), opts ...ForOption) {
+	p.For(begin, end, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	}, opts...)
+}
+
+// BodyW is a loop body that also receives the worker executing its chunk.
+// Bodies that start nested parallel loops or spawn tasks MUST use this
+// form and route the nested work through the received worker — chunks run
+// on whichever worker claimed or stole them, not on the worker that
+// started the loop.
+type BodyW = loop.BodyW
+
+// ForWorker is For with a worker-aware body, for bodies containing nested
+// parallelism.
+func (p *Pool) ForWorker(begin, end int, body BodyW, opts ...ForOption) {
+	loop.ForW(p.s, begin, end, body, p.options(opts))
+}
+
+// ForWorkerNested runs a worker-aware nested loop from inside a task
+// executing on w.
+func ForWorkerNested(w *Worker, begin, end int, body BodyW, opts ...ForOption) {
+	o := loop.Options{Strategy: Hybrid}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	loop.WorkerForW(w, begin, end, body, o)
+}
+
+// For runs a nested parallel loop from inside a task executing on w.
+func For(w *Worker, begin, end int, body Body, opts ...ForOption) {
+	o := loop.Options{Strategy: Hybrid}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	loop.WorkerFor(w, begin, end, body, o)
+}
+
+// DefaultChunk exposes the paper's chunk rule min(2048, N/(8P)).
+func DefaultChunk(n, p int) int { return loop.DefaultChunk(n, p) }

@@ -1,0 +1,144 @@
+package hybridloop_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hybridloop"
+	"hybridloop/internal/affinity"
+)
+
+func TestQuickstartShape(t *testing.T) {
+	pool := hybridloop.NewPool(4)
+	defer pool.Close()
+	data := make([]float64, 10000)
+	pool.For(0, len(data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i] = float64(i) * 2
+		}
+	})
+	for i, v := range data {
+		if v != float64(i)*2 {
+			t.Fatalf("data[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestNewPoolDefaultsToGOMAXPROCS(t *testing.T) {
+	pool := hybridloop.NewPool(0)
+	defer pool.Close()
+	if pool.Workers() < 1 {
+		t.Fatalf("Workers() = %d", pool.Workers())
+	}
+}
+
+func TestAllStrategiesViaPublicAPI(t *testing.T) {
+	pool := hybridloop.NewPool(4, hybridloop.WithSeed(7))
+	defer pool.Close()
+	for _, s := range []hybridloop.Strategy{
+		hybridloop.Hybrid, hybridloop.Static, hybridloop.DynamicStealing,
+		hybridloop.DynamicSharing, hybridloop.Guided,
+	} {
+		var n atomic.Int64
+		pool.For(0, 12345, func(lo, hi int) {
+			n.Add(int64(hi - lo))
+		}, hybridloop.WithStrategy(s), hybridloop.WithChunk(100))
+		if n.Load() != 12345 {
+			t.Fatalf("%v: covered %d iterations", s, n.Load())
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	pool := hybridloop.NewPool(3)
+	defer pool.Close()
+	var sum atomic.Int64
+	pool.ForEach(1, 101, func(i int) { sum.Add(int64(i)) })
+	if sum.Load() != 5050 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}
+
+func TestWithDefaultStrategyAndChunk(t *testing.T) {
+	pool := hybridloop.NewPool(2,
+		hybridloop.WithDefaultStrategy(hybridloop.Static),
+		hybridloop.WithDefaultChunk(64))
+	defer pool.Close()
+	tr := affinity.NewTracker(1000)
+	for i := 0; i < 3; i++ {
+		pool.For(0, 1000, func(lo, hi int) {}, hybridloop.WithRecorder(tr))
+		frac := tr.EndLoop()
+		if i > 0 && frac != 1.0 {
+			t.Fatalf("default static strategy not applied: affinity %v", frac)
+		}
+	}
+}
+
+func TestNestedForFromTask(t *testing.T) {
+	pool := hybridloop.NewPool(4)
+	defer pool.Close()
+	var total atomic.Int64
+	pool.Run(func(w *hybridloop.Worker) {
+		hybridloop.For(w, 0, 10, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hybridloop.For(w, 0, 100, func(l2, h2 int) {
+					total.Add(int64(h2 - l2))
+				}, hybridloop.WithChunk(7))
+			}
+		})
+	})
+	if total.Load() != 1000 {
+		t.Fatalf("nested total = %d", total.Load())
+	}
+}
+
+func TestSpawnWaitPublicAPI(t *testing.T) {
+	pool := hybridloop.NewPool(4)
+	defer pool.Close()
+	var count atomic.Int64
+	pool.Run(func(w *hybridloop.Worker) {
+		var g hybridloop.Group
+		for i := 0; i < 64; i++ {
+			w.Spawn(&g, func(cw *hybridloop.Worker) { count.Add(1) })
+		}
+		w.Wait(&g)
+	})
+	if count.Load() != 64 {
+		t.Fatalf("count = %d", count.Load())
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	pool := hybridloop.NewPool(2)
+	defer pool.Close()
+	pool.ResetStats()
+	pool.For(0, 1000, func(lo, hi int) {}, hybridloop.WithChunk(10))
+	if pool.Stats().Tasks == 0 {
+		t.Fatal("no tasks recorded")
+	}
+}
+
+func TestDefaultChunkRule(t *testing.T) {
+	if hybridloop.DefaultChunk(1<<20, 4) != 2048 {
+		t.Fatal("cap at 2048 missing")
+	}
+	if hybridloop.DefaultChunk(800, 10) != 10 {
+		t.Fatalf("DefaultChunk(800,10) = %d", hybridloop.DefaultChunk(800, 10))
+	}
+}
+
+func TestWithOSThreads(t *testing.T) {
+	pool := hybridloop.NewPool(2, hybridloop.WithOSThreads(), hybridloop.WithSeed(3))
+	defer pool.Close()
+	var sum atomic.Int64
+	pool.For(0, 10000, func(lo, hi int) {
+		var local int64
+		for i := lo; i < hi; i++ {
+			local += int64(i)
+		}
+		sum.Add(local)
+	})
+	if sum.Load() != 10000*9999/2 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}

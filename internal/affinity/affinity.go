@@ -1,0 +1,120 @@
+// Package affinity measures loop affinity: the fraction of iterations of a
+// parallel loop executed by the same worker as in the previous execution
+// of a loop over the same index space. This is the metric of the paper's
+// Figure 2, where static partitioning scores 100%, the hybrid scheme stays
+// near 100% (balanced) / ~67% (unbalanced), and the purely dynamic schemes
+// fall to a few percent.
+package affinity
+
+import "fmt"
+
+const unassigned = -1
+
+// Tracker implements loop.Recorder. Use one Tracker per iteration space;
+// call EndLoop after each parallel loop completes to obtain the same-core
+// fraction relative to the previous loop and roll the epoch forward.
+//
+// Record may be called concurrently for disjoint iteration ranges (which
+// is what a correct loop scheduler produces — each iteration is executed
+// exactly once per loop).
+type Tracker struct {
+	prev []int32
+	cur  []int32
+}
+
+// NewTracker returns a Tracker for iterations [0, n).
+func NewTracker(n int) *Tracker {
+	t := &Tracker{prev: make([]int32, n), cur: make([]int32, n)}
+	for i := range t.prev {
+		t.prev[i] = unassigned
+		t.cur[i] = unassigned
+	}
+	return t
+}
+
+// N returns the size of the tracked iteration space.
+func (t *Tracker) N() int { return len(t.cur) }
+
+// Record notes that worker executed iterations [begin, end) in the current
+// loop. Out-of-range indexes panic — they indicate a scheduler bug.
+func (t *Tracker) Record(worker, begin, end int) {
+	if begin < 0 || end > len(t.cur) {
+		panic(fmt.Sprintf("affinity: Record range [%d,%d) outside [0,%d)", begin, end, len(t.cur)))
+	}
+	w := int32(worker)
+	for i := begin; i < end; i++ {
+		t.cur[i] = w
+	}
+}
+
+// EndLoop finishes the current loop: it returns the fraction of iterations
+// executed by the same worker as in the previous loop, then makes the
+// current assignment the previous one. The first EndLoop (no previous
+// loop) returns 0. Iterations not recorded in the current loop never count
+// as matching.
+func (t *Tracker) EndLoop() float64 {
+	same, total := 0, 0
+	first := true
+	for i := range t.cur {
+		if t.prev[i] != unassigned {
+			first = false
+		}
+		if t.cur[i] != unassigned {
+			total++
+			if t.cur[i] == t.prev[i] {
+				same++
+			}
+		}
+	}
+	t.prev, t.cur = t.cur, t.prev
+	for i := range t.cur {
+		t.cur[i] = unassigned
+	}
+	if first || total == 0 {
+		return 0
+	}
+	return float64(same) / float64(total)
+}
+
+// Assignment returns a copy of the most recently completed loop's
+// iteration-to-worker map (after EndLoop), with -1 for unexecuted
+// iterations.
+func (t *Tracker) Assignment() []int32 {
+	return append([]int32(nil), t.prev...)
+}
+
+// Covered reports whether every iteration was recorded in the current
+// (not yet ended) loop — a correctness check used by tests.
+func (t *Tracker) Covered() bool {
+	for i := range t.cur {
+		if t.cur[i] == unassigned {
+			return false
+		}
+	}
+	return true
+}
+
+// MeanSame runs EndLoop-style comparison bookkeeping over a whole
+// experiment: it is a small helper aggregating per-loop fractions.
+type MeanSame struct {
+	sum   float64
+	loops int
+}
+
+// Add records one loop's same-core fraction (skip the first loop of a
+// sequence, which has no predecessor).
+func (m *MeanSame) Add(frac float64) {
+	m.sum += frac
+	m.loops++
+}
+
+// Mean returns the average fraction, or 0 with no samples.
+func (m *MeanSame) Mean() float64 {
+	if m.loops == 0 {
+		return 0
+	}
+	return m.sum / float64(m.loops)
+}
+
+// Loops returns how many loop transitions were recorded.
+func (m *MeanSame) Loops() int { return m.loops }

@@ -1,0 +1,127 @@
+package affinity
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFirstLoopReturnsZero(t *testing.T) {
+	tr := NewTracker(10)
+	tr.Record(0, 0, 10)
+	if frac := tr.EndLoop(); frac != 0 {
+		t.Fatalf("first EndLoop = %v, want 0", frac)
+	}
+}
+
+func TestPerfectAffinity(t *testing.T) {
+	tr := NewTracker(100)
+	for loop := 0; loop < 3; loop++ {
+		tr.Record(1, 0, 50)
+		tr.Record(2, 50, 100)
+		frac := tr.EndLoop()
+		if loop > 0 && frac != 1.0 {
+			t.Fatalf("loop %d: frac = %v, want 1.0", loop, frac)
+		}
+	}
+}
+
+func TestZeroAffinity(t *testing.T) {
+	tr := NewTracker(100)
+	tr.Record(1, 0, 100)
+	tr.EndLoop()
+	tr.Record(2, 0, 100)
+	if frac := tr.EndLoop(); frac != 0 {
+		t.Fatalf("frac = %v, want 0", frac)
+	}
+}
+
+func TestPartialAffinity(t *testing.T) {
+	tr := NewTracker(100)
+	tr.Record(1, 0, 100)
+	tr.EndLoop()
+	tr.Record(1, 0, 25)
+	tr.Record(2, 25, 100)
+	if frac := tr.EndLoop(); frac != 0.25 {
+		t.Fatalf("frac = %v, want 0.25", frac)
+	}
+}
+
+func TestCovered(t *testing.T) {
+	tr := NewTracker(10)
+	tr.Record(0, 0, 5)
+	if tr.Covered() {
+		t.Fatal("Covered true with half the space recorded")
+	}
+	tr.Record(1, 5, 10)
+	if !tr.Covered() {
+		t.Fatal("Covered false with full space recorded")
+	}
+	tr.EndLoop()
+	if tr.Covered() {
+		t.Fatal("Covered true right after EndLoop")
+	}
+}
+
+func TestAssignmentSnapshot(t *testing.T) {
+	tr := NewTracker(4)
+	tr.Record(3, 0, 2)
+	tr.Record(7, 2, 4)
+	tr.EndLoop()
+	a := tr.Assignment()
+	want := []int32{3, 3, 7, 7}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("Assignment = %v, want %v", a, want)
+		}
+	}
+	// Mutating the copy must not affect the tracker.
+	a[0] = 99
+	if tr.Assignment()[0] != 3 {
+		t.Fatal("Assignment returned a live reference")
+	}
+}
+
+func TestRecordOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Record did not panic")
+		}
+	}()
+	NewTracker(5).Record(0, 3, 9)
+}
+
+func TestMeanSame(t *testing.T) {
+	var m MeanSame
+	if m.Mean() != 0 || m.Loops() != 0 {
+		t.Fatal("zero-value MeanSame not zero")
+	}
+	m.Add(1.0)
+	m.Add(0.5)
+	if m.Mean() != 0.75 || m.Loops() != 2 {
+		t.Fatalf("Mean = %v Loops = %d", m.Mean(), m.Loops())
+	}
+}
+
+// Property: the same-core fraction is always in [0, 1], and equals 1 when
+// consecutive loops share an arbitrary identical assignment.
+func TestQuickSelfAffinityIsOne(t *testing.T) {
+	prop := func(workers []uint8) bool {
+		if len(workers) == 0 {
+			return true
+		}
+		tr := NewTracker(len(workers))
+		for loop := 0; loop < 2; loop++ {
+			for i, w := range workers {
+				tr.Record(int(w), i, i+1)
+			}
+			frac := tr.EndLoop()
+			if loop == 1 && frac != 1.0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedSplitCoversExactly(t *testing.T) {
+	weight := func(i int) float64 { return float64(i%7) + 0.5 }
+	for _, tc := range []struct{ begin, end, n int }{
+		{0, 100, 4}, {0, 1, 4}, {5, 9, 2}, {0, 1000, 7}, {0, 0, 3},
+	} {
+		parts := WeightedSplit(Range{tc.begin, tc.end}, tc.n, weight)
+		if len(parts) != tc.n {
+			t.Fatalf("%v: %d parts", tc, len(parts))
+		}
+		pos := tc.begin
+		for i, p := range parts {
+			if p.Begin != pos || p.Len() < 0 {
+				t.Fatalf("%v: part %d = %v, pos %d", tc, i, p, pos)
+			}
+			pos = p.End
+		}
+		if pos != tc.end {
+			t.Fatalf("%v: parts end at %d", tc, pos)
+		}
+	}
+}
+
+func TestWeightedSplitBalancesTriangular(t *testing.T) {
+	// weight(i) = i: each of the 4 partitions should carry ~25% of the
+	// total weight, so boundaries fall at n/2, n*sqrt(2)/2, n*sqrt(3)/2.
+	const n = 10000
+	parts := WeightedSplit(Range{0, n}, 4, func(i int) float64 { return float64(i) })
+	total := float64(n) * float64(n-1) / 2
+	for k, p := range parts {
+		var w float64
+		for i := p.Begin; i < p.End; i++ {
+			w += float64(i)
+		}
+		frac := w / total
+		if math.Abs(frac-0.25) > 0.01 {
+			t.Errorf("partition %d carries %.3f of the weight, want ~0.25", k, frac)
+		}
+	}
+	// First boundary near n/sqrt(4) = n/2.
+	if b := parts[0].End; b < n/2-100 || b > n/2+100 {
+		t.Errorf("first boundary at %d, want ~%d", b, n/2)
+	}
+}
+
+func TestWeightedSplitNilAndZeroWeights(t *testing.T) {
+	equal := (Range{0, 100}).Split(4)
+	for name, w := range map[string]func(int) float64{
+		"nil":  nil,
+		"zero": func(int) float64 { return 0 },
+	} {
+		parts := WeightedSplit(Range{0, 100}, 4, w)
+		for i := range equal {
+			if parts[i] != equal[i] {
+				t.Fatalf("%s weights: partition %d = %v, want equal split %v", name, i, parts[i], equal[i])
+			}
+		}
+	}
+}
+
+func TestWeightedSplitNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative weight did not panic")
+		}
+	}()
+	WeightedSplit(Range{0, 10}, 2, func(i int) float64 { return -1 })
+}
+
+func TestNewPartitionSetParts(t *testing.T) {
+	parts := WeightedSplit(Range{0, 1000}, 8, func(i int) float64 { return float64(i + 1) })
+	ps := NewPartitionSetParts(parts)
+	if ps.R() != 8 {
+		t.Fatalf("R = %d", ps.R())
+	}
+	total := 0
+	for r := 0; r < 8; r++ {
+		total += ps.Partition(r).Len()
+	}
+	if total != 1000 {
+		t.Fatalf("partitions cover %d iterations", total)
+	}
+	// Claiming still works over custom partitions.
+	c := NewClaimer(ps, 3)
+	count := 0
+	for {
+		if _, ok := c.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if count != 8 || !ps.AllClaimed() {
+		t.Fatalf("claimed %d partitions", count)
+	}
+}
+
+func TestNewPartitionSetPartsValidation(t *testing.T) {
+	for name, parts := range map[string][]Range{
+		"non-power-of-two": {{0, 1}, {1, 2}, {2, 3}},
+		"gap":              {{0, 1}, {2, 3}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s partitions did not panic", name)
+				}
+			}()
+			NewPartitionSetParts(parts)
+		}()
+	}
+}
+
+// Property: weighted partitions never differ from the ideal quantile by
+// more than the largest single weight (the walk overshoots by at most one
+// iteration's weight).
+func TestQuickWeightedSplitQuantiles(t *testing.T) {
+	prop := func(seed uint16, nRaw uint8) bool {
+		n := int(nRaw)%200 + 8
+		weight := func(i int) float64 {
+			x := uint32(i+1) * (uint32(seed) + 3)
+			return float64(x%97) + 1
+		}
+		total := 0.0
+		maxW := 0.0
+		for i := 0; i < n; i++ {
+			total += weight(i)
+			if weight(i) > maxW {
+				maxW = weight(i)
+			}
+		}
+		parts := WeightedSplit(Range{0, n}, 4, weight)
+		acc := 0.0
+		for k := 0; k < 3; k++ {
+			for i := parts[k].Begin; i < parts[k].End; i++ {
+				acc += weight(i)
+			}
+			target := total * float64(k+1) / 4
+			if acc < target-1e-9 || acc > target+maxW+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

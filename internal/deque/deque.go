@@ -1,0 +1,132 @@
+// Package deque implements the Chase–Lev lock-free work-stealing deque
+// (Chase & Lev, SPAA 2005, with the memory-order fixes of Lê et al.,
+// PPoPP 2013, expressed through Go's sync/atomic, which provides
+// sequentially consistent semantics).
+//
+// The owner worker pushes and pops tasks at the bottom in LIFO order;
+// thieves steal from the top in FIFO order. This is the queue discipline
+// the paper's Cilk substrate relies on: the oldest (topmost) frame is the
+// one with the most work behind it, so steals grab big pieces and the
+// owner keeps its cache-hot recent work.
+package deque
+
+import "sync/atomic"
+
+// Task is the unit of schedulable work held by a deque. It is defined here
+// (rather than in the scheduler) so the deque does not depend on scheduler
+// internals; the scheduler stores *its* task type behind this interface.
+type Task interface{}
+
+const (
+	// minCapacity is the initial ring capacity. Must be a power of two.
+	minCapacity = 64
+)
+
+// ring is a fixed-capacity circular array. Grown copies share no state with
+// their predecessor; readers that hold an old ring still read valid slots
+// for indexes they were entitled to.
+type ring struct {
+	buf  []atomic.Value
+	mask int64
+}
+
+func newRing(capacity int64) *ring {
+	return &ring{buf: make([]atomic.Value, capacity), mask: capacity - 1}
+}
+
+func (r *ring) get(i int64) Task    { return r.buf[i&r.mask].Load() }
+func (r *ring) put(i int64, t Task) { r.buf[i&r.mask].Store(t) }
+func (r *ring) capacity() int64     { return int64(len(r.buf)) }
+
+// grow returns a ring of twice the capacity holding elements [top, bottom).
+func (r *ring) grow(top, bottom int64) *ring {
+	nr := newRing(r.capacity() * 2)
+	for i := top; i < bottom; i++ {
+		nr.put(i, r.get(i))
+	}
+	return nr
+}
+
+// Deque is a Chase–Lev work-stealing deque. The zero value is not usable;
+// call New. PushBottom and PopBottom may be called only by the owning
+// worker; Steal may be called by any goroutine.
+type Deque struct {
+	top    atomic.Int64 // next slot to steal from
+	bottom atomic.Int64 // next slot to push to (owner-private except for reads)
+	active atomic.Pointer[ring]
+}
+
+// New returns an empty deque.
+func New() *Deque {
+	d := &Deque{}
+	d.active.Store(newRing(minCapacity))
+	return d
+}
+
+// PushBottom adds t at the bottom of the deque. Owner only.
+func (d *Deque) PushBottom(t Task) {
+	b := d.bottom.Load()
+	tp := d.top.Load()
+	r := d.active.Load()
+	if b-tp >= r.capacity() {
+		r = r.grow(tp, b)
+		d.active.Store(r)
+	}
+	r.put(b, t)
+	d.bottom.Store(b + 1)
+}
+
+// PopBottom removes and returns the most recently pushed task, or
+// (nil, false) if the deque is empty. Owner only.
+func (d *Deque) PopBottom() (Task, bool) {
+	b := d.bottom.Load() - 1
+	r := d.active.Load()
+	d.bottom.Store(b)
+	tp := d.top.Load()
+	if b < tp {
+		// Deque was empty; restore the canonical empty state.
+		d.bottom.Store(tp)
+		return nil, false
+	}
+	t := r.get(b)
+	if b > tp {
+		return t, true
+	}
+	// Single element left: race with thieves via CAS on top.
+	won := d.top.CompareAndSwap(tp, tp+1)
+	d.bottom.Store(tp + 1)
+	if !won {
+		return nil, false
+	}
+	return t, true
+}
+
+// Steal removes and returns the oldest task, or (nil, false) if the deque
+// is empty or the steal lost a race. Callable from any goroutine.
+func (d *Deque) Steal() (Task, bool) {
+	tp := d.top.Load()
+	b := d.bottom.Load()
+	if tp >= b {
+		return nil, false
+	}
+	r := d.active.Load()
+	t := r.get(tp)
+	if !d.top.CompareAndSwap(tp, tp+1) {
+		return nil, false
+	}
+	return t, true
+}
+
+// Size returns a linearizable-at-some-point estimate of the number of
+// queued tasks. Useful for monitoring and tests, not for synchronization.
+func (d *Deque) Size() int {
+	b := d.bottom.Load()
+	tp := d.top.Load()
+	if b < tp {
+		return 0
+	}
+	return int(b - tp)
+}
+
+// Empty reports whether the deque appeared empty at some recent moment.
+func (d *Deque) Empty() bool { return d.Size() == 0 }

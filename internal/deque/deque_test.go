@@ -1,0 +1,254 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyPop(t *testing.T) {
+	d := New()
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("PopBottom on empty deque returned a task")
+	}
+	if _, ok := d.Steal(); ok {
+		t.Fatal("Steal on empty deque returned a task")
+	}
+	if !d.Empty() || d.Size() != 0 {
+		t.Fatal("empty deque reports nonzero size")
+	}
+}
+
+func TestLIFOOwner(t *testing.T) {
+	d := New()
+	for i := 0; i < 10; i++ {
+		d.PushBottom(i)
+	}
+	for i := 9; i >= 0; i-- {
+		v, ok := d.PopBottom()
+		if !ok || v.(int) != i {
+			t.Fatalf("PopBottom = %v,%v; want %d", v, ok, i)
+		}
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("deque not empty after draining")
+	}
+}
+
+func TestFIFOThief(t *testing.T) {
+	d := New()
+	for i := 0; i < 10; i++ {
+		d.PushBottom(i)
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := d.Steal()
+		if !ok || v.(int) != i {
+			t.Fatalf("Steal = %v,%v; want %d", v, ok, i)
+		}
+	}
+	if _, ok := d.Steal(); ok {
+		t.Fatal("deque not empty after stealing all")
+	}
+}
+
+func TestMixedEnds(t *testing.T) {
+	d := New()
+	for i := 0; i < 6; i++ {
+		d.PushBottom(i)
+	}
+	// Steal the two oldest, pop the two newest.
+	if v, _ := d.Steal(); v.(int) != 0 {
+		t.Fatalf("first steal = %v", v)
+	}
+	if v, _ := d.Steal(); v.(int) != 1 {
+		t.Fatalf("second steal = %v", v)
+	}
+	if v, _ := d.PopBottom(); v.(int) != 5 {
+		t.Fatalf("first pop = %v", v)
+	}
+	if v, _ := d.PopBottom(); v.(int) != 4 {
+		t.Fatalf("second pop = %v", v)
+	}
+	if d.Size() != 2 {
+		t.Fatalf("size = %d, want 2", d.Size())
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	d := New()
+	const n = 10 * minCapacity
+	for i := 0; i < n; i++ {
+		d.PushBottom(i)
+	}
+	if d.Size() != n {
+		t.Fatalf("size = %d, want %d", d.Size(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := d.Steal()
+		if !ok || v.(int) != i {
+			t.Fatalf("steal %d = %v,%v after growth", i, v, ok)
+		}
+	}
+}
+
+func TestGrowthPreservesAfterWrap(t *testing.T) {
+	// Force top/bottom well past the initial capacity, with interleaved
+	// pops, so the ring indexes wrap before growing.
+	d := New()
+	next := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < minCapacity-1; i++ {
+			d.PushBottom(next)
+			next++
+		}
+		for i := 0; i < minCapacity/2; i++ {
+			if _, ok := d.Steal(); !ok {
+				t.Fatal("unexpected empty deque")
+			}
+		}
+		for i := 0; i < minCapacity/2-1; i++ {
+			if _, ok := d.PopBottom(); !ok {
+				t.Fatal("unexpected empty deque")
+			}
+		}
+	}
+	// Drain and check all remaining values are distinct and were pushed.
+	seen := map[int]bool{}
+	for {
+		v, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		i := v.(int)
+		if i < 0 || i >= next || seen[i] {
+			t.Fatalf("duplicate or alien value %d", i)
+		}
+		seen[i] = true
+	}
+}
+
+// TestConcurrentStealExactlyOnce pushes n tasks and lets several thieves
+// race the owner for them; every task must be received exactly once.
+func TestConcurrentStealExactlyOnce(t *testing.T) {
+	const n = 100000
+	const thieves = 4
+	d := New()
+	var got [n]atomic.Int32
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+
+	for th := 0; th < thieves; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if v, ok := d.Steal(); ok {
+					got[v.(int)].Add(1)
+				}
+			}
+			// Final drain so nothing is stranded.
+			for {
+				v, ok := d.Steal()
+				if !ok {
+					return
+				}
+				got[v.(int)].Add(1)
+			}
+		}()
+	}
+
+	for i := 0; i < n; i++ {
+		d.PushBottom(i)
+		if i%3 == 0 {
+			if v, ok := d.PopBottom(); ok {
+				got[v.(int)].Add(1)
+			}
+		}
+	}
+	for {
+		v, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		got[v.(int)].Add(1)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if c := got[i].Load(); c != 1 {
+			t.Fatalf("task %d received %d times", i, c)
+		}
+	}
+}
+
+// TestQuickSequentialModel checks the deque against a straightforward
+// slice model under random single-threaded operation sequences.
+func TestQuickSequentialModel(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		d := New()
+		var model []int
+		next := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // push
+				d.PushBottom(next)
+				model = append(model, next)
+				next++
+			case 1: // pop bottom
+				v, ok := d.PopBottom()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				want := model[len(model)-1]
+				model = model[:len(model)-1]
+				if !ok || v.(int) != want {
+					return false
+				}
+			case 2: // steal
+				v, ok := d.Steal()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				want := model[0]
+				model = model[1:]
+				if !ok || v.(int) != want {
+					return false
+				}
+			}
+		}
+		return d.Size() == len(model)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	d := New()
+	task := struct{}{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PushBottom(task)
+		d.PopBottom()
+	}
+}
+
+func BenchmarkStealUncontended(b *testing.B) {
+	d := New()
+	task := struct{}{}
+	for i := 0; i < b.N; i++ {
+		d.PushBottom(task)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Steal()
+	}
+}

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hybridloop/internal/loop"
+	"hybridloop/internal/topology"
+)
+
+// CSV emitters: machine-readable data points for external analysis
+// (pandas, gnuplot). One row per (strategy, P) or (strategy, level),
+// matching the rendered tables.
+
+// CSV returns the scalability experiment's data points.
+func (r ScalResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("workload,strategy,p,tp_mean_cycles,tp_relstd,ts_cycles,t1_mean_cycles,work_efficiency,scalability\n")
+	for _, s := range append(append([]loop.Strategy{}, DefaultStrategies...), FF) {
+		if _, ok := r.T1[s]; !ok {
+			continue
+		}
+		for _, p := range r.Ps {
+			st := r.TP[s][p]
+			fmt.Fprintf(&b, "%s,%s,%d,%.6g,%.4f,%.6g,%.6g,%.4f,%.4f\n",
+				csvEscape(r.Workload), ffName(s), p,
+				st.Mean, st.RelStd(), r.Ts, r.T1[s].Mean,
+				r.WorkEfficiency(s), r.ScalabilityAt(s, p))
+		}
+	}
+	return b.String()
+}
+
+// CSV returns the affinity experiment's data points.
+func (r AffinityResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("workload,strategy,p,same_core_mean,same_core_relstd\n")
+	for _, wn := range r.Workloads {
+		for _, s := range DefaultStrategies {
+			st, ok := r.Fracs[wn][s]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "%s,%s,%d,%.6f,%.4f\n",
+				csvEscape(wn), s.String(), r.P, st.Mean, st.RelStd())
+		}
+	}
+	return b.String()
+}
+
+// CSV returns the memory-counter experiment's data points.
+func (r MemCountsResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("workload,strategy,p,level,accesses,inferred_latency_no_l1\n")
+	for _, name := range r.Names {
+		for _, s := range []loop.Strategy{loop.Hybrid, loop.DynamicStealing, loop.Static} {
+			c, ok := r.Counts[name][s]
+			if !ok {
+				continue
+			}
+			inferred := c.InferredLatency(r.Lat, false)
+			for l := topology.Level(0); l < topology.NumLevels; l++ {
+				fmt.Fprintf(&b, "%s,%s,%d,%s,%d,%.6g\n",
+					csvEscape(name), s.String(), r.P, l.String(), c[l], inferred)
+			}
+		}
+	}
+	return b.String()
+}
+
+// csvEscape quotes fields containing commas or quotes.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, `",`+"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// WriteCSV writes data into dir/name.csv with the same name sanitization
+// as WriteSVG.
+func WriteCSV(dir, name, data string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	safe := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			safe = append(safe, r)
+		default:
+			safe = append(safe, '_')
+		}
+	}
+	return os.WriteFile(filepath.Join(dir, string(safe)+".csv"), []byte(data), 0o644)
+}

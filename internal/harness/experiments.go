@@ -1,0 +1,382 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"hybridloop/internal/loop"
+	"hybridloop/internal/memmodel"
+	"hybridloop/internal/sim"
+	"hybridloop/internal/topology"
+)
+
+// DefaultPs is the paper's core sweep.
+var DefaultPs = []int{1, 2, 4, 8, 16, 32}
+
+// DefaultStrategies is the paper's comparison set in display order.
+var DefaultStrategies = []loop.Strategy{
+	loop.Hybrid, loop.DynamicStealing, loop.Static, loop.DynamicSharing, loop.Guided,
+}
+
+// FF is the pseudo-strategy key for the FastFlow baseline. The paper ran
+// FastFlow with both of its schemes (static and dynamic partitioning with
+// work sharing) and displayed only the better-performing one per plot,
+// noting that "its performance tends to lag behind other platforms". The
+// harness models it the same way: both schemes run on a machine whose
+// scheduler costs are scaled up (FastFlow's node-based runtime carries
+// more per-loop and per-chunk machinery than OpenMP's), and the better
+// result is reported as "ff".
+const FF loop.Strategy = -1
+
+// ffMachine returns the machine with FastFlow-weight scheduler costs:
+// moderate extra cost per chunk and queue access, and a large per-loop
+// cost (farm spin-up/teardown) — which is what makes ff lag most on small
+// working sets, exactly the paper's observation ("it is a little
+// surprising that the performance of ff also lags behind in the smaller
+// working set size, despite the fact that it uses static partitioning").
+func ffMachine(m topology.Machine) topology.Machine {
+	m.Cost.SharedQueueAccess *= 3
+	m.Cost.SharedQueueSerial *= 3
+	m.Cost.ChunkDispatch *= 3
+	m.Cost.LoopStartup *= 25
+	m.Cost.Barrier *= 10
+	return m
+}
+
+// ffName renders strategy names including the FF pseudo-strategy.
+func ffName(s loop.Strategy) string {
+	if s == FF {
+		return "ff"
+	}
+	return s.String()
+}
+
+// Scalability is a generic scalability experiment over one workload
+// (Figures 1 and 3): it measures Ts once, then T1 and TP per strategy,
+// averaging over seeds.
+type Scalability struct {
+	Machine    topology.Machine
+	Workload   sim.Workload
+	Ps         []int
+	Strategies []loop.Strategy
+	Seeds      []uint64
+	Chunk      int // 0 = the paper's default
+	// IncludeFF adds the FastFlow baseline series (see FF).
+	IncludeFF bool
+}
+
+// ScalResult holds the outcome of a Scalability experiment.
+type ScalResult struct {
+	Workload string
+	Ts       float64
+	Ps       []int
+	// T1 and TP are indexed by strategy (and core count for TP).
+	T1 map[loop.Strategy]Stat
+	TP map[loop.Strategy]map[int]Stat
+}
+
+// WorkEfficiency returns Ts/T1 for the strategy (the paper's first column).
+func (r ScalResult) WorkEfficiency(s loop.Strategy) float64 {
+	t1 := r.T1[s].Mean
+	if t1 == 0 {
+		return 0
+	}
+	return r.Ts / t1
+}
+
+// ScalabilityAt returns T1/TP for the strategy at P cores (the paper's
+// scalability axis).
+func (r ScalResult) ScalabilityAt(s loop.Strategy, p int) float64 {
+	tp := r.TP[s][p].Mean
+	if tp == 0 {
+		return 0
+	}
+	return r.T1[s].Mean / tp
+}
+
+func (e Scalability) seeds() []uint64 {
+	if len(e.Seeds) > 0 {
+		return e.Seeds
+	}
+	return []uint64{1, 2, 3, 4, 5}
+}
+
+func (e Scalability) ps() []int {
+	if len(e.Ps) > 0 {
+		return e.Ps
+	}
+	return DefaultPs
+}
+
+func (e Scalability) strategies() []loop.Strategy {
+	if len(e.Strategies) > 0 {
+		return e.Strategies
+	}
+	return DefaultStrategies
+}
+
+// Run executes the experiment.
+func (e Scalability) Run() ScalResult {
+	res := ScalResult{
+		Workload: e.Workload.Name,
+		Ts:       sim.RunSequential(e.Machine, e.Workload),
+		Ps:       e.ps(),
+		T1:       map[loop.Strategy]Stat{},
+		TP:       map[loop.Strategy]map[int]Stat{},
+	}
+	for _, s := range e.strategies() {
+		res.TP[s] = map[int]Stat{}
+		for _, p := range e.ps() {
+			var samples []float64
+			for _, seed := range e.seeds() {
+				r := sim.Run(sim.Config{
+					Machine: e.Machine, P: p, Strategy: s, Chunk: e.Chunk, Seed: seed,
+				}, e.Workload)
+				samples = append(samples, r.Cycles)
+			}
+			st := NewStat(samples)
+			res.TP[s][p] = st
+			if p == 1 {
+				res.T1[s] = st
+			}
+		}
+		if _, ok := res.T1[s]; !ok {
+			// P=1 not in the sweep: measure it anyway; T1 anchors both
+			// work efficiency and the scalability ratio.
+			var samples []float64
+			for _, seed := range e.seeds() {
+				r := sim.Run(sim.Config{
+					Machine: e.Machine, P: 1, Strategy: s, Chunk: e.Chunk, Seed: seed,
+				}, e.Workload)
+				samples = append(samples, r.Cycles)
+			}
+			res.T1[s] = NewStat(samples)
+		}
+	}
+	if e.IncludeFF {
+		e.runFF(&res)
+	}
+	return res
+}
+
+// runFF measures the FastFlow baseline: both of its schemes on the
+// FF-cost machine, reporting the better per core count.
+func (e Scalability) runFF(res *ScalResult) {
+	ffm := ffMachine(e.Machine)
+	res.TP[FF] = map[int]Stat{}
+	ps := e.ps()
+	if !containsInt(ps, 1) {
+		ps = append([]int{1}, ps...)
+	}
+	for _, p := range ps {
+		var samples []float64
+		for _, seed := range e.seeds() {
+			best := 0.0
+			for _, s := range []loop.Strategy{loop.Static, loop.DynamicSharing} {
+				r := sim.Run(sim.Config{
+					Machine: ffm, P: p, Strategy: s, Chunk: e.Chunk, Seed: seed,
+				}, e.Workload)
+				if best == 0 || r.Cycles < best {
+					best = r.Cycles
+				}
+			}
+			samples = append(samples, best)
+		}
+		st := NewStat(samples)
+		res.TP[FF][p] = st
+		if p == 1 {
+			res.T1[FF] = st
+		}
+	}
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Render writes the experiment as the paper presents it: a work-efficiency
+// column followed by a scalability series per strategy.
+func (r ScalResult) Render(w io.Writer) {
+	eff := Table{
+		Title:  fmt.Sprintf("%s — work efficiency (Ts/T1)", r.Workload),
+		Header: []string{"strategy", "Ts/T1", "T1 (cycles)"},
+	}
+	var series []Series
+	for _, s := range append(append([]loop.Strategy{}, DefaultStrategies...), FF) {
+		if _, ok := r.T1[s]; !ok {
+			continue
+		}
+		eff.AddRow(ffName(s), fmt.Sprintf("%.3f", r.WorkEfficiency(s)), fmt.Sprintf("%.3g", r.T1[s].Mean))
+		sr := Series{Name: ffName(s), X: r.Ps}
+		for _, p := range r.Ps {
+			sr.Y = append(sr.Y, r.ScalabilityAt(s, p))
+		}
+		series = append(series, sr)
+	}
+	eff.Render(w)
+	fmt.Fprintln(w)
+	RenderSeries(w, fmt.Sprintf("%s — scalability (T1/TP)", r.Workload), "T1/TP", series)
+}
+
+// Affinity is the Figure 2 experiment: same-core percentages at full
+// machine width for each strategy, per workload.
+type Affinity struct {
+	Machine    topology.Machine
+	Workloads  []sim.Workload
+	Strategies []loop.Strategy
+	P          int
+	Seeds      []uint64
+}
+
+// AffinityResult maps workload name -> strategy -> mean same-core
+// fraction.
+type AffinityResult struct {
+	P         int
+	Workloads []string
+	Fracs     map[string]map[loop.Strategy]Stat
+}
+
+// Run executes the affinity experiment.
+func (e Affinity) Run() AffinityResult {
+	p := e.P
+	if p == 0 {
+		p = e.Machine.P()
+	}
+	strategies := e.Strategies
+	if len(strategies) == 0 {
+		strategies = DefaultStrategies
+	}
+	seeds := e.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1, 2, 3}
+	}
+	res := AffinityResult{P: p, Fracs: map[string]map[loop.Strategy]Stat{}}
+	for _, w := range e.Workloads {
+		res.Workloads = append(res.Workloads, w.Name)
+		byStrat := map[loop.Strategy]Stat{}
+		for _, s := range strategies {
+			var samples []float64
+			for _, seed := range seeds {
+				r := sim.Run(sim.Config{Machine: e.Machine, P: p, Strategy: s, Seed: seed}, w)
+				samples = append(samples, r.Affinity)
+			}
+			byStrat[s] = NewStat(samples)
+		}
+		res.Fracs[w.Name] = byStrat
+	}
+	return res
+}
+
+// Render writes the Figure 2 table: strategies as rows, workloads as
+// columns, cells in percent.
+func (r AffinityResult) Render(w io.Writer) {
+	t := Table{
+		Title:  fmt.Sprintf("Same-core iteration percentage across consecutive loops (P=%d)", r.P),
+		Header: append([]string{"scheme"}, r.Workloads...),
+	}
+	for _, s := range DefaultStrategies {
+		row := []string{s.String()}
+		any := false
+		for _, wn := range r.Workloads {
+			if st, ok := r.Fracs[wn][s]; ok {
+				row = append(row, fmt.Sprintf("%.2f%%", 100*st.Mean))
+				any = true
+			} else {
+				row = append(row, "-")
+			}
+		}
+		if any {
+			t.AddRow(row...)
+		}
+	}
+	t.Render(w)
+}
+
+// MemCounts is the Figure 4 experiment: per-level access counts and
+// inferred latency at full machine width.
+type MemCounts struct {
+	Machine    topology.Machine
+	Workloads  []sim.Workload
+	Strategies []loop.Strategy
+	P          int
+	Seed       uint64
+}
+
+// MemCountsResult maps workload -> strategy -> counts.
+type MemCountsResult struct {
+	P      int
+	Lat    topology.Latencies
+	Names  []string
+	Counts map[string]map[loop.Strategy]memmodel.Counts
+}
+
+// Run executes the counters experiment (single seed: counts are exact in
+// simulation, unlike the paper's buggy hardware counters).
+func (e MemCounts) Run() MemCountsResult {
+	p := e.P
+	if p == 0 {
+		p = e.Machine.P()
+	}
+	strategies := e.Strategies
+	if len(strategies) == 0 {
+		strategies = []loop.Strategy{loop.Hybrid, loop.DynamicStealing, loop.Static}
+	}
+	res := MemCountsResult{P: p, Lat: e.Machine.Lat, Counts: map[string]map[loop.Strategy]memmodel.Counts{}}
+	for _, w := range e.Workloads {
+		res.Names = append(res.Names, w.Name)
+		byStrat := map[loop.Strategy]memmodel.Counts{}
+		for _, s := range strategies {
+			r := sim.Run(sim.Config{Machine: e.Machine, P: p, Strategy: s, Seed: e.Seed + 1}, w)
+			byStrat[s] = r.Counts
+		}
+		res.Counts[w.Name] = byStrat
+	}
+	return res
+}
+
+// Render writes the Figure 4 table: one row per (strategy, workload), the
+// six per-level counts, and the inferred latency without L1.
+func (r MemCountsResult) Render(w io.Writer) {
+	t := Table{
+		Title: fmt.Sprintf("Memory accesses serviced per hierarchy level (P=%d)", r.P),
+		Header: []string{"bench", "L1", "L2", "local L3", "local DRAM",
+			"remote L3", "remote DRAM", "inferred latency (no L1)"},
+	}
+	for _, name := range r.Names {
+		for _, s := range []loop.Strategy{loop.Hybrid, loop.DynamicStealing, loop.Static} {
+			c, ok := r.Counts[name][s]
+			if !ok {
+				continue
+			}
+			t.AddRow(
+				fmt.Sprintf("%s %s", s.String(), name),
+				fmt.Sprintf("%.2e", float64(c[topology.L1])),
+				fmt.Sprintf("%.2e", float64(c[topology.L2])),
+				fmt.Sprintf("%.2e", float64(c[topology.LocalL3])),
+				fmt.Sprintf("%.2e", float64(c[topology.LocalDRAM])),
+				fmt.Sprintf("%.2e", float64(c[topology.RemoteL3])),
+				fmt.Sprintf("%.2e", float64(c[topology.RemoteDRAM])),
+				fmt.Sprintf("%.2e", c.InferredLatency(r.Lat, false)),
+			)
+		}
+	}
+	t.Render(w)
+}
+
+// RenderLatencies writes the Figure 5 table: the machine's per-level
+// access latencies (the simulator's cost model).
+func RenderLatencies(w io.Writer, m topology.Machine) {
+	t := Table{
+		Title:  "Access latency per memory-hierarchy level (cycles) — Figure 5 / simulator cost model",
+		Header: []string{"serviced by", "latency"},
+	}
+	for l := topology.Level(0); l < topology.NumLevels; l++ {
+		t.AddRow(l.String(), fmt.Sprintf("%.1f", m.Lat[l]))
+	}
+	t.Render(w)
+}

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"fmt"
+	"html"
+	"os"
+	"strings"
+)
+
+// Report assembles experiment output — preformatted tables and SVG
+// figures — into one self-contained HTML file, the artifact produced by
+// cmd/paperrepro -html.
+type Report struct {
+	Title    string
+	sections []reportSection
+}
+
+type reportSection struct {
+	title string
+	pre   string // preformatted text (escaped on render)
+	svg   string // inline SVG (trusted, produced by internal/plot)
+}
+
+// AddText appends a preformatted text section (tables, logs).
+func (r *Report) AddText(title, text string) {
+	r.sections = append(r.sections, reportSection{title: title, pre: text})
+}
+
+// AddSVG appends a figure section with an inline SVG chart.
+func (r *Report) AddSVG(title, svg string) {
+	r.sections = append(r.sections, reportSection{title: title, svg: svg})
+}
+
+// Sections returns the number of sections added.
+func (r *Report) Sections() int { return len(r.sections) }
+
+// HTML renders the report.
+func (r *Report) HTML() string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(r.Title))
+	b.WriteString(`<style>
+body { font-family: sans-serif; max-width: 1000px; margin: 24px auto; color: #222; }
+h1 { border-bottom: 2px solid #d62728; padding-bottom: 8px; }
+h2 { margin-top: 36px; color: #444; }
+pre { background: #f6f6f6; border: 1px solid #ddd; border-radius: 4px;
+      padding: 12px; overflow-x: auto; font-size: 12px; line-height: 1.4; }
+figure { margin: 12px 0; }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(r.Title))
+	for _, s := range r.sections {
+		if s.title != "" {
+			fmt.Fprintf(&b, "<h2>%s</h2>\n", html.EscapeString(s.title))
+		}
+		if s.pre != "" {
+			fmt.Fprintf(&b, "<pre>%s</pre>\n", html.EscapeString(s.pre))
+		}
+		if s.svg != "" {
+			fmt.Fprintf(&b, "<figure>%s</figure>\n", s.svg)
+		}
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+// WriteFile writes the report to path.
+func (r *Report) WriteFile(path string) error {
+	return os.WriteFile(path, []byte(r.HTML()), 0o644)
+}

@@ -1,0 +1,57 @@
+// Package harness runs the paper's experiments on the simulator: it
+// sweeps strategies, core counts, and seeds, aggregates repetitions into
+// means and standard deviations, and renders the same tables and series
+// the paper's figures report (work efficiency Ts/T1, scalability T1/TP,
+// affinity percentages, and per-level memory-access counts).
+package harness
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stat is a mean with its sample standard deviation.
+type Stat struct {
+	Mean float64
+	Std  float64
+	N    int
+}
+
+// NewStat aggregates the samples.
+func NewStat(samples []float64) Stat {
+	n := len(samples)
+	if n == 0 {
+		return Stat{}
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, s := range samples {
+		d := s - mean
+		ss += d * d
+	}
+	std := 0.0
+	if n > 1 {
+		std = math.Sqrt(ss / float64(n-1))
+	}
+	return Stat{Mean: mean, Std: std, N: n}
+}
+
+// RelStd returns the standard deviation as a fraction of the mean (the
+// paper reports "standard deviation less than 4%").
+func (s Stat) RelStd() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.Std / s.Mean
+}
+
+func (s Stat) String() string {
+	if s.N <= 1 {
+		return fmt.Sprintf("%.3g", s.Mean)
+	}
+	return fmt.Sprintf("%.3g±%.1f%%", s.Mean, 100*s.RelStd())
+}

@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple text table with a title, a header row, and body rows.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a body row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintf(w, "  %s\n", strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one named line of a scalability plot: Y value per X (cores).
+type Series struct {
+	Name string
+	X    []int
+	Y    []float64
+}
+
+// RenderSeries writes a set of series as an aligned text matrix (one row
+// per series, one column per X value) followed by an ASCII chart.
+func RenderSeries(w io.Writer, title, yLabel string, series []Series) {
+	if len(series) == 0 {
+		return
+	}
+	t := Table{Title: title, Header: []string{yLabel + " \\ P"}}
+	for _, x := range series[0].X {
+		t.Header = append(t.Header, fmt.Sprintf("%d", x))
+	}
+	for _, s := range series {
+		row := []string{s.Name}
+		for _, y := range s.Y {
+			row = append(row, fmt.Sprintf("%.2f", y))
+		}
+		t.AddRow(row...)
+	}
+	t.Render(w)
+	renderChart(w, series)
+}
+
+// renderChart draws a crude ASCII scatter of the series (rows = value
+// bins, columns = X positions), enough to eyeball curve shapes in a
+// terminal.
+func renderChart(w io.Writer, series []Series) {
+	const height = 12
+	var max float64
+	for _, s := range series {
+		for _, y := range s.Y {
+			if y > max {
+				max = y
+			}
+		}
+	}
+	if max <= 0 {
+		return
+	}
+	marks := "hvsdgf" // hybrid, vanilla, static, dynamic, guided, ff
+	grid := make([][]byte, height)
+	cols := len(series[0].X)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols*4))
+	}
+	for si, s := range series {
+		mark := byte('0' + si)
+		if si < len(marks) {
+			mark = marks[si]
+		}
+		for xi, y := range s.Y {
+			row := int((1 - y/max) * float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			col := xi*4 + 2
+			if grid[row][col] == ' ' {
+				grid[row][col] = mark
+			} else {
+				grid[row][col] = '*' // overlap
+			}
+		}
+	}
+	fmt.Fprintf(w, "  %.2f\n", max)
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", cols*4))
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		mark := byte('0' + si)
+		if si < len(marks) {
+			mark = marks[si]
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", mark, s.Name))
+	}
+	fmt.Fprintf(w, "  %s\n", strings.Join(legend, " "))
+}

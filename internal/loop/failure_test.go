@@ -1,0 +1,122 @@
+package loop
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"hybridloop/internal/rng"
+	"hybridloop/internal/sched"
+)
+
+// TestFailureInjectionRandomPanics injects panics at random iterations of
+// random strategies and verifies three properties every time: the panic
+// surfaces to the caller as a *sched.TaskPanicError (never kills a worker
+// goroutine), the pool remains fully functional afterwards, and runs
+// without injected panics still execute every iteration exactly once.
+func TestFailureInjectionRandomPanics(t *testing.T) {
+	gen := rng.NewXoshiro256(777)
+	pool := sched.NewPool(4, 42)
+	defer pool.Close()
+
+	runOnce := func(strat Strategy, n, panicAt int) (recovered any) {
+		defer func() { recovered = recover() }()
+		For(pool, 0, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if i == panicAt {
+					panic(fmt.Sprintf("injected@%d", i))
+				}
+			}
+		}, Options{Strategy: strat, Chunk: 1 + gen.Intn(32)})
+		return nil
+	}
+
+	for round := 0; round < 60; round++ {
+		strat := allStrategies[gen.Intn(len(allStrategies))]
+		n := 100 + gen.Intn(5000)
+		inject := gen.Intn(2) == 0
+		panicAt := -1
+		if inject {
+			panicAt = gen.Intn(n)
+		}
+		rec := runOnce(strat, n, panicAt)
+		if inject && rec == nil {
+			t.Fatalf("round %d (%v): injected panic did not surface", round, strat)
+		}
+		if !inject && rec != nil {
+			t.Fatalf("round %d (%v): unexpected panic %v", round, strat, rec)
+		}
+		if rec != nil {
+			if _, ok := rec.(*sched.TaskPanicError); !ok {
+				t.Fatalf("round %d (%v): panic type %T, want *TaskPanicError", round, strat, rec)
+			}
+		}
+		// The pool must still work perfectly right after.
+		var count atomic.Int64
+		For(pool, 0, 1000, func(lo, hi int) {
+			count.Add(int64(hi - lo))
+		}, Options{Strategy: strat})
+		if count.Load() != 1000 {
+			t.Fatalf("round %d (%v): pool degraded after panic — %d iterations", round, strat, count.Load())
+		}
+	}
+}
+
+// TestFailureInjectionNestedPanic: a panic in an inner nested loop must
+// surface through the outer loop to the caller, and the hybrid loop
+// registry must not be left holding dead loops.
+func TestFailureInjectionNestedPanic(t *testing.T) {
+	pool := sched.NewPool(4, 43)
+	defer pool.Close()
+	caught := false
+	func() {
+		defer func() { caught = recover() != nil }()
+		pool.Run(func(w *sched.Worker) {
+			WorkerForW(w, 0, 8, func(cw *sched.Worker, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					WorkerFor(cw, 0, 50, func(l2, h2 int) {
+						if l2 >= 25 {
+							panic("inner boom")
+						}
+					}, Options{Strategy: Hybrid, Chunk: 5})
+				}
+			}, Options{Strategy: Hybrid, Chunk: 1})
+		})
+	}()
+	if !caught {
+		t.Fatal("nested panic did not surface")
+	}
+	// Subsequent hybrid loops must work (registry not corrupted).
+	var count atomic.Int64
+	For(pool, 0, 2000, func(lo, hi int) { count.Add(int64(hi - lo)) },
+		Options{Strategy: Hybrid})
+	if count.Load() != 2000 {
+		t.Fatalf("hybrid loop after nested panic: %d iterations", count.Load())
+	}
+}
+
+// TestPanicInRecorder: even instrumentation panics (a Recorder blowing
+// up) must not kill workers.
+type bombRecorder struct{ calls atomic.Int64 }
+
+func (b *bombRecorder) Record(worker, begin, end int) {
+	if b.calls.Add(1) == 3 {
+		panic("recorder boom")
+	}
+}
+
+func TestPanicInRecorder(t *testing.T) {
+	pool := sched.NewPool(2, 44)
+	defer pool.Close()
+	func() {
+		defer func() { recover() }()
+		For(pool, 0, 1000, func(lo, hi int) {}, Options{
+			Strategy: Hybrid, Chunk: 10, Recorder: &bombRecorder{},
+		})
+	}()
+	var count atomic.Int64
+	For(pool, 0, 500, func(lo, hi int) { count.Add(int64(hi - lo)) }, Options{})
+	if count.Load() != 500 {
+		t.Fatalf("pool degraded after recorder panic: %d", count.Load())
+	}
+}

@@ -1,0 +1,121 @@
+package loop
+
+import (
+	"hybridloop/internal/core"
+	"hybridloop/internal/sched"
+	"hybridloop/internal/trace"
+)
+
+// hybridLoop is one dynamic execution of a hybrid parallel loop: the
+// partition structure A shared by all participating workers plus the
+// bookkeeping to join the loop. It implements sched.HybridLoop so idle
+// workers enter via the DoHybridLoop steal protocol.
+type hybridLoop struct {
+	ps    *core.PartitionSet
+	body  BodyW
+	opts  *Options
+	chunk int
+	g     sched.Group // one Done per partition executed
+}
+
+// hybridFor is InitHybridLoop (Algorithm 1): build the partition structure,
+// register the loop for the steal protocol, run DoHybridLoop with the
+// initiating worker's ID, and sync.
+func hybridFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
+	p := w.Pool().P()
+	var ps *core.PartitionSet
+	if opts.Weight != nil {
+		ps = core.NewPartitionSetParts(opts.split(begin, end, core.NextPow2(p)))
+	} else {
+		ps = core.NewPartitionSet(begin, end, p)
+	}
+	h := &hybridLoop{
+		ps:    ps,
+		body:  body,
+		opts:  opts,
+		chunk: opts.chunk(end-begin, p),
+	}
+	// Every partition must be executed before the loop completes; the
+	// group counts partition completions (Theorem 3: exactly R of them).
+	h.g.Add(ps.R())
+	w.Pool().RegisterLoop(h)
+	h.doHybridLoop(w)
+	w.Wait(&h.g)
+	w.Pool().UnregisterLoop(h)
+}
+
+// Live reports whether unclaimed partitions remain; dead loops are skipped
+// by the steal protocol without touching the flags.
+func (h *hybridLoop) Live() bool { return h.ps.Unclaimed() > 0 }
+
+// TrySteal implements the steal protocol of Section III: a thief w checks
+// whether its designated partition r = w XOR 0 has been claimed. If so it
+// reverts to ordinary randomized work stealing (returns false); if not, it
+// enters DoHybridLoop with its own worker ID.
+func (h *hybridLoop) TrySteal(w *sched.Worker) bool {
+	if h.ps.PeekClaimed(w.ID()) {
+		return false
+	}
+	if h.opts.Trace != nil {
+		h.opts.Trace.Add(w.ID(), trace.StealEntry, int64(w.ID()), 0)
+	}
+	return h.doHybridLoop(w)
+}
+
+// doHybridLoop is Algorithm 3 for worker w: walk the claim sequence,
+// executing each successfully claimed partition. The paper's work-first
+// Cilk executes doWork immediately after a claim while the rest of the
+// claim loop sits in the deque as a stealable continuation; here the
+// continuation is reachable through the loop registry instead, with
+// identical effect — other workers enter concurrently with their own IDs.
+// Returns whether any partition was claimed.
+func (h *hybridLoop) doHybridLoop(w *sched.Worker) bool {
+	c := core.NewClaimer(h.ps, w.ID())
+	any := false
+	failedBefore := 0
+	for {
+		r, ok := c.Next()
+		if h.opts.Trace != nil {
+			for f := failedBefore; f < c.Failed(); f++ {
+				// The failed partition indexes are internal to the claim
+				// sequence; only the count is reported.
+				h.opts.Trace.Add(w.ID(), trace.ClaimFail, -1, 0)
+			}
+			failedBefore = c.Failed()
+			if ok {
+				h.opts.Trace.Add(w.ID(), trace.ClaimOK, int64(r), 0)
+			}
+		}
+		if !ok {
+			return any
+		}
+		any = true
+		// Protect: a panicking body must surface at the loop's initiating
+		// Wait, not kill the worker that entered via the steal protocol.
+		h.g.Protect(func() { h.runPartition(w, r) })
+		h.g.Done()
+	}
+}
+
+// runPartition executes one claimed partition via an ordinary
+// divide-and-conquer parallel loop (the doWork routine), so the work of an
+// unbalanced partition can itself be load balanced by work stealing.
+func (h *hybridLoop) runPartition(w *sched.Worker, r int) {
+	part := h.ps.Partition(r)
+	if part.Empty() {
+		return
+	}
+	var pg sched.Group
+	var rec func(cw *sched.Worker, lo, hi int)
+	rec = func(cw *sched.Worker, lo, hi int) {
+		for hi-lo > h.chunk {
+			mid := lo + (hi-lo)/2
+			lo2, hi2 := mid, hi
+			cw.Spawn(&pg, func(sw *sched.Worker) { rec(sw, lo2, hi2) })
+			hi = mid
+		}
+		runChunk(cw, h.body, h.opts, lo, hi)
+	}
+	rec(w, part.Begin, part.End)
+	w.Wait(&pg)
+}

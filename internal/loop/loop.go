@@ -1,0 +1,324 @@
+// Package loop implements the five parallel-loop scheduling strategies the
+// paper studies, on top of the work-stealing runtime in internal/sched:
+//
+//   - Static: the iteration space is split into P equal partitions, each
+//     pinned to its designated worker — OpenMP schedule(static) and
+//     FastFlow's static mode. Deterministic allocation, no load balancing.
+//   - DynamicStealing: the "vanilla" Cilk cilk_for — recursive binary
+//     splitting down to a chunk, with randomized work stealing for load
+//     balance. Allocation depends entirely on scheduling.
+//   - DynamicSharing: OpenMP schedule(dynamic, chunk) — a central shared
+//     counter from which every worker grabs fixed-size chunks.
+//   - Guided: OpenMP schedule(guided, chunk) — a central counter handing
+//     out geometrically decreasing chunks (proportional to remaining/P,
+//     never below the minimum chunk).
+//   - Hybrid: the paper's contribution — static partitioning into R = 2^k
+//     partitions plus the XOR claiming heuristic (internal/core) and the
+//     DoHybridLoop steal protocol, with dynamic work stealing *inside*
+//     each partition.
+//
+// All strategies use the paper's chunking rule, chunk = min(2048, N/(8P)),
+// unless overridden, so their work efficiency is comparable (Section V,
+// "the reason why we separately show Ts/T1").
+package loop
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hybridloop/internal/core"
+	"hybridloop/internal/sched"
+	"hybridloop/internal/trace"
+)
+
+// Strategy selects a loop-scheduling scheme.
+type Strategy int
+
+const (
+	// Static is static partitioning: P equal pinned partitions.
+	Static Strategy = iota
+	// DynamicStealing is dynamic partitioning with work stealing
+	// (vanilla cilk_for).
+	DynamicStealing
+	// DynamicSharing is dynamic partitioning with work sharing
+	// (OpenMP schedule(dynamic)).
+	DynamicSharing
+	// Guided is guided partitioning with work sharing
+	// (OpenMP schedule(guided)).
+	Guided
+	// Hybrid is the paper's hybrid scheme: static partitioning, the XOR
+	// claiming heuristic, and work stealing as fallback.
+	Hybrid
+)
+
+// String returns the name used in the paper's figures.
+func (s Strategy) String() string {
+	switch s {
+	case Static:
+		return "omp_static"
+	case DynamicStealing:
+		return "vanilla"
+	case DynamicSharing:
+		return "omp_dynamic"
+	case Guided:
+		return "omp_guided"
+	case Hybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Strategies lists all implemented strategies in the paper's display order.
+var Strategies = []Strategy{Hybrid, DynamicStealing, Static, DynamicSharing, Guided}
+
+// Body is a loop body applied to a range of iterations [begin, end). Bodies
+// receive a contiguous range rather than a single index so that tight
+// kernels are not forced through a per-iteration function call; apply the
+// body index-wise inside if needed.
+type Body func(begin, end int)
+
+// BodyW is a loop body that also receives the worker executing the chunk.
+// Use it when the body starts nested parallel loops or spawns tasks: those
+// operations must go through the *executing* worker, which for every
+// strategy other than a serial run differs from the worker that started
+// the loop.
+type BodyW func(w *sched.Worker, begin, end int)
+
+// Recorder observes which worker executed which iterations; used by the
+// affinity experiments (Figure 2). Implementations must be safe for
+// concurrent use.
+type Recorder interface {
+	Record(worker, begin, end int)
+}
+
+// Options configures a parallel loop.
+type Options struct {
+	// Strategy selects the scheduling scheme. Default Hybrid.
+	Strategy Strategy
+	// Chunk is the number of consecutive iterations executed as one unit.
+	// Zero means the paper's default, min(2048, N/(8P)), clamped to >= 1.
+	Chunk int
+	// Recorder, if non-nil, is notified of every executed chunk.
+	Recorder Recorder
+	// Weight, if non-nil, gives iteration i's relative cost. Static and
+	// Hybrid partition by equal total weight instead of equal count (the
+	// annotation-driven extension of the paper's related work); the
+	// purely dynamic strategies ignore it.
+	Weight func(i int) float64
+	// SerialCutoff runs loops of at most this many iterations inline on
+	// the calling worker, skipping all scheduling machinery — the
+	// tiny-workload shortcut of adaptive schedulers (cf. Thoman et al. in
+	// the paper's related work). Zero disables the shortcut.
+	SerialCutoff int
+	// Trace, if non-nil, records scheduling events (loop boundaries,
+	// claims, chunk executions) for this loop.
+	Trace *trace.Log
+}
+
+// split partitions [begin, end) into n ranges honoring the weight hint.
+func (o *Options) split(begin, end, n int) []core.Range {
+	return core.WeightedSplit(core.Range{Begin: begin, End: end}, n, o.Weight)
+}
+
+// DefaultChunk returns the paper's default chunk size min(2048, N/(8P)),
+// at least 1.
+func DefaultChunk(n, p int) int {
+	c := n / (8 * p)
+	if c > 2048 {
+		c = 2048
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+func (o *Options) chunk(n, p int) int {
+	if o.Chunk > 0 {
+		return o.Chunk
+	}
+	return DefaultChunk(n, p)
+}
+
+// For executes body over [begin, end) on pool using the options' strategy.
+// It must be called from outside the pool; use Worker.For from inside a
+// running task.
+func For(pool *sched.Pool, begin, end int, body Body, opts Options) {
+	if end <= begin {
+		return
+	}
+	pool.Run(func(w *sched.Worker) {
+		WorkerFor(w, begin, end, body, opts)
+	})
+}
+
+// WorkerFor is For callable from inside a running task (nested loops).
+func WorkerFor(w *sched.Worker, begin, end int, body Body, opts Options) {
+	WorkerForW(w, begin, end, func(_ *sched.Worker, lo, hi int) { body(lo, hi) }, opts)
+}
+
+// ForW is For with a worker-aware body.
+func ForW(pool *sched.Pool, begin, end int, body BodyW, opts Options) {
+	if end <= begin {
+		return
+	}
+	pool.Run(func(w *sched.Worker) {
+		WorkerForW(w, begin, end, body, opts)
+	})
+}
+
+// WorkerForW is the worker-aware core all loop forms funnel into.
+func WorkerForW(w *sched.Worker, begin, end int, body BodyW, opts Options) {
+	if end <= begin {
+		return
+	}
+	if opts.Trace != nil {
+		opts.Trace.Add(w.ID(), trace.LoopStart, int64(begin), int64(end))
+		defer opts.Trace.Add(w.ID(), trace.LoopEnd, int64(begin), int64(end))
+	}
+	if end-begin <= opts.SerialCutoff {
+		runChunk(w, body, &opts, begin, end)
+		return
+	}
+	switch opts.Strategy {
+	case Static:
+		staticFor(w, begin, end, body, &opts)
+	case DynamicStealing:
+		stealingFor(w, begin, end, body, &opts)
+	case DynamicSharing:
+		sharingFor(w, begin, end, body, &opts)
+	case Guided:
+		guidedFor(w, begin, end, body, &opts)
+	case Hybrid:
+		hybridFor(w, begin, end, body, &opts)
+	default:
+		panic(fmt.Sprintf("loop: unknown strategy %d", int(opts.Strategy)))
+	}
+}
+
+// runChunk executes one contiguous chunk with optional recording and
+// tracing.
+func runChunk(w *sched.Worker, body BodyW, opts *Options, lo, hi int) {
+	if opts.Recorder != nil {
+		opts.Recorder.Record(w.ID(), lo, hi)
+	}
+	if opts.Trace != nil {
+		opts.Trace.Add(w.ID(), trace.Chunk, int64(lo), int64(hi))
+	}
+	body(w, lo, hi)
+}
+
+// staticFor pins partition i to worker i. The calling worker executes its
+// own partition inline (it "arrives at the region" first), the others are
+// pinned tasks.
+func staticFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
+	p := w.Pool().P()
+	parts := opts.split(begin, end, p)
+	var g sched.Group
+	for i := 0; i < p; i++ {
+		if i == w.ID() || parts[i].Empty() {
+			continue
+		}
+		part := parts[i]
+		w.Pool().SpawnOn(i, &g, func(cw *sched.Worker) {
+			runChunk(cw, body, opts, part.Begin, part.End)
+		})
+	}
+	mine := parts[w.ID()]
+	if !mine.Empty() {
+		runChunk(w, body, opts, mine.Begin, mine.End)
+	}
+	w.Wait(&g)
+}
+
+// stealingFor is the vanilla cilk_for lowering: recursive binary division
+// of the range until the chunk size is reached; halves are spawned so
+// thieves steal the biggest remaining pieces.
+func stealingFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
+	chunk := opts.chunk(end-begin, w.Pool().P())
+	var g sched.Group
+	var rec func(cw *sched.Worker, lo, hi int)
+	rec = func(cw *sched.Worker, lo, hi int) {
+		for hi-lo > chunk {
+			mid := lo + (hi-lo)/2
+			lo2, hi2 := mid, hi
+			cw.Spawn(&g, func(sw *sched.Worker) { rec(sw, lo2, hi2) })
+			hi = mid
+		}
+		runChunk(cw, body, opts, lo, hi)
+	}
+	rec(w, begin, end)
+	w.Wait(&g)
+}
+
+// sharingFor is OpenMP schedule(dynamic, chunk): every worker joins the
+// team and repeatedly grabs fixed-size chunks from a shared counter.
+func sharingFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
+	chunk := opts.chunk(end-begin, w.Pool().P())
+	var next atomic.Int64
+	next.Store(int64(begin))
+	grab := func(cw *sched.Worker) {
+		for {
+			lo := int(next.Add(int64(chunk))) - chunk
+			if lo >= end {
+				return
+			}
+			hi := lo + chunk
+			if hi > end {
+				hi = end
+			}
+			runChunk(cw, body, opts, lo, hi)
+		}
+	}
+	teamRun(w, grab)
+}
+
+// guidedFor is OpenMP schedule(guided, chunk): chunks shrink in proportion
+// to the remaining iterations divided by the team size, never below the
+// minimum chunk. The shared position advances under CAS so chunk sizing
+// and claiming are atomic together.
+func guidedFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
+	p := w.Pool().P()
+	minChunk := opts.chunk(end-begin, p)
+	var next atomic.Int64
+	next.Store(int64(begin))
+	grab := func(cw *sched.Worker) {
+		for {
+			lo64 := next.Load()
+			lo := int(lo64)
+			if lo >= end {
+				return
+			}
+			remaining := end - lo
+			size := (remaining + 2*p - 1) / (2 * p)
+			if size < minChunk {
+				size = minChunk
+			}
+			hi := lo + size
+			if hi > end {
+				hi = end
+			}
+			if !next.CompareAndSwap(lo64, int64(hi)) {
+				continue
+			}
+			runChunk(cw, body, opts, lo, hi)
+		}
+	}
+	teamRun(w, grab)
+}
+
+// teamRun executes fn on every worker in the pool (pinned), with the
+// calling worker participating inline — the OpenMP "parallel region"
+// model where each team thread runs the scheduling loop itself.
+func teamRun(w *sched.Worker, fn func(cw *sched.Worker)) {
+	var g sched.Group
+	p := w.Pool().P()
+	for i := 0; i < p; i++ {
+		if i == w.ID() {
+			continue
+		}
+		w.Pool().SpawnOn(i, &g, fn)
+	}
+	fn(w)
+	w.Wait(&g)
+}

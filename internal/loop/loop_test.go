@@ -1,0 +1,333 @@
+package loop
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"hybridloop/internal/affinity"
+	"hybridloop/internal/sched"
+)
+
+var allStrategies = []Strategy{Static, DynamicStealing, DynamicSharing, Guided, Hybrid}
+
+func TestStrategyNames(t *testing.T) {
+	want := map[Strategy]string{
+		Static:          "omp_static",
+		DynamicStealing: "vanilla",
+		DynamicSharing:  "omp_dynamic",
+		Guided:          "omp_guided",
+		Hybrid:          "hybrid",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), name)
+		}
+	}
+	if got := Strategy(99).String(); got != "Strategy(99)" {
+		t.Errorf("unknown strategy String() = %q", got)
+	}
+}
+
+func TestDefaultChunk(t *testing.T) {
+	cases := []struct{ n, p, want int }{
+		{100, 4, 3},        // 100/32 = 3
+		{1 << 20, 4, 2048}, // capped at 2048
+		{10, 32, 1},        // floor to 1
+		{0, 8, 1},
+	}
+	for _, c := range cases {
+		if got := DefaultChunk(c.n, c.p); got != c.want {
+			t.Errorf("DefaultChunk(%d,%d) = %d, want %d", c.n, c.p, got, c.want)
+		}
+	}
+}
+
+// checkExactlyOnce runs a loop and verifies every iteration executes
+// exactly once.
+func checkExactlyOnce(t *testing.T, pool *sched.Pool, s Strategy, n, chunk int) {
+	t.Helper()
+	counts := make([]atomic.Int32, n)
+	For(pool, 0, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			counts[i].Add(1)
+		}
+	}, Options{Strategy: s, Chunk: chunk})
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("%v n=%d chunk=%d: iteration %d ran %d times", s, n, chunk, i, c)
+		}
+	}
+}
+
+func TestAllStrategiesExactlyOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 5, 8} {
+		pool := sched.NewPool(p, uint64(p)*7+1)
+		for _, s := range allStrategies {
+			for _, n := range []int{0, 1, 2, 7, 64, 1000, 4096} {
+				for _, chunk := range []int{0, 1, 13, 512} {
+					checkExactlyOnce(t, pool, s, n, chunk)
+				}
+			}
+		}
+		pool.Close()
+	}
+}
+
+func TestNonZeroBase(t *testing.T) {
+	pool := sched.NewPool(4, 3)
+	defer pool.Close()
+	for _, s := range allStrategies {
+		var sum atomic.Int64
+		For(pool, 100, 200, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sum.Add(int64(i))
+			}
+		}, Options{Strategy: s})
+		want := int64((100 + 199) * 100 / 2)
+		if sum.Load() != want {
+			t.Fatalf("%v: sum over [100,200) = %d, want %d", s, sum.Load(), want)
+		}
+	}
+}
+
+func TestEmptyAndReversedRanges(t *testing.T) {
+	pool := sched.NewPool(2, 1)
+	defer pool.Close()
+	for _, s := range allStrategies {
+		ran := atomic.Bool{}
+		For(pool, 5, 5, func(lo, hi int) { ran.Store(true) }, Options{Strategy: s})
+		For(pool, 10, 3, func(lo, hi int) { ran.Store(true) }, Options{Strategy: s})
+		if ran.Load() {
+			t.Fatalf("%v: body ran for empty range", s)
+		}
+	}
+}
+
+func TestUnbalancedBodyCompletes(t *testing.T) {
+	pool := sched.NewPool(4, 9)
+	defer pool.Close()
+	for _, s := range allStrategies {
+		var work atomic.Int64
+		For(pool, 0, 256, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				// Triangular workload: iteration i costs ~i units.
+				acc := 0
+				for k := 0; k < i*10; k++ {
+					acc += k
+				}
+				work.Add(int64(acc % 7))
+				_ = acc
+			}
+		}, Options{Strategy: s, Chunk: 4})
+	}
+}
+
+func TestNestedParallelLoops(t *testing.T) {
+	pool := sched.NewPool(4, 17)
+	defer pool.Close()
+	for _, outer := range []Strategy{DynamicStealing, Hybrid} {
+		for _, inner := range []Strategy{DynamicStealing, Hybrid} {
+			var count atomic.Int64
+			pool.Run(func(w *sched.Worker) {
+				WorkerForW(w, 0, 10, func(cw *sched.Worker, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						WorkerFor(cw, 0, 20, func(l2, h2 int) {
+							count.Add(int64(h2 - l2))
+						}, Options{Strategy: inner, Chunk: 3})
+					}
+				}, Options{Strategy: outer, Chunk: 1})
+			})
+			if count.Load() != 200 {
+				t.Fatalf("outer=%v inner=%v: count = %d, want 200", outer, inner, count.Load())
+			}
+		}
+	}
+}
+
+func TestRecorderCoversAllIterations(t *testing.T) {
+	const n = 2048
+	pool := sched.NewPool(4, 23)
+	defer pool.Close()
+	for _, s := range allStrategies {
+		tr := affinity.NewTracker(n)
+		For(pool, 0, n, func(lo, hi int) {}, Options{Strategy: s, Recorder: tr})
+		if !tr.Covered() {
+			t.Fatalf("%v: recorder did not cover all iterations", s)
+		}
+		tr.EndLoop()
+	}
+}
+
+// TestStaticDeterministicAssignment: static partitioning must assign
+// iteration i to the same worker in every execution — the property that
+// gives it perfect loop affinity (Figure 2: omp_static = 100%).
+func TestStaticDeterministicAssignment(t *testing.T) {
+	const n, p = 1000, 4
+	pool := sched.NewPool(p, 31)
+	defer pool.Close()
+	tr := affinity.NewTracker(n)
+	For(pool, 0, n, func(lo, hi int) {}, Options{Strategy: Static, Recorder: tr})
+	tr.EndLoop()
+	first := tr.Assignment()
+	for loopIdx := 0; loopIdx < 10; loopIdx++ {
+		For(pool, 0, n, func(lo, hi int) {}, Options{Strategy: Static, Recorder: tr})
+		if frac := tr.EndLoop(); frac != 1.0 {
+			t.Fatalf("static loop %d: same-core fraction %v, want 1.0", loopIdx, frac)
+		}
+	}
+	// And the partition map must be the canonical Split: iteration i on
+	// worker i*p/n (equal partitions).
+	for i, w := range first {
+		wantLow := i * p / n
+		if int(w) != wantLow && int(w) != wantLow+1 && int(w) != wantLow-1 {
+			t.Fatalf("iteration %d on worker %d, far from block owner %d", i, w, wantLow)
+		}
+	}
+}
+
+// TestHybridSoloAffinity: with a single worker the hybrid claim order is
+// fully deterministic, so affinity across consecutive loops is 100%.
+func TestHybridSoloAffinity(t *testing.T) {
+	const n = 512
+	pool := sched.NewPool(1, 5)
+	defer pool.Close()
+	tr := affinity.NewTracker(n)
+	for loopIdx := 0; loopIdx < 5; loopIdx++ {
+		For(pool, 0, n, func(lo, hi int) {}, Options{Strategy: Hybrid, Recorder: tr})
+		frac := tr.EndLoop()
+		if loopIdx > 0 && frac != 1.0 {
+			t.Fatalf("hybrid P=1 loop %d: same-core fraction %v, want 1.0", loopIdx, frac)
+		}
+	}
+}
+
+// TestHybridReductionCorrect exercises the hybrid path with a reduction
+// whose result is order-independent, under concurrency (run with -race).
+func TestHybridReductionCorrect(t *testing.T) {
+	const n = 100000
+	pool := sched.NewPool(8, 77)
+	defer pool.Close()
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(i % 97)
+	}
+	var want int64
+	for _, v := range data {
+		want += v
+	}
+	for round := 0; round < 5; round++ {
+		var sum atomic.Int64
+		For(pool, 0, n, func(lo, hi int) {
+			var local int64
+			for i := lo; i < hi; i++ {
+				local += data[i]
+			}
+			sum.Add(local)
+		}, Options{Strategy: Hybrid})
+		if sum.Load() != want {
+			t.Fatalf("round %d: sum = %d, want %d", round, sum.Load(), want)
+		}
+	}
+}
+
+// TestConcurrentIndependentLoops runs several hybrid loops concurrently
+// from different goroutines against one pool; each must complete correctly
+// (this exercises multiple live loops in the steal-protocol registry).
+func TestConcurrentIndependentLoops(t *testing.T) {
+	pool := sched.NewPool(4, 13)
+	defer pool.Close()
+	const loops, n = 6, 5000
+	var wg sync.WaitGroup
+	errs := make([]int64, loops)
+	for l := 0; l < loops; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			var count atomic.Int64
+			For(pool, 0, n, func(lo, hi int) {
+				count.Add(int64(hi - lo))
+			}, Options{Strategy: Hybrid, Chunk: 64})
+			errs[l] = count.Load()
+		}(l)
+	}
+	wg.Wait()
+	for l, c := range errs {
+		if c != n {
+			t.Fatalf("loop %d executed %d iterations, want %d", l, c, n)
+		}
+	}
+}
+
+// TestQuickStrategiesSumEquivalent: all strategies compute the same
+// reduction for arbitrary sizes and chunk settings.
+func TestQuickStrategiesSumEquivalent(t *testing.T) {
+	pool := sched.NewPool(3, 41)
+	defer pool.Close()
+	prop := func(nRaw uint16, chunkRaw uint8) bool {
+		n := int(nRaw) % 3000
+		chunk := int(chunkRaw) % 100
+		var want int64 = int64(n) * int64(n-1) / 2
+		for _, s := range allStrategies {
+			var sum atomic.Int64
+			For(pool, 0, n, func(lo, hi int) {
+				var local int64
+				for i := lo; i < hi; i++ {
+					local += int64(i)
+				}
+				sum.Add(local)
+			}, Options{Strategy: s, Chunk: chunk})
+			if sum.Load() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGuidedChunksDecrease(t *testing.T) {
+	// With P=1 the guided schedule is sequential and the grabbed chunk
+	// sizes must be non-increasing until the floor is reached.
+	pool := sched.NewPool(1, 2)
+	defer pool.Close()
+	var sizes []int
+	var mu sync.Mutex
+	For(pool, 0, 10000, func(lo, hi int) {
+		mu.Lock()
+		sizes = append(sizes, hi-lo)
+		mu.Unlock()
+	}, Options{Strategy: Guided, Chunk: 16})
+	if len(sizes) < 3 {
+		t.Fatalf("guided produced only %d chunks", len(sizes))
+	}
+	for i := 1; i < len(sizes)-1; i++ { // last chunk may be a remainder
+		if sizes[i] > sizes[i-1] {
+			t.Fatalf("guided chunk %d grew: %v", i, sizes)
+		}
+	}
+	if min := sizes[len(sizes)-2]; min < 16 && min != sizes[len(sizes)-1] {
+		t.Fatalf("guided chunk fell below the floor: %v", sizes)
+	}
+}
+
+// TestNestedInnerLoopInsideHybridBody runs a hybrid loop whose body itself
+// contains sequential work per iteration, under odd worker counts (P=5 ->
+// R=8 with unearmarked partitions), confirming the generalization of
+// Section III for non-power-of-two P.
+func TestHybridNonPowerOfTwoWorkers(t *testing.T) {
+	for _, p := range []int{3, 5, 6, 7} {
+		pool := sched.NewPool(p, uint64(p)*3)
+		var count atomic.Int64
+		For(pool, 0, 10007, func(lo, hi int) {
+			count.Add(int64(hi - lo))
+		}, Options{Strategy: Hybrid, Chunk: 32})
+		if count.Load() != 10007 {
+			t.Fatalf("P=%d: executed %d iterations, want 10007", p, count.Load())
+		}
+		pool.Close()
+	}
+}

@@ -1,0 +1,151 @@
+package loop
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hybridloop/internal/rng"
+	"hybridloop/internal/sched"
+)
+
+// TestStressRandomPrograms is a mini-fuzzer: random sequences of parallel
+// loops — random strategies, sizes, chunk settings, nesting depth, and
+// concurrent outer goroutines — all verified for exactly-once execution.
+// Run with -race for the full effect.
+func TestStressRandomPrograms(t *testing.T) {
+	gen := rng.NewXoshiro256(2026)
+	for _, p := range []int{1, 3, 4, 8} {
+		pool := sched.NewPool(p, gen.Next())
+		for round := 0; round < 15; round++ {
+			n := 1 + gen.Intn(20000)
+			counts := make([]atomic.Int32, n)
+			strat := allStrategies[gen.Intn(len(allStrategies))]
+			chunk := gen.Intn(200) // 0 = default
+			nested := gen.Intn(3) == 0
+			For(pool, 0, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					counts[i].Add(1)
+				}
+			}, Options{Strategy: strat, Chunk: chunk})
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("P=%d round=%d %v chunk=%d: iteration %d ran %d times",
+						p, round, strat, chunk, i, c)
+				}
+			}
+			if !nested {
+				continue
+			}
+			// Nested program: an outer loop whose body runs inner loops
+			// of a second random strategy.
+			inner := allStrategies[gen.Intn(len(allStrategies))]
+			innerN := 1 + gen.Intn(300)
+			outerN := 1 + gen.Intn(12)
+			innerChunk := 1 + gen.Intn(50)
+			var total atomic.Int64
+			pool.Run(func(w *sched.Worker) {
+				// Nested loops must run through the *executing* worker
+				// (the BodyW parameter), never a captured outer worker.
+				WorkerForW(w, 0, outerN, func(cw *sched.Worker, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						WorkerFor(cw, 0, innerN, func(l2, h2 int) {
+							total.Add(int64(h2 - l2))
+						}, Options{Strategy: inner, Chunk: innerChunk})
+					}
+				}, Options{Strategy: strat, Chunk: 1})
+			})
+			if total.Load() != int64(outerN*innerN) {
+				t.Fatalf("P=%d nested %v/%v: total %d, want %d",
+					p, strat, inner, total.Load(), outerN*innerN)
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestStressConcurrentMixedLoops launches several goroutines that each run
+// sequences of loops with different strategies against one pool at the
+// same time — multiple live parallel regions, as in the paper's
+// observation that "a task-parallel platform can schedule multiple
+// parallel regions at the same time such that not all P are always
+// available to execute a given parallel loop".
+func TestStressConcurrentMixedLoops(t *testing.T) {
+	pool := sched.NewPool(4, 7)
+	defer pool.Close()
+	const goroutines = 5
+	const loopsEach = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			gen := rng.NewXoshiro256(uint64(g) * 31)
+			for l := 0; l < loopsEach; l++ {
+				n := 500 + gen.Intn(5000)
+				strat := allStrategies[gen.Intn(len(allStrategies))]
+				var count atomic.Int64
+				For(pool, 0, n, func(lo, hi int) {
+					count.Add(int64(hi - lo))
+				}, Options{Strategy: strat, Chunk: 1 + gen.Intn(64)})
+				if count.Load() != int64(n) {
+					errs <- strat.String()
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for s := range errs {
+		t.Fatalf("concurrent loop under %s lost iterations", s)
+	}
+}
+
+// TestHybridLateArrival models the paper's different-arrival-time
+// scenario: most workers are pinned down by long-running tasks when a
+// hybrid loop starts; the initiating worker must make progress alone, and
+// the stragglers must still be able to enter through the steal protocol
+// once they free up — the loop completes either way.
+func TestHybridLateArrival(t *testing.T) {
+	const p = 4
+	pool := sched.NewPool(p, 99)
+	defer pool.Close()
+	var release atomic.Bool
+	var busy sched.Group
+	// Pin down workers 1..3 with spin tasks that only end on release.
+	for i := 1; i < p; i++ {
+		pool.SpawnOn(i, &busy, func(cw *sched.Worker) {
+			for !release.Load() {
+				time.Sleep(50 * time.Microsecond)
+			}
+		})
+	}
+	// Release the stragglers midway through the loop.
+	var executed atomic.Int64
+	const n = 4000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		For(pool, 0, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				executed.Add(1)
+				if executed.Load() == n/4 {
+					release.Store(true)
+				}
+			}
+		}, Options{Strategy: Hybrid, Chunk: 16})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("hybrid loop with late-arriving workers did not complete")
+	}
+	release.Store(true) // in case the loop was too fast to hit n/4 exactly
+	pool.Run(func(w *sched.Worker) { w.Wait(&busy) })
+	if executed.Load() != n {
+		t.Fatalf("executed %d iterations, want %d", executed.Load(), n)
+	}
+}

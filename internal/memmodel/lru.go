@@ -1,0 +1,129 @@
+package memmodel
+
+// lruCache is a fixed-capacity LRU set of block IDs, implemented with an
+// intrusive doubly-linked list over preallocated nodes plus a map for
+// O(1) lookup. It models one cache (an L1, an L2, or a socket's L3) at
+// block granularity.
+type lruCache struct {
+	cap   int
+	nodes []lruNode
+	index map[uint64]int32 // block -> node index
+	head  int32            // most recently used; -1 if empty
+	tail  int32            // least recently used; -1 if empty
+	free  int32            // free-list head; -1 if full
+}
+
+type lruNode struct {
+	block      uint64
+	prev, next int32
+}
+
+const nilNode = int32(-1)
+
+func newLRU(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &lruCache{
+		cap:   capacity,
+		nodes: make([]lruNode, capacity),
+		index: make(map[uint64]int32, capacity),
+		head:  nilNode,
+		tail:  nilNode,
+	}
+	for i := range c.nodes {
+		c.nodes[i].next = int32(i + 1)
+	}
+	c.nodes[capacity-1].next = nilNode
+	c.free = 0
+	return c
+}
+
+// contains reports whether block is cached, without touching recency.
+func (c *lruCache) contains(block uint64) bool {
+	_, ok := c.index[block]
+	return ok
+}
+
+// unlink removes node i from the recency list (it stays in the map).
+func (c *lruCache) unlink(i int32) {
+	n := &c.nodes[i]
+	if n.prev != nilNode {
+		c.nodes[n.prev].next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nilNode {
+		c.nodes[n.next].prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+}
+
+// pushFront makes node i the most recently used.
+func (c *lruCache) pushFront(i int32) {
+	n := &c.nodes[i]
+	n.prev = nilNode
+	n.next = c.head
+	if c.head != nilNode {
+		c.nodes[c.head].prev = i
+	}
+	c.head = i
+	if c.tail == nilNode {
+		c.tail = i
+	}
+}
+
+// touch inserts block (evicting the LRU entry if full) or refreshes its
+// recency. It returns the evicted block and true if an eviction happened.
+func (c *lruCache) touch(block uint64) (evicted uint64, didEvict bool) {
+	if i, ok := c.index[block]; ok {
+		if c.head != i {
+			c.unlink(i)
+			c.pushFront(i)
+		}
+		return 0, false
+	}
+	var i int32
+	if c.free != nilNode {
+		i = c.free
+		c.free = c.nodes[i].next
+	} else {
+		// Evict the least recently used block.
+		i = c.tail
+		evicted = c.nodes[i].block
+		didEvict = true
+		delete(c.index, evicted)
+		c.unlink(i)
+	}
+	c.nodes[i].block = block
+	c.index[block] = i
+	c.pushFront(i)
+	return evicted, didEvict
+}
+
+// remove drops block from the cache if present.
+func (c *lruCache) remove(block uint64) {
+	i, ok := c.index[block]
+	if !ok {
+		return
+	}
+	delete(c.index, block)
+	c.unlink(i)
+	c.nodes[i].next = c.free
+	c.free = i
+}
+
+// len returns the number of cached blocks.
+func (c *lruCache) len() int { return len(c.index) }
+
+// reset empties the cache.
+func (c *lruCache) reset() {
+	clear(c.index)
+	c.head, c.tail = nilNode, nilNode
+	for i := range c.nodes {
+		c.nodes[i].next = int32(i + 1)
+	}
+	c.nodes[len(c.nodes)-1].next = nilNode
+	c.free = 0
+}

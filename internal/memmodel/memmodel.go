@@ -1,0 +1,280 @@
+// Package memmodel simulates the memory hierarchy of a NUMA multicore at
+// cache-block granularity: a private L1 and L2 per core, a shared L3 per
+// socket, and DRAM homed per socket (first-touch / NUMA-aware placement).
+// It produces exactly the counters of the paper's Figure 4 — accesses
+// serviced by L1, L2, local L3, local DRAM, remote L3, and remote DRAM —
+// and the inferred latency obtained by weighting them with the Figure 5
+// latencies.
+//
+// Modeling choices (see DESIGN.md): blocks of 4 KiB stand in for runs of
+// cache lines. The paper's microbenchmarks walk arrays in stride 13
+// (> one line) precisely so that every element access misses the line
+// prefetcher; a block therefore contributes LinesPerBlock accesses, each
+// serviced at the level where the whole block currently resides. Caches
+// are LRU and non-inclusive; coherence is not modeled (the workloads under
+// study write disjoint regions per iteration).
+package memmodel
+
+import (
+	"fmt"
+
+	"hybridloop/internal/topology"
+)
+
+// Counts records accesses serviced per hierarchy level, in units of cache
+// lines — the quantity hardware counters report in the paper's Figure 4.
+type Counts [topology.NumLevels]int64
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	for i := range c {
+		c[i] += other[i]
+	}
+}
+
+// Total returns total accesses across all levels.
+func (c Counts) Total() int64 {
+	var t int64
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
+// InferredLatency returns the latency-weighted access count (cycles), the
+// paper's "inferred latency" column, optionally excluding L1 (the paper
+// reports it without L1 because OpenMP's redundant computation shows up
+// as extra L1 hits).
+func (c Counts) InferredLatency(lat topology.Latencies, includeL1 bool) float64 {
+	var total float64
+	for l := topology.Level(0); l < topology.NumLevels; l++ {
+		if l == topology.L1 && !includeL1 {
+			continue
+		}
+		total += float64(c[l]) * lat[l]
+	}
+	return total
+}
+
+// Hierarchy is the simulated cache/DRAM system for one machine.
+type Hierarchy struct {
+	m      topology.Machine
+	l1, l2 []*lruCache // per core
+	l3     []*lruCache // per socket
+	home   map[uint64]int8
+	counts Counts
+}
+
+// New returns a Hierarchy for machine m. It panics if m is inconsistent.
+func New(m topology.Machine) *Hierarchy {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	h := &Hierarchy{
+		m:    m,
+		l1:   make([]*lruCache, m.P()),
+		l2:   make([]*lruCache, m.P()),
+		l3:   make([]*lruCache, m.Sockets),
+		home: make(map[uint64]int8),
+	}
+	for c := 0; c < m.P(); c++ {
+		h.l1[c] = newLRU(m.L1Size / m.BlockSize)
+		h.l2[c] = newLRU(m.L2Size / m.BlockSize)
+	}
+	for s := 0; s < m.Sockets; s++ {
+		h.l3[s] = newLRU(m.L3Size / m.BlockSize)
+	}
+	return h
+}
+
+// Machine returns the machine description this hierarchy simulates.
+func (h *Hierarchy) Machine() topology.Machine { return h.m }
+
+// Counts returns the accumulated per-level access counts.
+func (h *Hierarchy) Counts() Counts { return h.counts }
+
+// ResetCounts zeroes the counters without disturbing cache contents —
+// used to exclude warm-up/initialization from measurements, mirroring the
+// paper's counter start "right before the first top-level parallel region".
+func (h *Hierarchy) ResetCounts() { h.counts = Counts{} }
+
+// Home returns the socket whose DRAM holds block, or -1 if never touched.
+func (h *Hierarchy) Home(block uint64) int {
+	if s, ok := h.home[block]; ok {
+		return int(s)
+	}
+	return -1
+}
+
+// SetHome explicitly places a block's DRAM page on a socket (NUMA-aware
+// allocation). First-touch placement happens automatically on access.
+func (h *Hierarchy) SetHome(block uint64, socket int) {
+	if socket < 0 || socket >= h.m.Sockets {
+		panic(fmt.Sprintf("memmodel: SetHome socket %d out of range", socket))
+	}
+	h.home[block] = int8(socket)
+}
+
+// service determines which level services an access by core to block,
+// without modifying any state.
+func (h *Hierarchy) service(core int, block uint64) topology.Level {
+	if h.l1[core].contains(block) {
+		return topology.L1
+	}
+	if h.l2[core].contains(block) {
+		return topology.L2
+	}
+	sock := h.m.Socket(core)
+	if h.l3[sock].contains(block) {
+		return topology.LocalL3
+	}
+	for s := 0; s < h.m.Sockets; s++ {
+		if s != sock && h.l3[s].contains(block) {
+			return topology.RemoteL3
+		}
+	}
+	if home, ok := h.home[block]; ok && int(home) != sock {
+		return topology.RemoteDRAM
+	}
+	return topology.LocalDRAM
+}
+
+// install brings block into core's L1, L2 and its socket's L3. A block
+// evicted from L1 falls back to L2 recency implicitly (it is installed in
+// both); L3 eviction drops the block from that socket entirely.
+func (h *Hierarchy) install(core int, block uint64) {
+	h.l1[core].touch(block)
+	h.l2[core].touch(block)
+	h.l3[h.m.Socket(core)].touch(block)
+}
+
+// Access simulates core touching every line of the given block (the
+// stride-13 full-block walk of the microbenchmarks): lines accesses are
+// recorded at the servicing level and the cost in cycles is returned.
+// On first touch the block's DRAM page is homed on the accessing core's
+// socket (first-touch NUMA placement).
+func (h *Hierarchy) Access(core int, block uint64) float64 {
+	return h.AccessLines(core, block, h.m.LinesPerBlock())
+}
+
+// AccessLines is Access for a partial block of the given number of lines.
+func (h *Hierarchy) AccessLines(core int, block uint64, lines int) float64 {
+	if lines <= 0 {
+		return 0
+	}
+	if _, ok := h.home[block]; !ok {
+		h.home[block] = int8(h.m.Socket(core))
+	}
+	lvl := h.service(core, block)
+	h.counts[lvl] += int64(lines)
+	h.install(core, block)
+	// Time is charged at the effective (overlapped) cost; the counters
+	// above keep the raw event counts for inferred-latency reporting.
+	return float64(lines) * h.m.TimeLat[lvl]
+}
+
+// FlushCore empties a core's private caches (used by tests and by
+// experiments that model context loss).
+func (h *Hierarchy) FlushCore(core int) {
+	h.l1[core].reset()
+	h.l2[core].reset()
+}
+
+// FlushAll empties every cache but keeps DRAM homing and counters.
+func (h *Hierarchy) FlushAll() {
+	for c := range h.l1 {
+		h.l1[c].reset()
+		h.l2[c].reset()
+	}
+	for s := range h.l3 {
+		h.l3[s].reset()
+	}
+}
+
+// Region maps a contiguous byte array into the global block space. Regions
+// are allocated sequentially and never overlap.
+type Region struct {
+	base  uint64 // first block ID
+	bytes int64
+	bs    int64
+}
+
+// Allocator hands out non-overlapping Regions in a Hierarchy's block space.
+type Allocator struct {
+	m    topology.Machine
+	next uint64
+}
+
+// NewAllocator returns an Allocator for machine m. Block 0 is reserved so
+// a zero Region is recognizably invalid.
+func NewAllocator(m topology.Machine) *Allocator {
+	return &Allocator{m: m, next: 1}
+}
+
+// Alloc reserves a region of the given size in bytes.
+func (a *Allocator) Alloc(bytes int64) Region {
+	if bytes < 0 {
+		panic("memmodel: Alloc with negative size")
+	}
+	blocks := uint64(a.m.BlocksIn(bytes))
+	r := Region{base: a.next, bytes: bytes, bs: int64(a.m.BlockSize)}
+	a.next += blocks
+	return r
+}
+
+// Bytes returns the region's size in bytes.
+func (r Region) Bytes() int64 { return r.bytes }
+
+// Blocks returns the number of simulation blocks the region spans.
+func (r Region) Blocks() int64 {
+	return (r.bytes + r.bs - 1) / r.bs
+}
+
+// Block returns the global block ID of the i-th block of the region.
+func (r Region) Block(i int64) uint64 { return r.base + uint64(i) }
+
+// BlockOf returns the global block ID containing byte offset off.
+func (r Region) BlockOf(off int64) uint64 {
+	if off < 0 || off >= r.bytes {
+		panic(fmt.Sprintf("memmodel: offset %d outside region of %d bytes", off, r.bytes))
+	}
+	return r.base + uint64(off/r.bs)
+}
+
+// TouchRange simulates core walking every line of the region's byte range
+// [lo, hi), block by block, returning the total cost in cycles.
+func (h *Hierarchy) TouchRange(core int, r Region, lo, hi int64) float64 {
+	if hi > r.bytes {
+		hi = r.bytes
+	}
+	if lo < 0 || lo >= hi {
+		return 0
+	}
+	bs := int64(h.m.BlockSize)
+	lineSz := int64(h.m.CacheLine)
+	var cost float64
+	for b := lo / bs; b*bs < hi; b++ {
+		blkLo, blkHi := b*bs, (b+1)*bs
+		if blkLo < lo {
+			blkLo = lo
+		}
+		if blkHi > hi {
+			blkHi = hi
+		}
+		lines := int((blkHi - blkLo + lineSz - 1) / lineSz)
+		cost += h.AccessLines(core, r.base+uint64(b), lines)
+	}
+	return cost
+}
+
+// HomeRange places the DRAM pages of the region's byte range [lo, hi) on
+// the given socket (explicit NUMA-aware allocation).
+func (h *Hierarchy) HomeRange(r Region, lo, hi int64, socket int) {
+	if hi > r.bytes {
+		hi = r.bytes
+	}
+	bs := int64(h.m.BlockSize)
+	for b := lo / bs; b*bs < hi; b++ {
+		h.SetHome(r.base+uint64(b), socket)
+	}
+}

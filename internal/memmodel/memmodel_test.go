@@ -1,0 +1,279 @@
+package memmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hybridloop/internal/topology"
+)
+
+// tiny returns a small machine so cache capacity effects are easy to hit:
+// 2 sockets x 2 cores, L1 = 2 blocks, L2 = 4 blocks, L3 = 8 blocks.
+func tiny() topology.Machine {
+	m := topology.Paper()
+	m.Sockets = 2
+	m.CoresPerSocket = 2
+	m.BlockSize = 4096
+	m.L1Size = 2 * 4096
+	m.L2Size = 4 * 4096
+	m.L3Size = 8 * 4096
+	return m
+}
+
+func TestFirstTouchHomesLocally(t *testing.T) {
+	h := New(tiny())
+	h.Access(0, 100) // core 0 is on socket 0
+	if home := h.Home(100); home != 0 {
+		t.Fatalf("home = %d, want 0", home)
+	}
+	h.Access(2, 200) // core 2 is on socket 1
+	if home := h.Home(200); home != 1 {
+		t.Fatalf("home = %d, want 1", home)
+	}
+	if h.Home(999) != -1 {
+		t.Fatal("untouched block has a home")
+	}
+}
+
+func TestAccessLevelProgression(t *testing.T) {
+	h := New(tiny())
+	lat := h.Machine().TimeLat
+
+	// First access: cold -> local DRAM (first touch homes it here).
+	cost := h.Access(0, 7)
+	if want := float64(h.Machine().LinesPerBlock()) * lat[topology.LocalDRAM]; cost != want {
+		t.Fatalf("cold access cost %v, want %v", cost, want)
+	}
+	// Second access: L1 hit.
+	cost = h.Access(0, 7)
+	if want := float64(h.Machine().LinesPerBlock()) * lat[topology.L1]; cost != want {
+		t.Fatalf("warm access cost %v, want %v", cost, want)
+	}
+	c := h.Counts()
+	if c[topology.LocalDRAM] == 0 || c[topology.L1] == 0 {
+		t.Fatalf("counters not recorded: %+v", c)
+	}
+}
+
+func TestL1EvictionFallsToL2(t *testing.T) {
+	h := New(tiny()) // L1 holds 2 blocks
+	h.Access(0, 1)
+	h.Access(0, 2)
+	h.Access(0, 3) // evicts block 1 from L1; block 1 still in L2
+	h.ResetCounts()
+	h.Access(0, 1)
+	c := h.Counts()
+	if c[topology.L2] == 0 {
+		t.Fatalf("expected L2 hit after L1 eviction, got %+v", c)
+	}
+}
+
+func TestRemoteL3Detection(t *testing.T) {
+	h := New(tiny())
+	h.Access(0, 42) // socket 0 caches it, homes it on socket 0
+	h.ResetCounts()
+	h.Access(2, 42) // core 2, socket 1: should be serviced by remote L3
+	c := h.Counts()
+	if c[topology.RemoteL3] == 0 {
+		t.Fatalf("expected remote L3 hit, got %+v", c)
+	}
+}
+
+func TestRemoteDRAM(t *testing.T) {
+	h := New(tiny())
+	h.Access(0, 42) // homed on socket 0
+	h.FlushAll()    // no cache holds it anymore
+	h.ResetCounts()
+	h.Access(2, 42) // socket 1 misses everywhere; home is socket 0
+	c := h.Counts()
+	if c[topology.RemoteDRAM] == 0 {
+		t.Fatalf("expected remote DRAM access, got %+v", c)
+	}
+}
+
+func TestLocalDRAMAfterCapacityEviction(t *testing.T) {
+	h := New(tiny()) // L3 holds 8 blocks
+	// Touch 9 distinct blocks from core 0: block 1 must leave the L3.
+	for b := uint64(1); b <= 9; b++ {
+		h.Access(0, b)
+	}
+	h.ResetCounts()
+	h.Access(0, 1)
+	c := h.Counts()
+	if c[topology.LocalDRAM] == 0 {
+		t.Fatalf("expected local DRAM after L3 eviction, got %+v", c)
+	}
+}
+
+func TestSharedL3WithinSocket(t *testing.T) {
+	h := New(tiny())
+	h.Access(0, 5) // core 0 (socket 0)
+	h.ResetCounts()
+	h.Access(1, 5) // core 1 shares socket 0's L3
+	c := h.Counts()
+	if c[topology.LocalL3] == 0 {
+		t.Fatalf("expected local L3 hit for socket-mate, got %+v", c)
+	}
+}
+
+func TestCountsAddAndTotal(t *testing.T) {
+	var a, b Counts
+	a[topology.L1] = 5
+	b[topology.L1] = 3
+	b[topology.RemoteDRAM] = 2
+	a.Add(b)
+	if a[topology.L1] != 8 || a[topology.RemoteDRAM] != 2 || a.Total() != 10 {
+		t.Fatalf("Add/Total wrong: %+v", a)
+	}
+}
+
+func TestInferredLatency(t *testing.T) {
+	var c Counts
+	c[topology.L1] = 10
+	c[topology.LocalDRAM] = 2
+	lat := topology.Paper().Lat
+	withL1 := c.InferredLatency(lat, true)
+	without := c.InferredLatency(lat, false)
+	if withL1 <= without {
+		t.Fatal("including L1 did not increase inferred latency")
+	}
+	if want := 2 * lat[topology.LocalDRAM]; without != want {
+		t.Fatalf("inferred latency %v, want %v", without, want)
+	}
+}
+
+func TestAllocatorNonOverlapping(t *testing.T) {
+	a := NewAllocator(tiny())
+	r1 := a.Alloc(10000) // 3 blocks
+	r2 := a.Alloc(4096)  // 1 block
+	if r1.Blocks() != 3 || r2.Blocks() != 1 {
+		t.Fatalf("blocks: %d, %d", r1.Blocks(), r2.Blocks())
+	}
+	if r1.Block(2) >= r2.Block(0) {
+		t.Fatal("regions overlap")
+	}
+	if r1.BlockOf(0) != r1.Block(0) || r1.BlockOf(9999) != r1.Block(2) {
+		t.Fatal("BlockOf misaligned")
+	}
+}
+
+func TestBlockOfPanicsOutside(t *testing.T) {
+	a := NewAllocator(tiny())
+	r := a.Alloc(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BlockOf outside region did not panic")
+		}
+	}()
+	r.BlockOf(100)
+}
+
+func TestTouchRangeCountsLines(t *testing.T) {
+	m := tiny()
+	h := New(m)
+	a := NewAllocator(m)
+	r := a.Alloc(3 * int64(m.BlockSize))
+	h.TouchRange(0, r, 0, 3*int64(m.BlockSize))
+	want := int64(3 * m.LinesPerBlock())
+	if got := h.Counts().Total(); got != want {
+		t.Fatalf("touched %d lines, want %d", got, want)
+	}
+	// Partial range: half a block = half the lines (rounded up).
+	h.ResetCounts()
+	h.TouchRange(1, r, 0, int64(m.BlockSize)/2)
+	if got := h.Counts().Total(); got != int64(m.LinesPerBlock()/2) {
+		t.Fatalf("partial touch %d lines, want %d", got, m.LinesPerBlock()/2)
+	}
+}
+
+func TestHomeRange(t *testing.T) {
+	m := tiny()
+	h := New(m)
+	a := NewAllocator(m)
+	r := a.Alloc(4 * int64(m.BlockSize))
+	h.HomeRange(r, 0, 2*int64(m.BlockSize), 1)
+	if h.Home(r.Block(0)) != 1 || h.Home(r.Block(1)) != 1 {
+		t.Fatal("HomeRange did not set homes")
+	}
+	if h.Home(r.Block(2)) != -1 {
+		t.Fatal("HomeRange set homes beyond range")
+	}
+	// Explicit homing wins over first touch.
+	h.ResetCounts()
+	h.Access(0, r.Block(0)) // core 0 = socket 0, but home = socket 1
+	c := h.Counts()
+	if c[topology.RemoteDRAM] == 0 {
+		t.Fatalf("explicitly homed block not serviced remotely: %+v", c)
+	}
+}
+
+func TestLRUSemantics(t *testing.T) {
+	c := newLRU(2)
+	if ev, did := c.touch(1); did || ev != 0 {
+		t.Fatal("eviction on insert into empty cache")
+	}
+	c.touch(2)
+	c.touch(1) // refresh 1; LRU is now 2
+	if ev, did := c.touch(3); !did || ev != 2 {
+		t.Fatalf("evicted %d (did=%v), want 2", ev, did)
+	}
+	if !c.contains(1) || !c.contains(3) || c.contains(2) {
+		t.Fatal("wrong contents after eviction")
+	}
+	c.remove(1)
+	if c.contains(1) || c.len() != 1 {
+		t.Fatal("remove failed")
+	}
+	c.touch(7)
+	c.touch(8) // uses freed slot then evicts 3
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+// TestQuickLRUModel compares the intrusive LRU against a simple slice
+// model under random operation sequences.
+func TestQuickLRUModel(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		const capa = 4
+		c := newLRU(capa)
+		var model []uint64 // model[0] = MRU
+		find := func(b uint64) int {
+			for i, v := range model {
+				if v == b {
+					return i
+				}
+			}
+			return -1
+		}
+		for _, op := range ops {
+			b := uint64(op % 8)
+			if op < 200 { // touch
+				c.touch(b)
+				if i := find(b); i >= 0 {
+					model = append(model[:i], model[i+1:]...)
+				} else if len(model) == capa {
+					model = model[:capa-1]
+				}
+				model = append([]uint64{b}, model...)
+			} else { // remove
+				c.remove(b)
+				if i := find(b); i >= 0 {
+					model = append(model[:i], model[i+1:]...)
+				}
+			}
+			if c.len() != len(model) {
+				return false
+			}
+			for _, v := range model {
+				if !c.contains(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package nas
+
+import (
+	"fmt"
+	"math"
+
+	"hybridloop"
+	"hybridloop/internal/rng"
+)
+
+// EP is the NPB "embarrassingly parallel" kernel: generate 2^M uniform
+// deviates from the NPB linear-congruential stream, form pairs (x, y) in
+// (-1, 1)^2, accept those inside the unit circle, transform them to
+// Gaussian deviates by the Marsaglia polar method, and tabulate the sums
+// and the annulus counts q[0..9] of max(|X|, |Y|).
+//
+// The kernel parallelizes over blocks of 2^LogBlock pairs; block k starts
+// its private generator at position 2 * k * 2^LogBlock of the single
+// global stream via the O(log n) skip-ahead — exactly the NPB scheme, so
+// the parallel run produces the same deviates as the sequential one.
+type EP struct {
+	// M sets the problem size: 2^(M-1) pairs (NPB class S is M=24).
+	M int
+	// LogBlock is the log2 of pairs per parallel block (NPB's MK = 16;
+	// smaller values expose more parallelism for small M).
+	LogBlock int
+	// Seed is the LCG seed; 0 means the NPB default 271828183.
+	Seed uint64
+}
+
+// EPResult holds the kernel's outputs.
+type EPResult struct {
+	Sx, Sy float64   // sums of the Gaussian deviates
+	Q      [10]int64 // annulus counts
+	Pairs  int64     // accepted pairs (sum of Q)
+}
+
+// Counts returns the total accepted pairs.
+func (r EPResult) Counts() int64 {
+	var t int64
+	for _, q := range r.Q {
+		t += q
+	}
+	return t
+}
+
+func (e EP) params() (blocks int, pairsPerBlock int64, seed uint64) {
+	lb := e.LogBlock
+	if lb == 0 {
+		lb = 10
+	}
+	if e.M <= lb {
+		panic(fmt.Sprintf("nas: EP M=%d must exceed LogBlock=%d", e.M, lb))
+	}
+	seed = e.Seed
+	if seed == 0 {
+		seed = rng.NPBDefaultSeed
+	}
+	return 1 << (e.M - 1 - lb), 1 << lb, seed
+}
+
+// block computes one block's contribution: pairs [first, first+count) of
+// the global stream.
+func epBlock(seed uint64, first, count int64) EPResult {
+	g := rng.NewNPB(seed)
+	g.Skip(uint64(2 * first))
+	var res EPResult
+	for k := int64(0); k < count; k++ {
+		x := 2*g.Next() - 1
+		y := 2*g.Next() - 1
+		t := x*x + y*y
+		if t > 1 || t == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(t) / t)
+		xk, yk := x*f, y*f
+		res.Sx += xk
+		res.Sy += yk
+		l := int(math.Max(math.Abs(xk), math.Abs(yk)))
+		res.Q[l]++
+	}
+	res.Pairs = res.Counts()
+	return res
+}
+
+func mergeEP(blocks []EPResult) EPResult {
+	var out EPResult
+	for _, b := range blocks {
+		out.Sx += b.Sx
+		out.Sy += b.Sy
+		for i := range out.Q {
+			out.Q[i] += b.Q[i]
+		}
+	}
+	out.Pairs = out.Counts()
+	return out
+}
+
+// Sequential runs the kernel on one core without parallel constructs.
+func (e EP) Sequential() EPResult {
+	nb, ppb, seed := e.params()
+	blocks := make([]EPResult, nb)
+	for b := 0; b < nb; b++ {
+		blocks[b] = epBlock(seed, int64(b)*ppb, ppb)
+	}
+	return mergeEP(blocks)
+}
+
+// Parallel runs the kernel as one parallel loop over blocks. Because each
+// block's deviates come from a fixed slice of the global stream and the
+// merge folds blocks in index order, the result is bitwise identical to
+// Sequential regardless of scheduling.
+func (e EP) Parallel(p Pool, opts ...hybridloop.ForOption) EPResult {
+	nb, ppb, seed := e.params()
+	blocks := make([]EPResult, nb)
+	p.For(0, nb, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			blocks[b] = epBlock(seed, int64(b)*ppb, ppb)
+		}
+	}, opts...)
+	return mergeEP(blocks)
+}

@@ -1,0 +1,63 @@
+package nas
+
+import (
+	"math"
+	"testing"
+
+	"hybridloop"
+)
+
+// EPClassParams holds the NPB class constants for EP: 2^MPairs Gaussian
+// pairs, with the published verification sums (ep.f verify step uses
+// relative tolerance 1e-8).
+type epClass struct {
+	mPairs int // NPB's M: 2^M pairs
+	sx, sy float64
+	pairs  int64 // accepted Gaussian pairs, exact
+}
+
+var epClasses = map[byte]epClass{
+	'S': {mPairs: 24, sx: -3.247834652034740e+3, sy: -6.958407078382297e+3, pairs: 13176389},
+	'W': {mPairs: 25, sx: -2.863319731645753e+3, sy: -6.320053679109499e+3, pairs: 26354769},
+}
+
+func relErr(got, want float64) float64 {
+	return math.Abs((got - want) / want)
+}
+
+// TestNPBEPClassSVerification checks the official NPB EP class S
+// verification values: the Gaussian sums within the reference tolerance
+// and the accepted-pair count exactly. Together with the CG class
+// verification this pins the whole randlc/skip-ahead machinery.
+func TestNPBEPClassSVerification(t *testing.T) {
+	c := epClasses['S']
+	r := EP{M: c.mPairs + 1, LogBlock: 16}.Sequential()
+	if relErr(r.Sx, c.sx) > 1e-8 || relErr(r.Sy, c.sy) > 1e-8 {
+		t.Fatalf("class S sums (%.15e, %.15e) differ from official (%.15e, %.15e)",
+			r.Sx, r.Sy, c.sx, c.sy)
+	}
+	if r.Pairs != c.pairs {
+		t.Fatalf("class S accepted pairs = %d, official %d", r.Pairs, c.pairs)
+	}
+}
+
+func TestNPBEPClassSParallel(t *testing.T) {
+	pool := hybridloop.NewPool(4, hybridloop.WithSeed(17))
+	defer pool.Close()
+	c := epClasses['S']
+	r := EP{M: c.mPairs + 1, LogBlock: 16}.Parallel(pool)
+	if relErr(r.Sx, c.sx) > 1e-8 || r.Pairs != c.pairs {
+		t.Fatalf("parallel class S failed verification: %+v", r)
+	}
+}
+
+func TestNPBEPClassWVerification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class W takes ~1s")
+	}
+	c := epClasses['W']
+	r := EP{M: c.mPairs + 1, LogBlock: 16}.Sequential()
+	if relErr(r.Sx, c.sx) > 1e-8 || relErr(r.Sy, c.sy) > 1e-8 || r.Pairs != c.pairs {
+		t.Fatalf("class W failed verification: %+v", r)
+	}
+}

@@ -1,0 +1,61 @@
+package nas
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"hybridloop"
+)
+
+// The official NPB FT class S verification checksums (ft.f verify step,
+// relative tolerance 1e-12; we allow 1e-11 to absorb the rounding
+// difference between our radix-2 Cooley–Tukey and NPB's Stockham FFT —
+// the values agree to the last printed digit).
+var npbFTClassS = []complex128{
+	complex(5.546087004964e+02, 4.845363331978e+02),
+	complex(5.546385409189e+02, 4.865304269511e+02),
+	complex(5.546148406171e+02, 4.883910722336e+02),
+	complex(5.545423607415e+02, 4.901273169046e+02),
+	complex(5.544255039624e+02, 4.917475857993e+02),
+	complex(5.542683411902e+02, 4.932597244941e+02),
+}
+
+func TestNPBFTClassSVerification(t *testing.T) {
+	r := NPBFT(FT{N1: 64, N2: 64, N3: 64, Iterations: 6}, nil)
+	if len(r.Checksums) != len(npbFTClassS) {
+		t.Fatalf("%d checksums", len(r.Checksums))
+	}
+	for i, want := range npbFTClassS {
+		got := r.Checksums[i]
+		if cmplx.Abs(got-want)/cmplx.Abs(want) > 1e-11 {
+			t.Fatalf("T=%d checksum %v, official %v", i+1, got, want)
+		}
+	}
+}
+
+func TestNPBFTClassSParallelAllStrategies(t *testing.T) {
+	pool := hybridloop.NewPool(4, hybridloop.WithSeed(29))
+	defer pool.Close()
+	want := NPBFT(FT{N1: 64, N2: 64, N3: 64, Iterations: 6}, nil)
+	for _, s := range testStrategies {
+		got := NPBFT(FT{N1: 64, N2: 64, N3: 64, Iterations: 6}, pool, hybridloop.WithStrategy(s))
+		for i := range want.Checksums {
+			if got.Checksums[i] != want.Checksums[i] {
+				t.Fatalf("%v: T=%d checksum %v != sequential %v",
+					s, i+1, got.Checksums[i], want.Checksums[i])
+			}
+		}
+	}
+}
+
+func TestNPBFTClassWVerification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class W (128x128x32) takes ~1s")
+	}
+	// Official NPB FT class W first-step checksum.
+	want := complex(5.673612178944e+02, 5.293246849175e+02)
+	r := NPBFT(FT{N1: 128, N2: 128, N3: 32, Iterations: 6}, nil)
+	if cmplx.Abs(r.Checksums[0]-want)/cmplx.Abs(want) > 1e-11 {
+		t.Fatalf("class W T=1 checksum %v, official %v", r.Checksums[0], want)
+	}
+}

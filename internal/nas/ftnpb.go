@@ -1,0 +1,103 @@
+package nas
+
+import (
+	"math"
+
+	"hybridloop"
+	"hybridloop/internal/rng"
+)
+
+// This file implements the NPB FT benchmark's exact computation (ft.f):
+// the initial complex field comes from one continuous vranlc stream
+// (seed 314159265, pairs of draws per element, x fastest); the forward
+// 3-D FFT moves to frequency space once; each of the niter time steps
+// multiplies by the one-step evolution factors exp(-4 alpha pi^2 |k|^2)
+// (accumulating in u0), inverse-transforms without normalization, and
+// reports the checksum sum_{j=1..1024} u2(j mod n1, 3j mod n2, 5j mod n3)
+// divided by the volume.
+
+// ftAlpha is NPB's alpha = 1e-6.
+const ftAlpha = 1e-6
+
+// NPBFTResult carries the per-iteration checksums (NPB prints one per
+// time step; verification compares each to the class reference with
+// relative tolerance 1e-12).
+type NPBFTResult struct {
+	Checksums []complex128
+}
+
+// npbFTInit fills the array from the NPB stream: element (i,j,k), i
+// fastest, gets the next two draws as (re, im).
+func npbFTInit(st *ftState) {
+	g := rng.NewNPB(314159265)
+	for idx := range st.x {
+		re := g.Next()
+		im := g.Next()
+		st.x[idx] = complex(re, im)
+	}
+}
+
+// npbTwiddle returns the one-step evolution factor for the element at
+// (i, j, k): exp(ap * (kx^2 + ky^2 + kz^2)) with ap = -4 alpha pi^2.
+func npbTwiddle(st *ftState, i, j, k int) float64 {
+	ap := -4 * ftAlpha * math.Pi * math.Pi
+	fi := freq(i, st.f.N1)
+	fj := freq(j, st.f.N2)
+	fk := freq(k, st.f.N3)
+	return math.Exp(ap * (fi*fi + fj*fj + fk*fk))
+}
+
+// NPBFT runs the NPB FT benchmark: f gives the dimensions and iteration
+// count (class S: 64x64x64, 6 iterations); pool nil runs sequentially.
+func NPBFT(f FT, pool Pool, opts ...hybridloop.ForOption) NPBFTResult {
+	f = f.defaults()
+	var pf forRange
+	if pool == nil {
+		pf = func(n int, body func(lo, hi int)) { body(0, n) }
+	} else {
+		pf = func(n int, body func(lo, hi int)) { pool.For(0, n, body, opts...) }
+	}
+
+	st := f.setup()
+	npbFTInit(st)
+	// Precompute the one-step twiddle factors (compute_indexmap).
+	twiddle := make([]float64, st.volume)
+	pf(f.N3, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			for j := 0; j < f.N2; j++ {
+				for i := 0; i < f.N1; i++ {
+					twiddle[st.at(i, j, k)] = npbTwiddle(st, i, j, k)
+				}
+			}
+		}
+	})
+
+	// u0 = forward FFT of the initial field.
+	st.fft3(pf, -1)
+	u0 := st.x
+	u2 := make([]complex128, st.volume)
+
+	res := NPBFTResult{}
+	for it := 1; it <= f.Iterations; it++ {
+		// evolve: u0 *= twiddle (accumulating); u1 = u0.
+		pf(len(u0), func(lo, hi int) {
+			for idx := lo; idx < hi; idx++ {
+				u0[idx] *= complex(twiddle[idx], 0)
+			}
+		})
+		copy(u2, u0)
+		// u2 = unnormalized inverse FFT of u1.
+		st2 := &ftState{f: st.f, x: u2, volume: st.volume}
+		st2.fft3(pf, +1)
+		// checksum over the fixed index progression, scaled by 1/volume.
+		var chk complex128
+		for q := 1; q <= 1024; q++ {
+			i := q % f.N1
+			j := (3 * q) % f.N2
+			k := (5 * q) % f.N3
+			chk += st2.x[st2.at(i, j, k)]
+		}
+		res.Checksums = append(res.Checksums, chk/complex(float64(st.volume), 0))
+	}
+	return res
+}

@@ -1,0 +1,187 @@
+package nas
+
+import (
+	"fmt"
+
+	"hybridloop"
+	"hybridloop/internal/rng"
+)
+
+// IS is the NPB integer-sort kernel: rank N keys drawn from [0, MaxKey)
+// by bucketed counting sort, repeated for Iterations rounds. As in NPB,
+// each round perturbs two keys (a function of the round number) before
+// ranking, so the work cannot be hoisted out of the loop. The parallel
+// phases are (1) per-chunk private histograms over the key array and
+// (2) rank assignment, both expressed as parallel loops; the bucket
+// prefix sum is sequential (it is O(MaxKey), tiny next to O(N)).
+//
+// Deviation from NPB (documented in DESIGN.md): keys come from our
+// xoshiro generator rather than NPB's sum-of-four-randlc recipe — the
+// distribution (uniform over the key range) and the ranking algorithm are
+// what the scheduling study exercises, not the exact key values.
+type IS struct {
+	N          int // number of keys (NPB class S: 2^16, W: 2^20, A: 2^23)
+	MaxKey     int // key range (NPB: 2^11 .. 2^19 depending on class)
+	Iterations int // ranking rounds (NPB: 10)
+	Seed       uint64
+}
+
+// ISResult carries the final ranks and the verification counters.
+type ISResult struct {
+	Keys  []int32 // the key array after the final round's perturbations
+	Ranks []int32 // Ranks[i] = rank of Keys[i] in the sorted order
+}
+
+func (s IS) defaults() IS {
+	if s.Iterations == 0 {
+		s.Iterations = 10
+	}
+	if s.MaxKey == 0 {
+		s.MaxKey = 1 << 11
+	}
+	if s.Seed == 0 {
+		s.Seed = 314159265
+	}
+	if s.N <= 0 {
+		panic(fmt.Sprintf("nas: IS N=%d", s.N))
+	}
+	return s
+}
+
+// genKeys produces the initial key array (deterministic in the seed).
+func (s IS) genKeys() []int32 {
+	g := rng.NewXoshiro256(s.Seed)
+	keys := make([]int32, s.N)
+	for i := range keys {
+		keys[i] = int32(g.Intn(s.MaxKey))
+	}
+	return keys
+}
+
+// perturb is NPB's per-iteration modification: place the iteration number
+// and its complement at positions derived from the round.
+func (s IS) perturb(keys []int32, round int) {
+	keys[round] = int32(round % s.MaxKey)
+	keys[(round+s.N/2)%s.N] = int32((s.MaxKey - round) % s.MaxKey)
+}
+
+// rankSequential ranks keys by counting sort, sequentially.
+func (s IS) rankSequential(keys []int32) []int32 {
+	hist := make([]int32, s.MaxKey)
+	for _, k := range keys {
+		hist[k]++
+	}
+	// Exclusive prefix sum: start rank of each bucket.
+	var acc int32
+	for b := range hist {
+		c := hist[b]
+		hist[b] = acc
+		acc += c
+	}
+	ranks := make([]int32, len(keys))
+	// Stable within a bucket by index order.
+	for i, k := range keys {
+		ranks[i] = hist[k]
+		hist[k]++
+	}
+	return ranks
+}
+
+// Sequential runs all rounds without parallel constructs.
+func (s IS) Sequential() ISResult {
+	s = s.defaults()
+	keys := s.genKeys()
+	var ranks []int32
+	for round := 0; round < s.Iterations; round++ {
+		s.perturb(keys, round)
+		ranks = s.rankSequential(keys)
+	}
+	return ISResult{Keys: keys, Ranks: ranks}
+}
+
+// Parallel runs all rounds with parallel histogram and ranking loops.
+// The result is identical to Sequential: per-chunk histograms partition
+// the key array at fixed block boundaries, and ranks within a bucket are
+// assigned in block order, reproducing the stable sequential ranking.
+func (s IS) Parallel(p Pool, opts ...hybridloop.ForOption) ISResult {
+	s = s.defaults()
+	keys := s.genKeys()
+	nb := numBlocks(s.N)
+	// hists[b] is block b's private histogram; reused across rounds.
+	hists := make([][]int32, nb)
+	for b := range hists {
+		hists[b] = make([]int32, s.MaxKey)
+	}
+	var ranks []int32
+	for round := 0; round < s.Iterations; round++ {
+		s.perturb(keys, round)
+		// Phase 1: private histograms per fixed block.
+		p.For(0, nb, func(blo, bhi int) {
+			for b := blo; b < bhi; b++ {
+				h := hists[b]
+				for i := range h {
+					h[i] = 0
+				}
+				lo, hi := blockRange(b, s.N)
+				for _, k := range keys[lo:hi] {
+					h[k]++
+				}
+			}
+		}, opts...)
+		// Phase 2 (sequential, O(MaxKey * nb)): for each bucket, compute
+		// the starting rank of each block's keys so that ranking is
+		// stable by (bucket, block, index) — exactly the sequential
+		// counting sort's order.
+		starts := make([]int32, s.MaxKey)
+		var acc int32
+		for bucket := 0; bucket < s.MaxKey; bucket++ {
+			starts[bucket] = acc
+			for b := 0; b < nb; b++ {
+				c := hists[b][bucket]
+				hists[b][bucket] = acc
+				acc += c
+			}
+		}
+		// Phase 3: assign ranks per block using the block's bucket bases.
+		ranks = make([]int32, s.N)
+		p.For(0, nb, func(blo, bhi int) {
+			for b := blo; b < bhi; b++ {
+				base := hists[b]
+				lo, hi := blockRange(b, s.N)
+				for i := lo; i < hi; i++ {
+					k := keys[i]
+					ranks[i] = base[k]
+					base[k]++
+				}
+			}
+		}, opts...)
+	}
+	return ISResult{Keys: keys, Ranks: ranks}
+}
+
+// VerifyRanks checks the ranking invariants: ranks form a permutation of
+// [0, N), and ordering by rank sorts the keys stably.
+func VerifyRanks(keys, ranks []int32) error {
+	n := len(keys)
+	if len(ranks) != n {
+		return fmt.Errorf("nas: ranks length %d != keys length %d", len(ranks), n)
+	}
+	sorted := make([]int32, n)
+	seen := make([]bool, n)
+	for i, r := range ranks {
+		if r < 0 || int(r) >= n {
+			return fmt.Errorf("nas: rank %d out of range", r)
+		}
+		if seen[r] {
+			return fmt.Errorf("nas: duplicate rank %d", r)
+		}
+		seen[r] = true
+		sorted[r] = keys[i]
+	}
+	for i := 1; i < n; i++ {
+		if sorted[i-1] > sorted[i] {
+			return fmt.Errorf("nas: keys not sorted at rank %d: %d > %d", i, sorted[i-1], sorted[i])
+		}
+	}
+	return nil
+}

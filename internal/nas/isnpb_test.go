@@ -1,0 +1,64 @@
+package nas
+
+import (
+	"testing"
+
+	"hybridloop"
+)
+
+func TestNPBISKeyDistributionIsBellShaped(t *testing.T) {
+	loads := BucketLoads(NPBISClasses['S'], 16)
+	total := 0
+	for _, l := range loads {
+		total += l
+	}
+	if total != NPBISClasses['S'].N {
+		t.Fatalf("loads sum %d", total)
+	}
+	// Irwin–Hall n=4: middle buckets far heavier than the tails.
+	mid := loads[7] + loads[8]
+	tails := loads[0] + loads[15]
+	if mid < 5*tails {
+		t.Fatalf("distribution not bell-shaped: mid %d vs tails %d (%v)", mid, tails, loads)
+	}
+	// Symmetry within sampling noise.
+	if diff := loads[7] - loads[8]; diff > total/50 || diff < -total/50 {
+		t.Fatalf("distribution asymmetric: %v", loads)
+	}
+}
+
+func TestNPBISClassSRanksValidAndDeterministic(t *testing.T) {
+	seq := NPBIS(NPBISClasses['S'], nil)
+	if err := VerifyRanks(seq.Keys, seq.Ranks); err != nil {
+		t.Fatalf("sequential full_verify failed: %v", err)
+	}
+	pool := hybridloop.NewPool(4, hybridloop.WithSeed(31))
+	defer pool.Close()
+	for _, s := range testStrategies {
+		par := NPBIS(NPBISClasses['S'], pool, hybridloop.WithStrategy(s))
+		if err := VerifyRanks(par.Keys, par.Ranks); err != nil {
+			t.Fatalf("%v: full_verify failed: %v", s, err)
+		}
+		for i := range seq.Ranks {
+			if par.Ranks[i] != seq.Ranks[i] {
+				t.Fatalf("%v: rank[%d] = %d != sequential %d", s, i, par.Ranks[i], seq.Ranks[i])
+			}
+		}
+	}
+}
+
+func TestCreateSeqMatchesNPBRecipe(t *testing.T) {
+	// First key recomputed by hand from the stream.
+	g := newNPBStream()
+	x := g.next() + g.next() + g.next() + g.next()
+	want := int32(float64(NPBISClasses['S'].MaxKey/4) * x)
+	keys := createSeq(16, NPBISClasses['S'].MaxKey)
+	if keys[0] != want {
+		t.Fatalf("key[0] = %d, want %d", keys[0], want)
+	}
+	for _, k := range keys {
+		if k < 0 || int(k) >= NPBISClasses['S'].MaxKey {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package nas
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"hybridloop"
+)
+
+// The NPB verification values for CG (from the official NPB distribution,
+// cg.f verify step: |zeta - zeta_verify| <= 1e-10).
+const (
+	npbZetaS = 8.5971775078648
+	npbZetaW = 10.362595087124
+	npbEps   = 1e-10
+)
+
+// TestNPBCGClassSVerification runs the official NPB CG class S benchmark
+// and checks the published verification value — the strongest correctness
+// statement available for this kernel: the matrix generator (makea with
+// the exact randlc stream), the conjugate-gradient solver, and the
+// inverse-power outer loop are all bit-compatible with the reference
+// implementation.
+func TestNPBCGClassSVerification(t *testing.T) {
+	r := NPBCG(CGClasses['S'], nil)
+	if math.Abs(r.Zeta-npbZetaS) > npbEps {
+		t.Fatalf("class S zeta = %.13f, official value %.13f", r.Zeta, npbZetaS)
+	}
+}
+
+// TestNPBCGClassSParallelAllStrategies: the parallel runs must reproduce
+// the official value under every scheduling strategy (deterministic block
+// reductions make them bitwise equal to the sequential run).
+func TestNPBCGClassSParallelAllStrategies(t *testing.T) {
+	pool := hybridloop.NewPool(4, hybridloop.WithSeed(3))
+	defer pool.Close()
+	p := CGClasses['S']
+	a := NPBMatrix(p)
+	cfg := CG{N: p.N, NIters: p.NIter, InnerIters: 25, Shift: p.Shift}
+	for _, s := range testStrategies {
+		r := cfg.ParallelOn(pool, a, hybridloop.WithStrategy(s))
+		if math.Abs(r.Zeta-npbZetaS) > npbEps {
+			t.Fatalf("%v: class S zeta = %.13f, official value %.13f", s, r.Zeta, npbZetaS)
+		}
+	}
+}
+
+func TestNPBCGClassWVerification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class W takes ~0.5s")
+	}
+	r := NPBCG(CGClasses['W'], nil)
+	if math.Abs(r.Zeta-npbZetaW) > npbEps {
+		t.Fatalf("class W zeta = %.13f, official value %.13f", r.Zeta, npbZetaW)
+	}
+}
+
+// TestMakeaStructure sanity-checks the generated matrix: symmetric
+// pattern with the forced diagonal, ~nonzer^2-ish row density.
+func TestMakeaStructure(t *testing.T) {
+	p := CGClasses['S']
+	a := NPBMatrix(p)
+	if a.N != p.N {
+		t.Fatalf("N = %d", a.N)
+	}
+	// Every diagonal entry exists (vecset forces coordinate i into x_i,
+	// and rcond - shift is added).
+	for i := 0; i < a.N; i++ {
+		found := false
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if int(a.Col[k]) == i {
+				found = true
+				if a.Val[k] >= 0 {
+					t.Fatalf("diagonal %d = %v, want negative (rcond - shift dominated)", i, a.Val[k])
+				}
+			}
+			if k > a.RowPtr[i] && a.Col[k] <= a.Col[k-1] {
+				t.Fatalf("row %d columns not strictly sorted", i)
+			}
+		}
+		if !found {
+			t.Fatalf("row %d missing diagonal", i)
+		}
+	}
+	// Symmetry of values: A = sum of outer products + diagonal.
+	vals := map[[2]int32]float64{}
+	for i := 0; i < a.N; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			vals[[2]int32{int32(i), a.Col[k]}] = a.Val[k]
+		}
+	}
+	for key, v := range vals {
+		tv, ok := vals[[2]int32{key[1], key[0]}]
+		if !ok || math.Abs(tv-v) > 1e-12*(1+math.Abs(v)) {
+			t.Fatalf("asymmetry at (%d,%d): %v vs %v", key[0], key[1], v, tv)
+		}
+	}
+	// Average nonzeros per row in a plausible band around nonzer*(nonzer+1).
+	avg := float64(a.NNZ()) / float64(a.N)
+	if avg < float64(p.Nonzer) || avg > float64(3*(p.Nonzer+1)*(p.Nonzer+1)) {
+		t.Fatalf("average row density %.1f implausible for nonzer=%d", avg, p.Nonzer)
+	}
+}
+
+// TestSprnvcProperties: positions distinct and in range, values in (0,1).
+func TestSprnvcProperties(t *testing.T) {
+	s := newNPBStream()
+	mark := make([]bool, 1001)
+	for trial := 0; trial < 50; trial++ {
+		v, iv := sprnvc(s, 1000, 9, mark)
+		if len(v) != 9 || len(iv) != 9 {
+			t.Fatalf("got %d values", len(v))
+		}
+		seen := map[int]bool{}
+		for k := range v {
+			if iv[k] < 1 || iv[k] > 1000 || seen[iv[k]] {
+				t.Fatalf("bad position %d", iv[k])
+			}
+			seen[iv[k]] = true
+			if v[k] <= 0 || v[k] >= 1 {
+				t.Fatalf("value %v outside (0,1)", v[k])
+			}
+		}
+		// The mark array must be clean for the next call.
+		for i, m := range mark {
+			if m {
+				t.Fatalf("mark[%d] left set", i)
+			}
+		}
+	}
+}
+
+func TestVecset(t *testing.T) {
+	v, iv := []float64{0.1, 0.2}, []int{3, 7}
+	v2, iv2 := vecset(v, iv, 7, 0.5)
+	if len(v2) != 2 || v2[1] != 0.5 {
+		t.Fatalf("overwrite failed: %v %v", v2, iv2)
+	}
+	v3, iv3 := vecset(v2, iv2, 9, 0.5)
+	if len(v3) != 3 || iv3[2] != 9 || v3[2] != 0.5 {
+		t.Fatalf("append failed: %v %v", v3, iv3)
+	}
+}
+
+func TestNPBCGClassAVerification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class A takes ~2s")
+	}
+	p := CGClasses['A']
+	r := NPBCG(p, nil)
+	if math.Abs(r.Zeta-p.ZetaRef) > npbEps {
+		t.Fatalf("class A zeta = %.13f, official value %.13f", r.Zeta, p.ZetaRef)
+	}
+}
+
+// TestNPBCGClassBVerification is the largest pinned class (~2 minutes);
+// enable with NPB_LONG=1.
+func TestNPBCGClassBVerification(t *testing.T) {
+	if os.Getenv("NPB_LONG") == "" {
+		t.Skip("set NPB_LONG=1 to run the ~2-minute class B verification")
+	}
+	p := CGClasses['B']
+	r := NPBCG(p, nil)
+	if math.Abs(r.Zeta-p.ZetaRef) > npbEps {
+		t.Fatalf("class B zeta = %.13f, official value %.13f", r.Zeta, p.ZetaRef)
+	}
+}

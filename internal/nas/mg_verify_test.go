@@ -1,0 +1,70 @@
+package nas
+
+import (
+	"math"
+	"testing"
+
+	"hybridloop"
+)
+
+// The official NPB MG class S verification value (mg.f verify step:
+// relative tolerance 1e-8 on the final rnm2 after 4 V-cycles on the
+// 32^3 grid).
+const npbMGClassS = 0.5307707005734e-04
+
+func TestNPBMGClassSVerification(t *testing.T) {
+	r := MG{Log2N: 5, Cycles: 4}.SequentialNPB()
+	if math.Abs(r.Final()-npbMGClassS)/npbMGClassS > 1e-8 {
+		t.Fatalf("class S rnm2 = %.13e, official %.13e", r.Final(), npbMGClassS)
+	}
+}
+
+func TestNPBMGClassSParallelAllStrategies(t *testing.T) {
+	pool := hybridloop.NewPool(4, hybridloop.WithSeed(23))
+	defer pool.Close()
+	want := MG{Log2N: 5, Cycles: 4}.SequentialNPB().Final()
+	for _, s := range testStrategies {
+		r := MG{Log2N: 5, Cycles: 4}.ParallelNPB(pool, hybridloop.WithStrategy(s))
+		if r.Final() != want {
+			t.Fatalf("%v: rnm2 %.13e != sequential %.13e", s, r.Final(), want)
+		}
+	}
+}
+
+// TestZran3ChargeStructure: exactly ten +1 and ten -1 charges, everything
+// else zero, and norm2u3 of the charge field is sqrt(20/n^3).
+func TestZran3ChargeStructure(t *testing.T) {
+	g := newGrid3(32)
+	zran3(g, 32)
+	var pos, neg, other int
+	for _, v := range g.v {
+		switch v {
+		case 1:
+			pos++
+		case -1:
+			neg++
+		case 0:
+		default:
+			other++
+		}
+	}
+	if pos != 10 || neg != 10 || other != 0 {
+		t.Fatalf("charges: +%d -%d other %d", pos, neg, other)
+	}
+	want := math.Sqrt(20.0 / float64(32*32*32))
+	if got := norm2u3(g); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("norm2u3 = %v, want %v", got, want)
+	}
+}
+
+func TestNPBMGClassWVerification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class W (128^3) takes ~3s")
+	}
+	// Official NPB MG class W verification value.
+	const ref = 0.6467329375339e-05
+	r := MG{Log2N: 7, Cycles: 4}.SequentialNPB()
+	if math.Abs(r.Final()-ref)/ref > 1e-8 {
+		t.Fatalf("class W rnm2 = %.13e, official %.13e", r.Final(), ref)
+	}
+}

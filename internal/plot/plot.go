@@ -1,0 +1,363 @@
+// Package plot renders the experiment results as standalone SVG figures —
+// line charts for the scalability plots (Figures 1 and 3) and grouped bar
+// charts for the affinity and memory-counter tables (Figures 2 and 4).
+// Pure standard library; the files open in any browser.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+)
+
+// Palette is the series color cycle (hybrid, vanilla, static, dynamic,
+// guided, ff — matching the harness ordering).
+var Palette = []string{
+	"#d62728", // red
+	"#1f77b4", // blue
+	"#2ca02c", // green
+	"#ff7f0e", // orange
+	"#9467bd", // purple
+	"#8c564b", // brown
+	"#17becf", // cyan
+	"#7f7f7f", // gray
+}
+
+// Series is one line or bar group member.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// LineChart is a multi-series line chart over categorical X positions.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	XTicks []string
+	Series []Series
+	// Width and Height in pixels; zero selects 640x420.
+	Width, Height int
+	// YMax forces the Y-axis maximum; zero auto-scales.
+	YMax float64
+}
+
+const (
+	marginL = 60
+	marginR = 150
+	marginT = 40
+	marginB = 50
+)
+
+func (c *LineChart) dims() (w, h int) {
+	w, h = c.Width, c.Height
+	if w == 0 {
+		w = 640
+	}
+	if h == 0 {
+		h = 420
+	}
+	return w, h
+}
+
+func (c *LineChart) yMax() float64 {
+	if c.YMax > 0 {
+		return c.YMax
+	}
+	max := 0.0
+	for _, s := range c.Series {
+		for _, y := range s.Y {
+			if y > max {
+				max = y
+			}
+		}
+	}
+	if max <= 0 {
+		return 1
+	}
+	return niceCeil(max)
+}
+
+// niceCeil rounds up to 1, 2, 2.5, 5 x 10^k.
+func niceCeil(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	exp := math.Floor(math.Log10(x))
+	base := math.Pow(10, exp)
+	for _, m := range []float64{1, 2, 2.5, 5, 10} {
+		if x <= m*base {
+			return m * base
+		}
+	}
+	return 10 * base
+}
+
+// SVG renders the chart.
+func (c *LineChart) SVG() string {
+	w, h := c.dims()
+	plotW := float64(w - marginL - marginR)
+	plotH := float64(h - marginT - marginB)
+	ymax := c.yMax()
+	nx := len(c.XTicks)
+	if nx == 0 {
+		for _, s := range c.Series {
+			if len(s.Y) > nx {
+				nx = len(s.Y)
+			}
+		}
+		for i := 0; i < nx; i++ {
+			c.XTicks = append(c.XTicks, fmt.Sprint(i))
+		}
+	}
+	xpos := func(i int) float64 {
+		if nx <= 1 {
+			return float64(marginL) + plotW/2
+		}
+		return float64(marginL) + plotW*float64(i)/float64(nx-1)
+	}
+	ypos := func(y float64) float64 {
+		return float64(marginT) + plotH*(1-y/ymax)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`, marginL, xmlEscape(c.Title))
+
+	// Axes and gridlines (5 Y ticks).
+	for t := 0; t <= 5; t++ {
+		yv := ymax * float64(t) / 5
+		yy := ypos(yv)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`,
+			marginL, yy, w-marginR, yy)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" fill="#444444">%s</text>`,
+			marginL-6, yy+4, trimFloat(yv))
+	}
+	for i, tick := range c.XTicks {
+		xx := xpos(i)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" fill="#444444">%s</text>`,
+			xx, h-marginB+18, xmlEscape(tick))
+	}
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#222222"/>`,
+		marginL, h-marginB, w-marginR, h-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#222222"/>`,
+		marginL, marginT, marginL, h-marginB)
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" fill="#222222">%s</text>`,
+		float64(marginL)+plotW/2, h-12, xmlEscape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" text-anchor="middle" transform="rotate(-90 16 %.1f)" fill="#222222">%s</text>`,
+		float64(marginT)+plotH/2, float64(marginT)+plotH/2, xmlEscape(c.YLabel))
+
+	// Series.
+	for si, s := range c.Series {
+		color := Palette[si%len(Palette)]
+		var pts []string
+		for i, y := range s.Y {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xpos(i), ypos(clamp(y, 0, ymax))))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`,
+			strings.Join(pts, " "), color)
+		for i, y := range s.Y {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`,
+				xpos(i), ypos(clamp(y, 0, ymax)), color)
+		}
+		// Legend entry.
+		ly := marginT + 8 + si*18
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`,
+			w-marginR+10, ly, w-marginR+30, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#222222">%s</text>`,
+			w-marginR+36, ly+4, xmlEscape(s.Name))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// WriteFile writes the chart to path.
+func (c *LineChart) WriteFile(path string) error {
+	return os.WriteFile(path, []byte(c.SVG()), 0o644)
+}
+
+// BarChart is a grouped bar chart: one group per X tick, one bar per
+// series within each group.
+type BarChart struct {
+	Title  string
+	YLabel string
+	Groups []string
+	Series []Series
+	// Width and Height in pixels; zero selects 640x420.
+	Width, Height int
+	YMax          float64
+}
+
+// SVG renders the chart.
+func (c *BarChart) SVG() string {
+	w, h := (&LineChart{Width: c.Width, Height: c.Height}).dims()
+	plotW := float64(w - marginL - marginR)
+	plotH := float64(h - marginT - marginB)
+	ymax := c.YMax
+	if ymax <= 0 {
+		for _, s := range c.Series {
+			for _, y := range s.Y {
+				if y > ymax {
+					ymax = y
+				}
+			}
+		}
+		ymax = niceCeil(ymax)
+	}
+	ng, ns := len(c.Groups), len(c.Series)
+	if ng == 0 || ns == 0 {
+		return `<svg xmlns="http://www.w3.org/2000/svg"></svg>`
+	}
+	groupW := plotW / float64(ng)
+	barW := groupW * 0.8 / float64(ns)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`, marginL, xmlEscape(c.Title))
+	for t := 0; t <= 5; t++ {
+		yv := ymax * float64(t) / 5
+		yy := float64(marginT) + plotH*(1-yv/ymax)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`,
+			marginL, yy, w-marginR, yy)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" fill="#444444">%s</text>`,
+			marginL-6, yy+4, trimFloat(yv))
+	}
+	for gi, g := range c.Groups {
+		gx := float64(marginL) + groupW*(float64(gi)+0.5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" fill="#444444">%s</text>`,
+			gx, h-marginB+18, xmlEscape(g))
+		for si, s := range c.Series {
+			if gi >= len(s.Y) {
+				continue
+			}
+			y := clamp(s.Y[gi], 0, ymax)
+			bh := plotH * y / ymax
+			bx := float64(marginL) + groupW*float64(gi) + groupW*0.1 + barW*float64(si)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+				bx, float64(marginT)+plotH-bh, barW, bh, Palette[si%len(Palette)])
+		}
+	}
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#222222"/>`,
+		marginL, h-marginB, w-marginR, h-marginB)
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" text-anchor="middle" transform="rotate(-90 16 %.1f)" fill="#222222">%s</text>`,
+		float64(marginT)+plotH/2, float64(marginT)+plotH/2, xmlEscape(c.YLabel))
+	for si, s := range c.Series {
+		ly := marginT + 8 + si*18
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`,
+			w-marginR+10, ly-8, Palette[si%len(Palette)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#222222">%s</text>`,
+			w-marginR+28, ly+3, xmlEscape(s.Name))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// WriteFile writes the chart to path.
+func (c *BarChart) WriteFile(path string) error {
+	return os.WriteFile(path, []byte(c.SVG()), 0o644)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// Gantt renders per-core execution segments as a timeline: one row per
+// row label, filled rectangles for busy intervals, colored by series
+// label (e.g. which loop or partition a chunk belongs to).
+type Gantt struct {
+	Title string
+	// Rows is the number of horizontal lanes (cores).
+	Rows int
+	// Spans are the busy intervals.
+	Spans []GanttSpan
+	// XMax forces the time-axis maximum; zero auto-scales.
+	XMax          float64
+	Width, Height int
+}
+
+// GanttSpan is one busy interval on a lane.
+type GanttSpan struct {
+	Row        int
+	Start, End float64
+	Color      int // palette index
+}
+
+// SVG renders the timeline.
+func (g *Gantt) SVG() string {
+	w, h := g.Width, g.Height
+	if w == 0 {
+		w = 900
+	}
+	if h == 0 {
+		h = 30 + g.Rows*16 + 40
+	}
+	xmax := g.XMax
+	if xmax <= 0 {
+		for _, s := range g.Spans {
+			if s.End > xmax {
+				xmax = s.End
+			}
+		}
+	}
+	if xmax <= 0 {
+		xmax = 1
+	}
+	plotW := float64(w - marginL - 20)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="14" font-weight="bold">%s</text>`, marginL, xmlEscape(g.Title))
+	rowY := func(r int) int { return 30 + r*16 }
+	for r := 0; r < g.Rows; r++ {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end" fill="#444444">c%d</text>`,
+			marginL-6, rowY(r)+11, r)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#eeeeee"/>`,
+			marginL, rowY(r)+14, w-20, rowY(r)+14)
+	}
+	for _, s := range g.Spans {
+		if s.Row < 0 || s.Row >= g.Rows {
+			continue
+		}
+		x := float64(marginL) + plotW*s.Start/xmax
+		wd := plotW * (s.End - s.Start) / xmax
+		if wd < 0.5 {
+			wd = 0.5
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="12" fill="%s"/>`,
+			x, rowY(s.Row), wd, Palette[s.Color%len(Palette)])
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#444444">0</text>`, marginL, h-10)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end" fill="#444444">%s cycles</text>`,
+		w-20, h-10, trimFloat(xmax))
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// WriteFile writes the timeline to path.
+func (g *Gantt) WriteFile(path string) error {
+	return os.WriteFile(path, []byte(g.SVG()), 0o644)
+}

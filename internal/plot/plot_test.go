@@ -1,0 +1,155 @@
+package plot
+
+import (
+	"encoding/xml"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validXML(t *testing.T, s string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(s))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, s)
+		}
+	}
+}
+
+func sampleLine() *LineChart {
+	return &LineChart{
+		Title:  "scalability",
+		XLabel: "cores",
+		YLabel: "T1/TP",
+		XTicks: []string{"1", "2", "4", "8"},
+		Series: []Series{
+			{Name: "hybrid", Y: []float64{1, 2, 4, 8}},
+			{Name: "vanilla", Y: []float64{1, 1.9, 3.5, 6}},
+		},
+	}
+}
+
+func TestLineChartWellFormed(t *testing.T) {
+	svg := sampleLine().SVG()
+	validXML(t, svg)
+	for _, want := range []string{"polyline", "hybrid", "vanilla", "scalability", "T1/TP", "circle"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Fatalf("%d polylines, want 2", got)
+	}
+	if got := strings.Count(svg, "<circle"); got != 8 {
+		t.Fatalf("%d markers, want 8", got)
+	}
+}
+
+func TestLineChartEscapesText(t *testing.T) {
+	c := sampleLine()
+	c.Title = `a<b & "c"`
+	svg := c.SVG()
+	validXML(t, svg)
+	if strings.Contains(svg, `a<b`) {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestLineChartAutoTicksAndEmpty(t *testing.T) {
+	c := &LineChart{Series: []Series{{Name: "x", Y: []float64{0, 0}}}}
+	validXML(t, c.SVG()) // zero data must not divide by zero
+	c2 := &LineChart{Series: []Series{{Name: "x", Y: []float64{3}}}}
+	svg := c2.SVG()
+	validXML(t, svg) // single point: no division by nx-1 = 0
+	if !strings.Contains(svg, "circle") {
+		t.Fatal("single point not drawn")
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := map[float64]float64{
+		0.7: 1, 1: 1, 1.2: 2, 2.2: 2.5, 3: 5, 7: 10, 32: 50, 71: 100, 100: 100,
+	}
+	for in, want := range cases {
+		if got := niceCeil(in); got != want {
+			t.Errorf("niceCeil(%v) = %v, want %v", in, got, want)
+		}
+	}
+	if niceCeil(-1) != 1 {
+		t.Error("negative input")
+	}
+}
+
+func TestBarChartWellFormed(t *testing.T) {
+	c := &BarChart{
+		Title:  "affinity",
+		YLabel: "%",
+		Groups: []string{"balanced", "unbalanced"},
+		Series: []Series{
+			{Name: "hybrid", Y: []float64{100, 80}},
+			{Name: "vanilla", Y: []float64{5, 6}},
+		},
+		YMax: 100,
+	}
+	svg := c.SVG()
+	validXML(t, svg)
+	// 2 groups x 2 series bars + 2 legend swatches + background.
+	if got := strings.Count(svg, "<rect"); got != 7 {
+		t.Fatalf("%d rects, want 7", got)
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	validXML(t, (&BarChart{}).SVG())
+}
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "fig.svg")
+	if err := sampleLine().WriteFile(p); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(p)
+	if err != nil || !strings.HasPrefix(string(data), "<svg") {
+		t.Fatalf("written file bad: %v", err)
+	}
+	bp := filepath.Join(dir, "bar.svg")
+	if err := (&BarChart{Groups: []string{"g"}, Series: []Series{{Name: "s", Y: []float64{1}}}}).WriteFile(bp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{0: "0", 1: "1", 2.5: "2.5", 0.25: "0.25", 100: "100"}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGanttWellFormed(t *testing.T) {
+	g := &Gantt{
+		Title: "cores",
+		Rows:  3,
+		Spans: []GanttSpan{
+			{Row: 0, Start: 0, End: 10, Color: 0},
+			{Row: 1, Start: 5, End: 12, Color: 1},
+			{Row: 2, Start: 0, End: 0.001, Color: 2}, // sub-pixel span
+			{Row: 99, Start: 0, End: 1},              // out of range: skipped
+		},
+	}
+	svg := g.SVG()
+	validXML(t, svg)
+	// 3 drawn spans + background.
+	if got := strings.Count(svg, "<rect"); got != 4 {
+		t.Fatalf("%d rects, want 4", got)
+	}
+	validXML(t, (&Gantt{Rows: 0}).SVG())
+}

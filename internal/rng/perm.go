@@ -1,0 +1,40 @@
+package rng
+
+// Perm returns a uniformly random permutation of [0, n) via Fisher–Yates.
+func (x *Xoshiro256) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := x.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// PermPrefix returns k distinct values drawn uniformly from [0, n) — the
+// first k entries of a random permutation, computed with a partial
+// Fisher–Yates shuffle.
+func (x *Xoshiro256) PermPrefix(n, k int) []int {
+	if k > n {
+		k = n
+	}
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + x.Intn(n-i)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p[:k]
+}
+
+// Shuffle randomly permutes the elements of a slice of ints in place.
+func (x *Xoshiro256) Shuffle(s []int) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := x.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}

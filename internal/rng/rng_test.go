@@ -1,0 +1,218 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for splitmix64 with seed 1234567, from the public
+	// domain reference implementation by Sebastiano Vigna.
+	sm := NewSplitMix64(1234567)
+	want := []uint64{
+		6457827717110365317,
+		3203168211198807973,
+		9817491932198370423,
+		4593380528125082431,
+		16408922859458223821,
+	}
+	for i, w := range want {
+		if got := sm.Next(); got != w {
+			t.Fatalf("splitmix64 value %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestXoshiroDeterministic(t *testing.T) {
+	a := NewXoshiro256(99)
+	b := NewXoshiro256(99)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced diverging sequences")
+		}
+	}
+	c := NewXoshiro256(100)
+	same := 0
+	a = NewXoshiro256(99)
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/1000 identical values", same)
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	x := NewXoshiro256(7)
+	for _, n := range []uint64{1, 2, 3, 10, 1 << 40} {
+		for i := 0; i < 1000; i++ {
+			if v := x.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) returned %d", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniformish(t *testing.T) {
+	x := NewXoshiro256(11)
+	const buckets, samples = 8, 80000
+	var count [buckets]int
+	for i := 0; i < samples; i++ {
+		count[x.Intn(buckets)]++
+	}
+	want := float64(samples) / buckets
+	for b, c := range count {
+		if math.Abs(float64(c)-want) > want*0.05 {
+			t.Errorf("bucket %d has %d samples, want ~%.0f", b, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	x := NewXoshiro256(3)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := x.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 returned %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of Float64 = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewXoshiro256(1).Intn(0)
+}
+
+func TestNPBFirstValues(t *testing.T) {
+	// x_1 = 5^13 * 271828183 mod 2^46; check the integer recurrence
+	// directly against big-number arithmetic done by hand:
+	g := NewNPB(NPBDefaultSeed)
+	g.Next()
+	want := (uint64(271828183) * 1220703125) & ((1 << 46) - 1)
+	if g.Seed() != want {
+		t.Fatalf("NPB x_1 = %d, want %d", g.Seed(), want)
+	}
+}
+
+func TestNPBValuesInUnitInterval(t *testing.T) {
+	g := NewNPB(NPBDefaultSeed)
+	for i := 0; i < 10000; i++ {
+		v := g.Next()
+		if v <= 0 || v >= 1 {
+			t.Fatalf("NPB value %d = %v outside (0,1)", i, v)
+		}
+	}
+}
+
+func TestNPBSkipMatchesSequential(t *testing.T) {
+	for _, n := range []uint64{0, 1, 2, 3, 17, 1000, 65536, 1 << 20} {
+		seq := NewNPB(NPBDefaultSeed)
+		for i := uint64(0); i < n; i++ {
+			seq.Next()
+		}
+		skip := NewNPB(NPBDefaultSeed)
+		skip.Skip(n)
+		if seq.Seed() != skip.Seed() {
+			t.Fatalf("Skip(%d) state %d, sequential state %d", n, skip.Seed(), seq.Seed())
+		}
+	}
+}
+
+func TestNPBSkipComposes(t *testing.T) {
+	prop := func(a, b uint16) bool {
+		g1 := NewNPB(NPBDefaultSeed)
+		g1.Skip(uint64(a))
+		g1.Skip(uint64(b))
+		g2 := NewNPB(NPBDefaultSeed)
+		g2.Skip(uint64(a) + uint64(b))
+		return g1.Seed() == g2.Seed()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	x := NewXoshiro256(5)
+	for _, n := range []int{0, 1, 2, 7, 100} {
+		p := x.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermPrefixDistinct(t *testing.T) {
+	x := NewXoshiro256(6)
+	prop := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		k := int(kRaw) % (n + 5)
+		p := x.PermPrefix(n, k)
+		if k > n && len(p) != n {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	x := NewXoshiro256(8)
+	s := []int{1, 1, 2, 3, 5, 8, 13}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	x.Shuffle(s)
+	got := 0
+	for _, v := range s {
+		got += v
+	}
+	if got != sum || len(s) != 7 {
+		t.Fatalf("Shuffle changed contents: %v", s)
+	}
+}
+
+func BenchmarkXoshiroNext(b *testing.B) {
+	x := NewXoshiro256(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += x.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkNPBNext(b *testing.B) {
+	g := NewNPB(NPBDefaultSeed)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += g.Next()
+	}
+	_ = sink
+}

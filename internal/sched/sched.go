@@ -1,0 +1,523 @@
+// Package sched implements a user-level fork-join work-stealing runtime —
+// the substrate the paper's hybrid scheme plugs into (OpenCilk in the
+// paper; built here from scratch over goroutines, per the reproduction
+// plan in DESIGN.md).
+//
+// A Pool owns P workers, each a dedicated goroutine with its own Chase–Lev
+// deque. Work is expressed as fork-join tasks: a running task Spawns
+// children bound to a Group and Waits on the Group, during which the
+// worker *helps* — it pops its own deque and steals from random victims —
+// so workers never block while runnable work exists. This mirrors the
+// work-first discipline of the paper's Section II substrate: the owner
+// executes its deque bottom-up (LIFO, cache-hot), thieves steal top-down
+// (FIFO, the biggest remaining piece).
+//
+// The Pool additionally implements the paper's DoHybridLoop steal
+// protocol: active hybrid loops register themselves, and an idle worker w
+// that would otherwise steal at random first probes each registered loop's
+// partition structure; if w's designated partition A[w] is unclaimed, the
+// worker enters the loop's claim sequence with its own worker ID
+// (Section III, "Steal protocol for DoHybridLoop frames").
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridloop/internal/deque"
+	"hybridloop/internal/rng"
+)
+
+// Task is a unit of work executed by a worker. Tasks must not block on
+// anything other than Group.Wait (which helps rather than blocking).
+type Task func(w *Worker)
+
+// Group tracks a set of spawned tasks for a join, like a sync.WaitGroup
+// whose Wait helps execute work instead of blocking the worker.
+type Group struct {
+	pending atomic.Int64
+	panics  atomic.Pointer[taskPanic]
+}
+
+// taskPanic carries a panic from the worker that caught it to the task
+// that joins on the group.
+type taskPanic struct {
+	value any
+	stack []byte
+}
+
+// Add records n tasks that must complete before Wait returns. As with
+// sync.WaitGroup, all Adds for a wave of spawns must happen before the
+// corresponding Wait begins.
+func (g *Group) Add(n int) { g.pending.Add(int64(n)) }
+
+// Done marks one task complete. The runtime calls this automatically for
+// tasks spawned with Worker.Spawn; call it manually only for work enrolled
+// via Add without Spawn.
+func (g *Group) Done() {
+	if n := g.pending.Add(-1); n < 0 {
+		panic("sched: Group counter went negative")
+	}
+}
+
+// Finished reports whether all enrolled tasks have completed.
+func (g *Group) Finished() bool { return g.pending.Load() <= 0 }
+
+// Protect runs fn, capturing any panic into the group so that the Wait
+// joining it re-raises the panic on the waiting worker. Runtime components
+// that execute user code outside a spawned task — such as the hybrid
+// loop's claim-and-execute path, which runs partitions synchronously on
+// whichever worker entered via the steal protocol — use Protect so a
+// panicking loop body cannot kill a scheduler worker.
+func (g *Group) Protect(fn func()) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if tpe, ok := r.(*TaskPanicError); ok {
+			// Already captured once (e.g. by a nested Wait): keep the
+			// original stack.
+			g.panics.CompareAndSwap(nil, &taskPanic{value: tpe.Value, stack: tpe.Stack})
+			return
+		}
+		g.panics.CompareAndSwap(nil, &taskPanic{value: r, stack: debug.Stack()})
+	}()
+	fn()
+}
+
+// HybridLoop is the interface the Pool's steal protocol uses to let idle
+// workers enter a live hybrid loop with their own worker ID. It is
+// implemented by the hybrid strategy in internal/loop; sched depends only
+// on this abstraction.
+type HybridLoop interface {
+	// TrySteal gives worker w a chance to enter the loop per the
+	// DoHybridLoop steal protocol. It returns true if the worker did work
+	// (claimed and executed at least one partition).
+	TrySteal(w *Worker) bool
+	// Live reports whether the loop may still have unclaimed partitions.
+	Live() bool
+}
+
+// Stats aggregates scheduler counters across workers.
+type Stats struct {
+	Tasks        int64 // tasks executed
+	Steals       int64 // successful steals
+	FailedSteals int64 // steal attempts that found nothing
+	LoopEntries  int64 // hybrid-loop entries via the steal protocol
+}
+
+// Pool is a work-stealing scheduler with a fixed set of workers.
+type Pool struct {
+	workers []*Worker
+
+	injectMu sync.Mutex
+	inject   []Task // external submissions, consumed by idle workers
+
+	nparked atomic.Int64 // workers announced as parking or parked
+	quit    chan struct{}
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+
+	loopsMu sync.Mutex
+	loops   []HybridLoop // registered live hybrid loops
+	nloops  atomic.Int32 // fast-path check: number of registered loops
+}
+
+// NewPool creates a pool with p workers (p >= 1) and starts them. seed
+// makes victim selection deterministic per worker for reproducible tests;
+// pass different seeds for statistically independent runs.
+func NewPool(p int, seed uint64) *Pool {
+	return newPool(p, seed, false)
+}
+
+// NewPoolLocked is NewPool with each worker goroutine locked to its own
+// OS thread (runtime.LockOSThread). On dedicated multicore machines this
+// keeps the Go scheduler from migrating workers between threads, which
+// matters when the OS pins threads to cores — the setup under which the
+// paper's locality results apply.
+func NewPoolLocked(p int, seed uint64) *Pool {
+	return newPool(p, seed, true)
+}
+
+func newPool(p int, seed uint64, lockThreads bool) *Pool {
+	if p < 1 {
+		panic(fmt.Sprintf("sched: NewPool with p = %d", p))
+	}
+	pool := &Pool{
+		quit: make(chan struct{}),
+	}
+	master := rng.NewSplitMix64(seed)
+	pool.workers = make([]*Worker, p)
+	for i := 0; i < p; i++ {
+		pool.workers[i] = &Worker{
+			id:   i,
+			pool: pool,
+			dq:   deque.New(),
+			rng:  rng.NewXoshiro256(master.Next()),
+			park: make(chan struct{}, 1),
+		}
+	}
+	for _, w := range pool.workers {
+		pool.wg.Add(1)
+		go func(w *Worker) {
+			if lockThreads {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
+			w.mainLoop()
+		}(w)
+	}
+	return pool
+}
+
+// P returns the number of workers.
+func (p *Pool) P() int { return len(p.workers) }
+
+// Worker returns worker i (for tests and instrumentation).
+func (p *Pool) Worker(i int) *Worker { return p.workers[i] }
+
+// Close shuts the pool down. Outstanding Run calls must have returned;
+// Close does not drain pending work.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	close(p.quit)
+	p.wg.Wait()
+}
+
+// Stats returns aggregate scheduler counters.
+func (p *Pool) Stats() Stats {
+	var s Stats
+	for _, w := range p.workers {
+		s.Tasks += w.tasks.Load()
+		s.Steals += w.steals.Load()
+		s.FailedSteals += w.failedSteals.Load()
+		s.LoopEntries += w.loopEntries.Load()
+	}
+	return s
+}
+
+// ResetStats zeroes all scheduler counters.
+func (p *Pool) ResetStats() {
+	for _, w := range p.workers {
+		w.tasks.Store(0)
+		w.steals.Store(0)
+		w.failedSteals.Store(0)
+		w.loopEntries.Store(0)
+	}
+}
+
+// Run executes root on some worker and blocks until it (and everything it
+// waited for) returns. It is the entry point for code outside the pool.
+// A panic inside root (including a *TaskPanicError re-raised by a Wait)
+// propagates to the Run caller rather than killing a worker.
+func (p *Pool) Run(root func(w *Worker)) {
+	if p.closed.Load() {
+		panic("sched: Run on closed pool")
+	}
+	done := make(chan struct{})
+	var rootPanic *taskPanic
+	p.submit(func(w *Worker) {
+		defer close(done)
+		defer func() {
+			if r := recover(); r != nil {
+				rootPanic = &taskPanic{value: r, stack: debug.Stack()}
+			}
+		}()
+		root(w)
+	})
+	<-done
+	if rootPanic != nil {
+		if tpe, ok := rootPanic.value.(*TaskPanicError); ok {
+			panic(tpe) // already wrapped by a Wait inside the pool
+		}
+		panic(&TaskPanicError{Value: rootPanic.value, Stack: rootPanic.stack})
+	}
+}
+
+// submit places a task on the external injection queue and wakes a worker.
+func (p *Pool) submit(t Task) {
+	p.injectMu.Lock()
+	p.inject = append(p.inject, t)
+	p.injectMu.Unlock()
+	p.notify()
+}
+
+// takeInjected removes one externally submitted task, FIFO.
+func (p *Pool) takeInjected() (Task, bool) {
+	p.injectMu.Lock()
+	defer p.injectMu.Unlock()
+	if len(p.inject) == 0 {
+		return nil, false
+	}
+	t := p.inject[0]
+	p.inject = p.inject[1:]
+	return t, true
+}
+
+// notify wakes parked workers after new work was made visible. Workers
+// announce parking (nparked) *before* their final sweep for work, so the
+// pattern "publish task; read nparked" here cannot lose a wakeup: if the
+// read sees zero, the parker's sweep necessarily sees the task.
+func (p *Pool) notify() {
+	if p.nparked.Load() == 0 {
+		return
+	}
+	for _, w := range p.workers {
+		select {
+		case w.park <- struct{}{}:
+		default: // already has a pending wake token
+		}
+	}
+}
+
+// RegisterLoop enrolls a live hybrid loop in the steal protocol.
+// UnregisterLoop must be called when the loop's partitions are exhausted.
+func (p *Pool) RegisterLoop(l HybridLoop) {
+	p.loopsMu.Lock()
+	p.loops = append(p.loops, l)
+	p.loopsMu.Unlock()
+	p.nloops.Add(1)
+	p.notify()
+}
+
+// UnregisterLoop removes a hybrid loop from the steal protocol registry.
+func (p *Pool) UnregisterLoop(l HybridLoop) {
+	p.loopsMu.Lock()
+	for i, x := range p.loops {
+		if x == l {
+			p.loops = append(p.loops[:i], p.loops[i+1:]...)
+			break
+		}
+	}
+	p.loopsMu.Unlock()
+	p.nloops.Add(-1)
+}
+
+// snapshotLoops returns the currently registered loops (copy; callers
+// iterate without holding the lock).
+func (p *Pool) snapshotLoops() []HybridLoop {
+	p.loopsMu.Lock()
+	defer p.loopsMu.Unlock()
+	return append([]HybridLoop(nil), p.loops...)
+}
+
+// Worker is a surrogate of a processing core (Section II): a goroutine
+// with its own deque participating in randomized work stealing.
+type Worker struct {
+	id   int
+	pool *Pool
+	dq   *deque.Deque
+	rng  *rng.Xoshiro256
+	park chan struct{} // capacity-1 wake token channel
+
+	pinnedMu sync.Mutex
+	pinned   []Task // worker-targeted tasks; FIFO, not stealable
+
+	tasks        atomic.Int64
+	steals       atomic.Int64
+	failedSteals atomic.Int64
+	loopEntries  atomic.Int64
+}
+
+// ID returns the worker's ID in [0, P).
+func (w *Worker) ID() int { return w.id }
+
+// Pool returns the pool this worker belongs to.
+func (w *Worker) Pool() *Pool { return w.pool }
+
+// RNG returns the worker's private random number generator (used by
+// strategies that need randomness on the worker's hot path).
+func (w *Worker) RNG() *rng.Xoshiro256 { return w.rng }
+
+// Spawn pushes a child task bound to g onto this worker's deque. Spawn
+// performs the g.Add(1) itself. If the task panics, the panic is captured
+// and re-raised from the Wait call that joins the group (wrapped in a
+// TaskPanicError), so a panicking loop body surfaces to the code that
+// started the loop instead of killing a scheduler worker.
+func (w *Worker) Spawn(g *Group, t Task) {
+	g.Add(1)
+	w.dq.PushBottom(Task(func(cw *Worker) {
+		defer g.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				g.panics.CompareAndSwap(nil, &taskPanic{value: r, stack: debug.Stack()})
+			}
+		}()
+		t(cw)
+	}))
+	w.pool.notify()
+}
+
+// TaskPanicError wraps a panic raised inside a spawned task; Wait
+// re-panics with it on the joining worker.
+type TaskPanicError struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the stack of the worker goroutine that caught the panic.
+	Stack []byte
+}
+
+func (e *TaskPanicError) Error() string {
+	return fmt.Sprintf("sched: task panicked: %v\ntask stack:\n%s", e.Value, e.Stack)
+}
+
+// SpawnOn enqueues a task bound to g that only worker id may execute —
+// the pinned-work primitive used to model team-based schedulers (OpenMP
+// static/dynamic/guided, FastFlow) where every thread enters the parallel
+// region itself and chunks are not stealable.
+func (p *Pool) SpawnOn(id int, g *Group, t Task) {
+	g.Add(1)
+	w := p.workers[id]
+	w.pinnedMu.Lock()
+	w.pinned = append(w.pinned, Task(func(cw *Worker) {
+		defer g.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				g.panics.CompareAndSwap(nil, &taskPanic{value: r, stack: debug.Stack()})
+			}
+		}()
+		t(cw)
+	}))
+	w.pinnedMu.Unlock()
+	p.notify()
+}
+
+// takePinned removes one pinned task, FIFO. Owner only.
+func (w *Worker) takePinned() (Task, bool) {
+	w.pinnedMu.Lock()
+	defer w.pinnedMu.Unlock()
+	if len(w.pinned) == 0 {
+		return nil, false
+	}
+	t := w.pinned[0]
+	w.pinned = w.pinned[1:]
+	return t, true
+}
+
+// Wait helps execute work until all tasks enrolled in g have completed.
+// If any task in the group panicked, Wait re-panics with a
+// *TaskPanicError carrying the first captured panic.
+func (w *Worker) Wait(g *Group) {
+	backoff := 0
+	for !g.Finished() {
+		if w.runOne() {
+			backoff = 0
+			continue
+		}
+		backoff++
+		if backoff < 32 {
+			runtime.Gosched()
+		} else {
+			// All deques are (transiently) empty but the group is not
+			// finished: someone else is running our descendants. Yield the
+			// CPU meaningfully — this matters on machines with fewer
+			// physical cores than workers.
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	if tp := g.panics.Load(); tp != nil {
+		panic(&TaskPanicError{Value: tp.value, Stack: tp.stack})
+	}
+}
+
+// run executes a task with accounting.
+func (w *Worker) run(t Task) {
+	w.tasks.Add(1)
+	t(w)
+}
+
+// runOne executes one unit of work if any can be found: own deque first,
+// then the hybrid-loop steal protocol, then a random steal, then the
+// injection queue. Returns false if nothing was found.
+func (w *Worker) runOne() bool {
+	if t, ok := w.takePinned(); ok {
+		w.run(t)
+		return true
+	}
+	if t, ok := w.dq.PopBottom(); ok {
+		w.run(t.(Task))
+		return true
+	}
+	if w.pool.nloops.Load() > 0 && w.tryLoopProtocol() {
+		return true
+	}
+	if t, ok := w.trySteal(); ok {
+		w.run(t)
+		return true
+	}
+	if t, ok := w.pool.takeInjected(); ok {
+		w.run(t)
+		return true
+	}
+	return false
+}
+
+// tryLoopProtocol probes registered hybrid loops per the DoHybridLoop
+// steal protocol; returns true if the worker executed loop work.
+func (w *Worker) tryLoopProtocol() bool {
+	for _, l := range w.pool.snapshotLoops() {
+		if !l.Live() {
+			continue
+		}
+		if l.TrySteal(w) {
+			w.loopEntries.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// trySteal makes one randomized steal attempt against each other worker in
+// a random starting rotation, returning a stolen task if successful.
+func (w *Worker) trySteal() (Task, bool) {
+	n := len(w.pool.workers)
+	if n == 1 {
+		return nil, false
+	}
+	start := w.rng.Intn(n)
+	for k := 0; k < n; k++ {
+		v := (start + k) % n
+		if v == w.id {
+			continue
+		}
+		if t, ok := w.pool.workers[v].dq.Steal(); ok {
+			w.steals.Add(1)
+			return t.(Task), true
+		}
+	}
+	w.failedSteals.Add(1)
+	return nil, false
+}
+
+// mainLoop is the top-level scheduling loop: run work while it exists,
+// park when the system is quiescent, exit on pool close.
+func (w *Worker) mainLoop() {
+	defer w.pool.wg.Done()
+	for {
+		if w.runOne() {
+			continue
+		}
+		// Announce intent to park, then sweep once more: any task made
+		// visible before the announce is found by this sweep, and any task
+		// published after it observes nparked > 0 and sends a wake token.
+		w.pool.nparked.Add(1)
+		if w.runOne() {
+			w.pool.nparked.Add(-1)
+			continue
+		}
+		select {
+		case <-w.park:
+			w.pool.nparked.Add(-1)
+		case <-w.pool.quit:
+			w.pool.nparked.Add(-1)
+			return
+		}
+	}
+}

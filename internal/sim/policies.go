@@ -1,0 +1,389 @@
+package sim
+
+import (
+	"fmt"
+
+	"hybridloop/internal/affinity"
+	"hybridloop/internal/core"
+	"hybridloop/internal/loop"
+)
+
+// policy drives one core's scheduling decisions for one loop. step
+// performs the core's next action — executing a chunk, grabbing from a
+// queue, attempting a steal, claiming a partition — advancing the core's
+// clock, and returns false once the core is permanently finished with the
+// loop (it will neither find nor receive more work).
+type policy interface {
+	step(core int) bool
+}
+
+func (e *engine) newPolicy(s loop.Strategy, l *Loop, tr *affinity.Tracker, chunk int) policy {
+	switch s {
+	case loop.Static:
+		return newStaticPol(e, l, tr)
+	case loop.DynamicSharing:
+		return newSharePol(e, l, tr, chunk)
+	case loop.Guided:
+		return newGuidedPol(e, l, tr, chunk)
+	case loop.DynamicStealing:
+		return newStealPol(e, l, tr, chunk)
+	case loop.Hybrid:
+		return newHybridPol(e, l, tr, chunk)
+	}
+	panic(fmt.Sprintf("sim: unknown strategy %v", s))
+}
+
+// span is a mutable half-open iteration range owned by one core.
+type span struct{ next, end int }
+
+func (s *span) len() int    { return s.end - s.next }
+func (s *span) empty() bool { return s.next >= s.end }
+func (s *span) take(n int) (lo, hi int) {
+	lo = s.next
+	hi = lo + n
+	if hi > s.end {
+		hi = s.end
+	}
+	s.next = hi
+	return lo, hi
+}
+
+// stealHalf removes and returns the upper half of the span (the piece a
+// thief takes from the topmost divide-and-conquer frame).
+func (s *span) stealHalf() span {
+	mid := s.next + (s.end-s.next+1)/2
+	st := span{mid, s.end}
+	s.end = mid
+	return st
+}
+
+// --- static -----------------------------------------------------------
+
+// staticPol: OpenMP schedule(static) / FastFlow static. Core c owns the
+// c-th equal partition; no redistribution ever happens, so an unbalanced
+// loop finishes when the most loaded core does.
+type staticPol struct {
+	e     *engine
+	l     *Loop
+	tr    *affinity.Tracker
+	spans []span
+	chunk int
+}
+
+func newStaticPol(e *engine, l *Loop, tr *affinity.Tracker) *staticPol {
+	parts := (core.Range{Begin: 0, End: l.N}).Split(e.p)
+	spans := make([]span, e.p)
+	for i, pr := range parts {
+		spans[i] = span{pr.Begin, pr.End}
+	}
+	// Static partitioning is done by the compiler: cores execute their
+	// partition in large chunks with negligible per-chunk bookkeeping. We
+	// still chunk (for cache-interleaving realism in the event loop) but
+	// at a coarse granularity.
+	chunk := l.N / (4 * e.p)
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &staticPol{e: e, l: l, tr: tr, spans: spans, chunk: chunk}
+}
+
+func (p *staticPol) step(core int) bool {
+	s := &p.spans[core]
+	if s.empty() {
+		return false
+	}
+	lo, hi := s.take(p.chunk)
+	p.e.execChunk(core, p.l, p.tr, lo, hi)
+	return true
+}
+
+// --- dynamic work sharing ----------------------------------------------
+
+// sharePol: OpenMP schedule(dynamic, chunk). All cores grab fixed-size
+// chunks from one central queue; concurrent grabs serialize.
+type sharePol struct {
+	e      *engine
+	l      *Loop
+	tr     *affinity.Tracker
+	next   int
+	chunk  int
+	freeAt float64 // time the central queue next becomes free
+}
+
+func newSharePol(e *engine, l *Loop, tr *affinity.Tracker, chunk int) *sharePol {
+	return &sharePol{e: e, l: l, tr: tr, chunk: chunk}
+}
+
+// grabCentral models one serialized access to the central queue: the core
+// waits for the queue, holds it for SharedQueueSerial cycles, and pays
+// SharedQueueAccess total.
+func grabCentral(e *engine, core int, freeAt *float64) {
+	acquire := e.clock[core]
+	if *freeAt > acquire {
+		acquire = *freeAt
+	}
+	*freeAt = acquire + e.m.Cost.SharedQueueSerial
+	e.clock[core] = acquire + e.m.Cost.SharedQueueAccess
+}
+
+func (p *sharePol) step(core int) bool {
+	if p.next >= p.l.N {
+		return false
+	}
+	grabCentral(p.e, core, &p.freeAt)
+	lo := p.next
+	hi := lo + p.chunk
+	if hi > p.l.N {
+		hi = p.l.N
+	}
+	p.next = hi
+	p.e.execChunk(core, p.l, p.tr, lo, hi)
+	return true
+}
+
+// --- guided work sharing -------------------------------------------------
+
+// guidedPol: OpenMP schedule(guided, chunk). Like sharePol but the grabbed
+// chunk shrinks in proportion to remaining/(2P), floored at the minimum
+// chunk — fewer queue accesses, hence less serialization.
+type guidedPol struct {
+	e        *engine
+	l        *Loop
+	tr       *affinity.Tracker
+	next     int
+	minChunk int
+	freeAt   float64
+}
+
+func newGuidedPol(e *engine, l *Loop, tr *affinity.Tracker, chunk int) *guidedPol {
+	return &guidedPol{e: e, l: l, tr: tr, minChunk: chunk}
+}
+
+func (p *guidedPol) step(core int) bool {
+	if p.next >= p.l.N {
+		return false
+	}
+	grabCentral(p.e, core, &p.freeAt)
+	remaining := p.l.N - p.next
+	size := (remaining + 2*p.e.p - 1) / (2 * p.e.p)
+	if size < p.minChunk {
+		size = p.minChunk
+	}
+	lo := p.next
+	hi := lo + size
+	if hi > p.l.N {
+		hi = p.l.N
+	}
+	p.next = hi
+	p.e.execChunk(core, p.l, p.tr, lo, hi)
+	return true
+}
+
+// --- dynamic work stealing (vanilla cilk_for) ----------------------------
+
+// stealPol models the vanilla Cilk cilk_for: the initiating core owns the
+// whole range (the root of the divide-and-conquer spawn tree); idle cores
+// steal the topmost frame, i.e. the upper half of a victim's remaining
+// range — the well-known equivalence between D&C loop spawning and lazy
+// binary splitting. Work executes chunk by chunk from the front.
+type stealPol struct {
+	e         *engine
+	l         *Loop
+	tr        *affinity.Tracker
+	spans     []span
+	chunk     int
+	remaining int
+}
+
+func newStealPol(e *engine, l *Loop, tr *affinity.Tracker, chunk int) *stealPol {
+	spans := make([]span, e.p)
+	spans[0] = span{0, l.N}
+	return &stealPol{e: e, l: l, tr: tr, spans: spans, chunk: chunk, remaining: l.N}
+}
+
+func (p *stealPol) step(core int) bool {
+	s := &p.spans[core]
+	if !s.empty() {
+		lo, hi := s.take(p.chunk)
+		p.remaining -= hi - lo
+		p.e.execChunk(core, p.l, p.tr, lo, hi)
+		return true
+	}
+	if p.remaining <= 0 {
+		return false
+	}
+	stealRound(p.e, core, p.spans, p.chunk)
+	return true
+}
+
+// stealRound performs one randomized steal round for core: probe victims
+// in a random rotation, stealing the upper half of the first victim whose
+// span is worth splitting (more than chunk iterations). Each probe costs
+// StealAttempt; success costs StealSuccess extra; an empty-handed round
+// costs a backoff before the next retry.
+func stealRound(e *engine, core int, spans []span, chunk int) bool {
+	n := len(spans)
+	start := e.gen.Intn(n)
+	probes := 0
+	for k := 0; k < n; k++ {
+		v := (start + k) % n
+		if v == core {
+			continue
+		}
+		probes++
+		if spans[v].len() > chunk {
+			var stolen span
+			if e.cfg.Steal == StealChunk {
+				// Ablation: transfer only one chunk per balancing event.
+				stolen = span{spans[v].end - chunk, spans[v].end}
+				spans[v].end -= chunk
+			} else {
+				stolen = spans[v].stealHalf()
+			}
+			spans[core] = stolen
+			e.clock[core] += float64(probes)*e.m.Cost.StealAttempt + e.m.Cost.StealSuccess
+			e.steals++
+			return true
+		}
+	}
+	e.clock[core] += float64(probes)*e.m.Cost.StealAttempt + e.m.Cost.StealBackoff
+	e.failedSteals++
+	return false
+}
+
+// --- hybrid ---------------------------------------------------------------
+
+// hybridPol is the paper's scheme in the simulator: each arriving core
+// walks its XOR claim sequence over the shared partition structure; a
+// claimed partition is executed chunk by chunk and is itself stealable
+// (doWork is an ordinary D&C parallel loop). A core whose claim sequence
+// is exhausted — or whose designated partition was already taken — reverts
+// to randomized work stealing over the other cores' current spans.
+type hybridPol struct {
+	e         *engine
+	l         *Loop
+	tr        *affinity.Tracker
+	ps        *core.PartitionSet
+	claimers  []*core.Claimer
+	spans     []span   // current span per core (claimed partition or stolen piece)
+	hoard     [][]span // ClaimEager: per-core queues of pre-claimed partitions
+	chunk     int
+	remaining int
+}
+
+func newHybridPol(e *engine, l *Loop, tr *affinity.Tracker, chunk int) *hybridPol {
+	rf := e.cfg.RFactor
+	if rf < 1 {
+		rf = 1
+	}
+	ps := core.NewPartitionSetR(0, l.N, core.NextPow2(e.p*rf))
+	claimers := make([]*core.Claimer, e.p)
+	for c := range claimers {
+		claimers[c] = core.NewClaimer(ps, c)
+	}
+	return &hybridPol{
+		e: e, l: l, tr: tr,
+		ps:        ps,
+		claimers:  claimers,
+		spans:     make([]span, e.p),
+		hoard:     make([][]span, e.p),
+		chunk:     chunk,
+		remaining: l.N,
+	}
+}
+
+func (p *hybridPol) step(core int) bool {
+	s := &p.spans[core]
+	if !s.empty() {
+		lo, hi := s.take(p.chunk)
+		p.remaining -= hi - lo
+		p.e.execChunk(core, p.l, p.tr, lo, hi)
+		return true
+	}
+	// ClaimEager ablation: drain the pre-claimed hoard first.
+	if len(p.hoard[core]) > 0 {
+		p.spans[core] = p.hoard[core][0]
+		p.hoard[core] = p.hoard[core][1:]
+		return true
+	}
+	// Try the claim sequence (Algorithm 3). Charge one Claim per attempt,
+	// failed attempts included.
+	cl := p.claimers[core]
+	if !cl.Done() {
+		if p.e.cfg.Claim == ClaimEager {
+			// Help-first: walk the whole sequence now, hoarding spans.
+			for {
+				before := cl.Failed()
+				r, ok := cl.Next()
+				attempts := cl.Failed() - before
+				if ok {
+					attempts++
+				}
+				p.e.clock[core] += float64(attempts) * p.e.m.Cost.Claim
+				p.e.claims += int64(attempts)
+				p.e.failedClaims += int64(cl.Failed() - before)
+				if !ok {
+					break
+				}
+				part := p.ps.Partition(r)
+				p.hoard[core] = append(p.hoard[core], span{part.Begin, part.End})
+			}
+			if len(p.hoard[core]) > 0 {
+				p.spans[core] = p.hoard[core][0]
+				p.hoard[core] = p.hoard[core][1:]
+				return true
+			}
+		} else {
+			before := cl.Failed()
+			r, ok := cl.Next()
+			attempts := cl.Failed() - before
+			if ok {
+				attempts++ // the successful attempt
+			}
+			p.e.clock[core] += float64(attempts) * p.e.m.Cost.Claim
+			p.e.claims += int64(attempts)
+			p.e.failedClaims += int64(cl.Failed() - before)
+			if ok {
+				part := p.ps.Partition(r)
+				p.spans[core] = span{part.Begin, part.End}
+				return true
+			}
+		}
+		// Claim sequence exhausted or designated partition taken: fall
+		// through to work stealing on this or a later step.
+	}
+	if p.remaining <= 0 {
+		return false
+	}
+	// In the eager ablation, hoarded whole partitions are stealable (they
+	// would sit in the hoarder's deque under help-first scheduling).
+	if p.e.cfg.Claim == ClaimEager && p.stealHoard(core) {
+		return true
+	}
+	stealRound(p.e, core, p.spans, p.chunk)
+	return true
+}
+
+// stealHoard steals one whole pre-claimed partition from a random victim's
+// hoard; returns false if no hoards are populated.
+func (p *hybridPol) stealHoard(core int) bool {
+	n := p.e.p
+	start := p.e.gen.Intn(n)
+	probes := 0
+	for k := 0; k < n; k++ {
+		v := (start + k) % n
+		if v == core {
+			continue
+		}
+		probes++
+		if len(p.hoard[v]) > 0 {
+			last := len(p.hoard[v]) - 1
+			p.spans[core] = p.hoard[v][last]
+			p.hoard[v] = p.hoard[v][:last]
+			p.e.clock[core] += float64(probes)*p.e.m.Cost.StealAttempt + p.e.m.Cost.StealSuccess
+			p.e.steals++
+			return true
+		}
+	}
+	return false
+}

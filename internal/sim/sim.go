@@ -1,0 +1,438 @@
+// Package sim is a deterministic discrete-event simulator of parallel-loop
+// scheduling on a NUMA multicore. It exists because the paper's evaluation
+// (Figures 1–4) was run on a 32-core, four-socket machine with hardware
+// performance counters, neither of which is available here; the simulator
+// reproduces the *relative* behaviour those figures report — scalability
+// curves, crossover points, affinity percentages, and the distribution of
+// memory accesses over the cache hierarchy — on the paper's topology
+// (internal/topology) with an exact cache model (internal/memmodel).
+//
+// The simulation advances per-core virtual clocks at chunk granularity: a
+// core's scheduling action (grab a chunk, attempt a steal, claim a
+// partition) costs cycles from the machine's cost model, and executing a
+// chunk costs its iterations' compute plus the memory-hierarchy cost of
+// the bytes they walk. Cores interleave in global time order through an
+// event loop, so cache and NUMA effects play out realistically. All five
+// strategies of internal/loop are implemented as simulator policies over
+// the same shared algorithm core (internal/core for the hybrid claiming
+// heuristic), and every run is exactly reproducible from its seed.
+package sim
+
+import (
+	"fmt"
+
+	"hybridloop/internal/affinity"
+	"hybridloop/internal/loop"
+	"hybridloop/internal/memmodel"
+	"hybridloop/internal/rng"
+	"hybridloop/internal/topology"
+)
+
+// Touch is a byte range of one region walked by an iteration.
+type Touch struct {
+	Region int   // index into the workload's Regions table
+	Lo, Hi int64 // byte range [Lo, Hi)
+}
+
+// IterCost describes one iteration's demands: pure compute cycles plus
+// the memory it walks.
+type IterCost struct {
+	Compute float64
+	Touches []Touch
+}
+
+// Loop is one parallel loop of a workload.
+type Loop struct {
+	// N is the iteration count.
+	N int
+	// Space identifies the index space for affinity tracking: loops with
+	// equal Space and N are "consecutive parallel loops" in the sense of
+	// Figure 2. Use distinct spaces for unrelated loops.
+	Space int
+	// Cost returns the demands of iteration i. It must be pure (the
+	// simulator may invoke it once per iteration per run).
+	Cost func(i int) IterCost
+}
+
+// Workload is a program: memory regions, unmeasured initialization loops
+// (which establish first-touch NUMA homing), and the measured sequence of
+// parallel loops separated by barriers.
+type Workload struct {
+	Name    string
+	Regions []int64 // region sizes in bytes
+	Init    []Loop  // executed first, excluded from counters/affinity
+	Loops   []Loop  // the measured loops
+}
+
+// TotalIterations returns the iteration count summed over measured loops.
+func (w Workload) TotalIterations() int {
+	t := 0
+	for _, l := range w.Loops {
+		t += l.N
+	}
+	return t
+}
+
+// Result is the outcome of one simulated run.
+type Result struct {
+	Strategy loop.Strategy
+	P        int
+	// Cycles is the simulated parallel execution time of the measured
+	// loops (barrier to barrier).
+	Cycles float64
+	// Counts are the memory accesses serviced per hierarchy level during
+	// the measured loops.
+	Counts memmodel.Counts
+	// Affinity is the mean fraction of iterations executed by the same
+	// core as in the previous loop over the same index space (Figure 2).
+	Affinity float64
+	// AffinityLoops is how many loop transitions contributed to Affinity.
+	AffinityLoops int
+	// Steals / FailedSteals count successful and empty-handed steal
+	// rounds; Claims / FailedClaims count hybrid claim attempts.
+	Steals       int64
+	FailedSteals int64
+	Claims       int64
+	FailedClaims int64
+	// Chunks is the number of scheduled chunks (parallel overhead proxy).
+	Chunks int64
+	// CoreBusy is the time each core spent executing loop chunks (compute
+	// plus memory), excluding scheduling actions and idling. Busy/Cycles
+	// is the core's utilization; the spread across cores measures load
+	// imbalance.
+	CoreBusy []float64
+	// Segments holds per-chunk execution intervals when Config.Timeline
+	// is set (times relative to the start of the measured loops).
+	Segments []Segment
+}
+
+// Utilization returns mean busy fraction across the cores used.
+func (r Result) Utilization() float64 {
+	if r.Cycles == 0 || len(r.CoreBusy) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, b := range r.CoreBusy {
+		sum += b
+	}
+	return sum / (r.Cycles * float64(len(r.CoreBusy)))
+}
+
+// Imbalance returns max(CoreBusy)/mean(CoreBusy) — 1.0 is perfect balance.
+func (r Result) Imbalance() float64 {
+	if len(r.CoreBusy) == 0 {
+		return 0
+	}
+	var sum, max float64
+	for _, b := range r.CoreBusy {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	mean := sum / float64(len(r.CoreBusy))
+	if mean == 0 {
+		return 0
+	}
+	return max / mean
+}
+
+// StealGranularity selects how much work a successful steal transfers.
+type StealGranularity int
+
+const (
+	// StealHalf takes the upper half of the victim's remaining range —
+	// the divide-and-conquer cilk_for behaviour the paper builds on.
+	StealHalf StealGranularity = iota
+	// StealChunk takes only one chunk per steal — an ablation showing why
+	// stealing big pieces matters (each balancing event costs a steal).
+	StealChunk
+)
+
+// Config configures a simulated run.
+type Config struct {
+	Machine  topology.Machine
+	P        int // cores used (compact pinning); 0 means all
+	Strategy loop.Strategy
+	// Chunk overrides the default chunk min(2048, N/(8P)); 0 = default.
+	Chunk int
+	Seed  uint64
+	// RFactor multiplies the hybrid partition count: R becomes the next
+	// power of two >= P*RFactor (0 and 1 give the paper's R = P). An
+	// ablation knob: more partitions buy finer static balance at the cost
+	// of more claims and shorter affinity runs.
+	RFactor int
+	// Steal selects the work granularity of a successful steal.
+	Steal StealGranularity
+	// Stragglers delays the arrival of that many cores at every loop by
+	// StraggleDelay cycles — modeling the paper's observation that "not
+	// all P are always available to execute a given parallel loop"
+	// because other parallel regions or OS noise occupy them. The
+	// delayed cores are chosen pseudo-randomly per loop.
+	Stragglers    int
+	StraggleDelay float64
+	// Timeline records per-chunk execution segments into
+	// Result.Segments (capped at 1<<17 segments) for Gantt rendering.
+	Timeline bool
+	// Claim selects the hybrid claim discipline (see ClaimMode).
+	Claim ClaimMode
+}
+
+// ClaimMode selects how a hybrid worker's claim loop interleaves with
+// partition execution.
+type ClaimMode int
+
+const (
+	// ClaimExecute is the paper's behaviour under work-first Cilk
+	// semantics: after a successful claim the worker executes the
+	// partition before claiming again, so concurrent workers interleave
+	// claims and late arrivals still find their designated partitions.
+	ClaimExecute ClaimMode = iota
+	// ClaimEager is the help-first ablation: a worker walks its entire
+	// claim sequence up front, hoarding every still-unclaimed partition
+	// before executing anything. Early arrivals strip late arrivals of
+	// their designated partitions — demonstrating why the scheme depends
+	// on work-first scheduling of Algorithm 3's spawn.
+	ClaimEager
+)
+
+// Segment is one contiguous chunk execution on a core (Timeline mode).
+type Segment struct {
+	Core       int32
+	Start, End float64 // cycles
+	Lo, Hi     int32   // iteration range
+}
+
+// Run simulates the workload under the configuration and returns the
+// result. It panics on invalid configurations (programming errors).
+func Run(cfg Config, w Workload) Result {
+	m := cfg.Machine
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	p := cfg.P
+	if p == 0 {
+		p = m.P()
+	}
+	if p < 1 || p > m.P() {
+		panic(fmt.Sprintf("sim: P = %d outside machine's %d cores", p, m.P()))
+	}
+	e := newEngine(m, p, cfg.Seed)
+	e.cfg = cfg
+	for _, size := range w.Regions {
+		e.regions = append(e.regions, e.alloc.Alloc(size))
+	}
+	// Initialization loops always run statically partitioned: they model
+	// the paper's explicit NUMA-aware data placement, which distributes
+	// pages across sockets in the deterministic static layout no matter
+	// which strategy the measured loops use.
+	for _, l := range w.Init {
+		e.runLoop(l, loop.Static, cfg.Chunk, false)
+	}
+	e.hier.ResetCounts()
+	e.resetStats()
+	start := e.maxClock()
+	e.segBase = start
+	for _, l := range w.Loops {
+		e.runLoop(l, cfg.Strategy, cfg.Chunk, true)
+	}
+	return Result{
+		Strategy:      cfg.Strategy,
+		P:             p,
+		Cycles:        e.maxClock() - start,
+		Counts:        e.hier.Counts(),
+		Affinity:      e.affin.Mean(),
+		AffinityLoops: e.affin.Loops(),
+		Steals:        e.steals,
+		FailedSteals:  e.failedSteals,
+		Claims:        e.claims,
+		FailedClaims:  e.failedClaims,
+		Chunks:        e.chunks,
+		CoreBusy:      append([]float64(nil), e.busy...),
+		Segments:      e.segments,
+	}
+}
+
+// RunSequential simulates the pure sequential execution T_s: one core,
+// no parallel constructs, no scheduling costs. It is the baseline of the
+// paper's work-efficiency column (T_s / T_1).
+func RunSequential(m topology.Machine, w Workload) float64 {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	e := newEngine(m, 1, 0)
+	for _, size := range w.Regions {
+		e.regions = append(e.regions, e.alloc.Alloc(size))
+	}
+	run := func(l Loop) {
+		for i := 0; i < l.N; i++ {
+			ic := l.Cost(i)
+			e.clock[0] += ic.Compute
+			for _, t := range ic.Touches {
+				e.clock[0] += e.hier.TouchRange(0, e.regions[t.Region], t.Lo, t.Hi)
+			}
+		}
+	}
+	for _, l := range w.Init {
+		run(l)
+	}
+	start := e.clock[0]
+	for _, l := range w.Loops {
+		run(l)
+	}
+	return e.clock[0] - start
+}
+
+// engine holds the simulated machine state shared across loops.
+type engine struct {
+	m        topology.Machine
+	cfg      Config
+	p        int
+	hier     *memmodel.Hierarchy
+	alloc    *memmodel.Allocator
+	regions  []memmodel.Region
+	clock    []float64
+	busy     []float64 // per-core time spent executing chunks
+	gen      *rng.Xoshiro256
+	segments []Segment // Timeline mode
+	segBase  float64   // measured-phase time origin for segments
+	recCount bool      // whether the current loop is measured
+
+	trackers   map[spaceKey]*affinity.Tracker
+	seenSpaces map[spaceKey]bool
+	affin      affinity.MeanSame
+
+	steals       int64
+	failedSteals int64
+	claims       int64
+	failedClaims int64
+	chunks       int64
+}
+
+type spaceKey struct{ space, n int }
+
+func newEngine(m topology.Machine, p int, seed uint64) *engine {
+	return &engine{
+		m:          m,
+		p:          p,
+		hier:       memmodel.New(m),
+		alloc:      memmodel.NewAllocator(m),
+		clock:      make([]float64, p),
+		busy:       make([]float64, p),
+		gen:        rng.NewXoshiro256(seed ^ 0x9e3779b97f4a7c15),
+		trackers:   make(map[spaceKey]*affinity.Tracker),
+		seenSpaces: make(map[spaceKey]bool),
+	}
+}
+
+func (e *engine) resetStats() {
+	e.steals, e.failedSteals, e.claims, e.failedClaims, e.chunks = 0, 0, 0, 0, 0
+	e.affin = affinity.MeanSame{}
+	for i := range e.busy {
+		e.busy[i] = 0
+	}
+}
+
+func (e *engine) maxClock() float64 {
+	max := e.clock[0]
+	for _, c := range e.clock[1:] {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// execChunk charges core for executing iterations [lo, hi) of l and
+// records the assignment for affinity tracking.
+func (e *engine) execChunk(core int, l *Loop, tr *affinity.Tracker, lo, hi int) {
+	cost := e.m.Cost.ChunkDispatch
+	for i := lo; i < hi; i++ {
+		ic := l.Cost(i)
+		cost += ic.Compute
+		for _, t := range ic.Touches {
+			cost += e.hier.TouchRange(core, e.regions[t.Region], t.Lo, t.Hi)
+		}
+	}
+	if e.cfg.Timeline && e.recCount && len(e.segments) < 1<<17 {
+		e.segments = append(e.segments, Segment{
+			Core:  int32(core),
+			Start: e.clock[core] - e.segBase,
+			End:   e.clock[core] + cost - e.segBase,
+			Lo:    int32(lo), Hi: int32(hi),
+		})
+	}
+	e.clock[core] += cost
+	e.busy[core] += cost
+	e.chunks++
+	if tr != nil {
+		tr.Record(core, lo, hi)
+	}
+}
+
+// runLoop executes one parallel loop under the strategy with a barrier on
+// both sides, in global time order across the P cores.
+func (e *engine) runLoop(l Loop, strat loop.Strategy, chunkOpt int, measured bool) {
+	if l.N <= 0 {
+		return
+	}
+	e.recCount = measured
+	// Barrier: all cores arrive together at the max clock, paying the
+	// join cost (the sequential outer loop of the iterative applications).
+	start := e.maxClock() + e.m.Cost.Barrier
+	for c := range e.clock {
+		e.clock[c] = start + e.gen.Float64()*e.m.Cost.BarrierJitter
+	}
+	if e.cfg.Stragglers > 0 && e.cfg.StraggleDelay > 0 {
+		for _, c := range e.gen.PermPrefix(e.p, e.cfg.Stragglers) {
+			e.clock[c] += e.cfg.StraggleDelay
+		}
+	}
+	e.clock[0] += e.m.Cost.LoopStartup
+
+	var tr *affinity.Tracker
+	if measured {
+		key := spaceKey{l.Space, l.N}
+		tr = e.trackers[key]
+		if tr == nil {
+			tr = affinity.NewTracker(l.N)
+			e.trackers[key] = tr
+		}
+	}
+
+	chunk := chunkOpt
+	if chunk <= 0 {
+		chunk = loop.DefaultChunk(l.N, e.p)
+	}
+	pol := e.newPolicy(strat, &l, tr, chunk)
+
+	active := make([]bool, e.p)
+	remaining := e.p
+	for c := range active {
+		active[c] = true
+	}
+	for remaining > 0 {
+		// Pick the active core with the smallest clock (P <= 32: linear
+		// scan beats a heap).
+		best := -1
+		for c := 0; c < e.p; c++ {
+			if active[c] && (best < 0 || e.clock[c] < e.clock[best]) {
+				best = c
+			}
+		}
+		if !pol.step(best) {
+			active[best] = false
+			remaining--
+		}
+	}
+	if measured && tr != nil {
+		key := spaceKey{l.Space, l.N}
+		frac := tr.EndLoop()
+		if e.seenSpaces[key] {
+			// Only loop-to-loop transitions count; the first loop over a
+			// space has no predecessor.
+			e.affin.Add(frac)
+		}
+		e.seenSpaces[key] = true
+	}
+}

@@ -1,0 +1,334 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"hybridloop/internal/loop"
+	"hybridloop/internal/sim"
+	"hybridloop/internal/topology"
+	"hybridloop/internal/workload"
+)
+
+func microWorkload(balanced bool, totalMB int64) sim.Workload {
+	return workload.Micro(workload.MicroConfig{
+		N:              512,
+		OuterLoops:     4,
+		TotalBytes:     totalMB << 20,
+		Balanced:       balanced,
+		ComputePerLine: 2,
+	})
+}
+
+func allStrategies() []loop.Strategy {
+	return []loop.Strategy{loop.Static, loop.DynamicStealing, loop.DynamicSharing, loop.Guided, loop.Hybrid}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	w := microWorkload(true, 8)
+	for _, s := range allStrategies() {
+		cfg := sim.Config{Machine: topology.Paper(), P: 8, Strategy: s, Seed: 7}
+		r1 := sim.Run(cfg, w)
+		r2 := sim.Run(cfg, w)
+		if !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("%v: identical configs diverged:\n%+v\n%+v", s, r1, r2)
+		}
+	}
+}
+
+func TestSeedChangesStealSchedule(t *testing.T) {
+	w := microWorkload(false, 8)
+	cfg1 := sim.Config{Machine: topology.Paper(), P: 16, Strategy: loop.DynamicStealing, Seed: 1}
+	cfg2 := cfg1
+	cfg2.Seed = 99
+	r1, r2 := sim.Run(cfg1, w), sim.Run(cfg2, w)
+	if r1.Cycles == r2.Cycles && r1.Steals == r2.Steals {
+		t.Log("different seeds produced identical runs (possible but suspicious)")
+	}
+	// Totals must agree regardless of seed.
+	if r1.Counts.Total() == 0 || r2.Counts.Total() == 0 {
+		t.Fatal("no memory accesses recorded")
+	}
+}
+
+func TestAllIterationsAccountedViaCounters(t *testing.T) {
+	// Total line accesses must be identical across strategies and P (the
+	// same bytes are walked; only *which level services them* differs).
+	w := microWorkload(true, 8)
+	var want int64 = -1
+	for _, s := range allStrategies() {
+		for _, p := range []int{1, 4, 32} {
+			r := sim.Run(sim.Config{Machine: topology.Paper(), P: p, Strategy: s, Seed: 3}, w)
+			if want < 0 {
+				want = r.Counts.Total()
+			}
+			if r.Counts.Total() != want {
+				t.Fatalf("%v P=%d: %d total accesses, want %d", s, p, r.Counts.Total(), want)
+			}
+		}
+	}
+}
+
+func TestMoreCoresNotSlowerOnBalanced(t *testing.T) {
+	// Scalability sanity: for the balanced workload every strategy must
+	// get substantially faster from 1 to 8 cores (single socket).
+	w := microWorkload(true, 16)
+	for _, s := range allStrategies() {
+		t1 := sim.Run(sim.Config{Machine: topology.Paper(), P: 1, Strategy: s, Seed: 5}, w).Cycles
+		t8 := sim.Run(sim.Config{Machine: topology.Paper(), P: 8, Strategy: s, Seed: 5}, w).Cycles
+		speedup := t1 / t8
+		if speedup < 4 {
+			t.Errorf("%v: speedup at P=8 is %.2f, want >= 4", s, speedup)
+		}
+	}
+}
+
+func TestStaticSuffersOnUnbalanced(t *testing.T) {
+	// The core claim of the paper: with unbalanced iterations, static
+	// partitioning is dictated by the most loaded core, while the dynamic
+	// schemes (and hybrid) load balance.
+	w := microWorkload(false, 16)
+	m := topology.Paper()
+	tStatic := sim.Run(sim.Config{Machine: m, P: 8, Strategy: loop.Static, Seed: 5}, w).Cycles
+	tHybrid := sim.Run(sim.Config{Machine: m, P: 8, Strategy: loop.Hybrid, Seed: 5}, w).Cycles
+	tSteal := sim.Run(sim.Config{Machine: m, P: 8, Strategy: loop.DynamicStealing, Seed: 5}, w).Cycles
+	if tHybrid >= tStatic {
+		t.Errorf("hybrid (%.0f) not faster than static (%.0f) on unbalanced", tHybrid, tStatic)
+	}
+	if tSteal >= tStatic {
+		t.Errorf("vanilla (%.0f) not faster than static (%.0f) on unbalanced", tSteal, tStatic)
+	}
+}
+
+func TestAffinityOrdering(t *testing.T) {
+	// Figure 2's qualitative content: static = 100%, hybrid high,
+	// dynamic schemes low.
+	w := microWorkload(true, 16)
+	m := topology.Paper()
+	aff := map[loop.Strategy]float64{}
+	for _, s := range allStrategies() {
+		r := sim.Run(sim.Config{Machine: m, P: 32, Strategy: s, Seed: 11}, w)
+		if r.AffinityLoops == 0 {
+			t.Fatalf("%v: no affinity transitions measured", s)
+		}
+		aff[s] = r.Affinity
+	}
+	if aff[loop.Static] != 1.0 {
+		t.Errorf("static affinity = %.3f, want 1.0", aff[loop.Static])
+	}
+	if aff[loop.Hybrid] < 0.9 {
+		t.Errorf("hybrid affinity on balanced = %.3f, want >= 0.9", aff[loop.Hybrid])
+	}
+	for _, s := range []loop.Strategy{loop.DynamicStealing, loop.DynamicSharing, loop.Guided} {
+		if aff[s] > 0.5 {
+			t.Errorf("%v affinity = %.3f, expected low (< 0.5)", s, aff[s])
+		}
+	}
+}
+
+func TestHybridClaimsBounded(t *testing.T) {
+	w := microWorkload(true, 8)
+	r := sim.Run(sim.Config{Machine: topology.Paper(), P: 32, Strategy: loop.Hybrid, Seed: 2}, w)
+	if r.Claims == 0 {
+		t.Fatal("hybrid run recorded no claims")
+	}
+	// Per loop: at most R successful + R lg R failed claims (Theorem 5's
+	// O(R lg R) claim work). 5 loops total (1 init is excluded), R = 32.
+	loops := int64(4)
+	maxClaims := loops * (32 + 32*5)
+	if r.Claims > maxClaims {
+		t.Errorf("claims = %d exceeds O(R lg R) bound %d", r.Claims, maxClaims)
+	}
+}
+
+func TestSequentialBaseline(t *testing.T) {
+	w := microWorkload(true, 8)
+	m := topology.Paper()
+	ts := sim.RunSequential(m, w)
+	if ts <= 0 {
+		t.Fatal("sequential time not positive")
+	}
+	// T1 (with parallel overhead) must be >= Ts, but within a small
+	// factor (work efficiency near 1 — the paper's first column).
+	for _, s := range allStrategies() {
+		t1 := sim.Run(sim.Config{Machine: m, P: 1, Strategy: s, Seed: 1}, w).Cycles
+		if t1 < ts {
+			t.Errorf("%v: T1 (%.0f) below Ts (%.0f)", s, t1, ts)
+		}
+		if eff := ts / t1; eff < 0.7 {
+			t.Errorf("%v: work efficiency %.2f too low", s, eff)
+		}
+	}
+}
+
+func TestLocalityCountersCrossSocket(t *testing.T) {
+	// With a per-socket footprint that exceeds L3, L3 misses under static
+	// and hybrid should be serviced mostly by *local* DRAM, while vanilla
+	// leans on remote L3/DRAM (Figure 4's story).
+	w := microWorkload(true, 96) // 24 MB per socket at P=32 > 16 MB L3
+	m := topology.Paper()
+	type dramSplit struct{ local, remote int64 }
+	split := map[loop.Strategy]dramSplit{}
+	for _, s := range []loop.Strategy{loop.Static, loop.Hybrid, loop.DynamicStealing} {
+		r := sim.Run(sim.Config{Machine: m, P: 32, Strategy: s, Seed: 4}, w)
+		split[s] = dramSplit{
+			local:  r.Counts[topology.LocalDRAM],
+			remote: r.Counts[topology.RemoteDRAM] + r.Counts[topology.RemoteL3],
+		}
+	}
+	for _, s := range []loop.Strategy{loop.Static, loop.Hybrid} {
+		d := split[s]
+		if d.remote > d.local/4 {
+			t.Errorf("%v: remote accesses %d vs local %d — locality not retained", s, d.remote, d.local)
+		}
+	}
+	v := split[loop.DynamicStealing]
+	h := split[loop.Hybrid]
+	if v.remote <= h.remote {
+		t.Errorf("vanilla remote accesses (%d) not above hybrid's (%d)", v.remote, h.remote)
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad config did not panic")
+		}
+	}()
+	sim.Run(sim.Config{Machine: topology.Paper(), P: 99, Strategy: loop.Static}, microWorkload(true, 1))
+}
+
+func TestEmptyLoopSkipped(t *testing.T) {
+	w := sim.Workload{
+		Name:  "empty",
+		Loops: []sim.Loop{{N: 0, Cost: func(int) sim.IterCost { return sim.IterCost{} }}},
+	}
+	r := sim.Run(sim.Config{Machine: topology.Paper(), P: 4, Strategy: loop.Hybrid, Seed: 1}, w)
+	if r.Cycles != 0 {
+		t.Fatalf("empty workload took %v cycles", r.Cycles)
+	}
+}
+
+// TestEveryPolicyExecutesExactlyOnce instruments the workload's Cost
+// function (invoked exactly once per executed iteration) to verify that
+// every policy — including the ablation variants — covers each iteration
+// exactly once.
+func TestEveryPolicyExecutesExactlyOnce(t *testing.T) {
+	const n = 7777
+	configs := []sim.Config{
+		{Machine: topology.Paper(), P: 32, Strategy: loop.Static, Seed: 1},
+		{Machine: topology.Paper(), P: 32, Strategy: loop.DynamicStealing, Seed: 1},
+		{Machine: topology.Paper(), P: 32, Strategy: loop.DynamicSharing, Seed: 1},
+		{Machine: topology.Paper(), P: 32, Strategy: loop.Guided, Seed: 1},
+		{Machine: topology.Paper(), P: 32, Strategy: loop.Hybrid, Seed: 1},
+		{Machine: topology.Paper(), P: 32, Strategy: loop.Hybrid, Seed: 2, RFactor: 4},
+		{Machine: topology.Paper(), P: 32, Strategy: loop.DynamicStealing, Seed: 3, Steal: sim.StealChunk},
+		{Machine: topology.Paper(), P: 32, Strategy: loop.Hybrid, Seed: 4, Stragglers: 8, StraggleDelay: 1e5},
+		{Machine: topology.Paper(), P: 5, Strategy: loop.Hybrid, Seed: 5}, // non-power-of-two P
+	}
+	for _, cfg := range configs {
+		counts := make([]int, n)
+		w := sim.Workload{
+			Name:    "counting",
+			Regions: []int64{1 << 20},
+			Loops: []sim.Loop{{
+				N: n,
+				Cost: func(i int) sim.IterCost {
+					counts[i]++
+					return sim.IterCost{Compute: float64(i%13) + 1}
+				},
+			}},
+		}
+		sim.Run(cfg, w)
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("%+v: iteration %d executed %d times", cfg, i, c)
+			}
+		}
+	}
+}
+
+// TestStragglersHurtStaticMost verifies the arrival-delay story: with 8
+// late cores, static slows down by roughly the delay while hybrid and
+// vanilla absorb it.
+func TestStragglersHurtStaticMost(t *testing.T) {
+	m := topology.Paper()
+	w := microWorkload(true, 16)
+	const lag = 2e5
+	slowdown := func(s loop.Strategy) float64 {
+		base := sim.Run(sim.Config{Machine: m, P: 32, Strategy: s, Seed: 1}, w).Cycles
+		lagged := sim.Run(sim.Config{Machine: m, P: 32, Strategy: s, Seed: 1,
+			Stragglers: 8, StraggleDelay: lag}, w).Cycles
+		return lagged / base
+	}
+	st := slowdown(loop.Static)
+	hy := slowdown(loop.Hybrid)
+	if st < 1.2 {
+		t.Errorf("static slowdown %.2f — stragglers had no effect", st)
+	}
+	if hy >= st {
+		t.Errorf("hybrid slowdown %.2f not below static's %.2f", hy, st)
+	}
+}
+
+// TestTimelineSegmentsCoherent: with Timeline on, segments must be
+// per-core non-overlapping, time-ordered, within [0, Cycles], and cover
+// every iteration exactly once.
+func TestTimelineSegmentsCoherent(t *testing.T) {
+	w := microWorkload(false, 8)
+	r := sim.Run(sim.Config{Machine: topology.Paper(), P: 16, Strategy: loop.Hybrid, Seed: 9, Timeline: true}, w)
+	if len(r.Segments) == 0 {
+		t.Fatal("no segments recorded")
+	}
+	lastEnd := map[int32]float64{}
+	perLoopCover := map[int32]int{}
+	for _, seg := range r.Segments {
+		if seg.Start < -1e-9 || seg.End > r.Cycles+1e-6 || seg.End < seg.Start {
+			t.Fatalf("segment out of range: %+v (cycles %v)", seg, r.Cycles)
+		}
+		if seg.Start+1e-9 < lastEnd[seg.Core] {
+			t.Fatalf("core %d segments overlap: %+v before %v", seg.Core, seg, lastEnd[seg.Core])
+		}
+		lastEnd[seg.Core] = seg.End
+		for i := seg.Lo; i < seg.Hi; i++ {
+			perLoopCover[i]++
+		}
+	}
+	// 4 measured loops over 512 iterations each.
+	for i := int32(0); i < 512; i++ {
+		if perLoopCover[i] != 4 {
+			t.Fatalf("iteration %d covered %d times, want 4", i, perLoopCover[i])
+		}
+	}
+	// Without the flag, no segments.
+	r2 := sim.Run(sim.Config{Machine: topology.Paper(), P: 16, Strategy: loop.Hybrid, Seed: 9}, w)
+	if len(r2.Segments) != 0 {
+		t.Fatal("segments recorded without Timeline")
+	}
+}
+
+// TestClaimEagerStillExactlyOnce: the help-first ablation must preserve
+// Theorem 3 (hoarded partitions execute exactly once, including stolen
+// ones).
+func TestClaimEagerStillExactlyOnce(t *testing.T) {
+	const n = 4096
+	counts := make([]int, n)
+	w := sim.Workload{
+		Name:    "counting",
+		Regions: []int64{1 << 20},
+		Loops: []sim.Loop{{
+			N: n,
+			Cost: func(i int) sim.IterCost {
+				counts[i]++
+				return sim.IterCost{Compute: 50}
+			},
+		}},
+	}
+	sim.Run(sim.Config{Machine: topology.Paper(), P: 32, Strategy: loop.Hybrid,
+		Seed: 3, Claim: sim.ClaimEager, Stragglers: 8, StraggleDelay: 5e4}, w)
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("iteration %d executed %d times", i, c)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package topology describes the simulated machine: socket/core layout,
+// cache capacities, memory-access latencies per hierarchy level, and the
+// scheduler cost model. The default machine is the paper's testbed — a
+// 32-core, four-socket Intel Xeon E5-4620 — with the latencies of the
+// paper's Figure 5 adopted verbatim as simulator parameters.
+package topology
+
+import "fmt"
+
+// Level identifies which part of the memory hierarchy serviced an access.
+type Level int
+
+const (
+	// L1 is a hit in the core's private L1 data cache.
+	L1 Level = iota
+	// L2 is a hit in the core's private L2 cache.
+	L2
+	// LocalL3 is a hit in the core's own socket's shared L3.
+	LocalL3
+	// LocalDRAM is a miss serviced by the socket's own DRAM.
+	LocalDRAM
+	// RemoteL3 is a miss serviced by another socket's L3.
+	RemoteL3
+	// RemoteDRAM is a miss serviced by another socket's DRAM.
+	RemoteDRAM
+	// NumLevels is the number of hierarchy levels.
+	NumLevels
+)
+
+// String returns the label used in the paper's Figure 4.
+func (l Level) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case LocalL3:
+		return "local L3"
+	case LocalDRAM:
+		return "local DRAM"
+	case RemoteL3:
+		return "remote L3"
+	case RemoteDRAM:
+		return "remote DRAM"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// Latencies gives a per-hierarchy-level cost in cycles. It is used in two
+// roles: Machine.Lat holds the *dependent-access* latencies of the paper's
+// Figure 5 (what a pointer chase pays, and what the inferred-latency
+// metric weighs counters with), while Machine.TimeLat holds the *effective
+// per-line time cost* of the independent, overlapping accesses the
+// workloads actually issue — modern cores keep many misses in flight, so
+// the throughput cost of a strided sweep is far below the raw latency,
+// and the remote:local ratio compresses toward the bandwidth ratio.
+type Latencies [NumLevels]float64
+
+// SchedCosts is the scheduler cost model, in cycles. The values are not
+// measurements — they are plausible magnitudes for the operations involved
+// (an uncontended CAS, a cross-socket cache-line transfer, a function
+// dispatch) chosen so that work efficiency stays near one, matching the
+// calibrated platforms of Section V.
+type SchedCosts struct {
+	// StealAttempt is one randomized steal attempt (probe a victim deque).
+	StealAttempt float64
+	// StealSuccess is the extra cost of a successful steal (acquiring the
+	// frame, cache-line transfer of loop state).
+	StealSuccess float64
+	// Claim is one claim attempt in the hybrid heuristic (fetch-and-or on
+	// a possibly-contended cache line).
+	Claim float64
+	// ChunkDispatch is the per-chunk scheduling overhead common to every
+	// strategy (loop bookkeeping, function call into the body).
+	ChunkDispatch float64
+	// SharedQueueAccess is the cost of one grab from a central work-sharing
+	// queue (OpenMP dynamic/guided), excluding serialization delay.
+	SharedQueueAccess float64
+	// SharedQueueSerial is the exclusive-occupancy window of the central
+	// queue: concurrent grabs are serialized SharedQueueSerial cycles apart.
+	SharedQueueSerial float64
+	// LoopStartup is the per-loop setup cost on the initiating core
+	// (partition structure init for hybrid, team wake-up for OpenMP).
+	LoopStartup float64
+	// StealBackoff is the delay before an idle core retries after failing
+	// to find any victim with work.
+	StealBackoff float64
+	// Barrier is the per-core cost of the join/barrier ending a loop.
+	Barrier float64
+	// BarrierJitter is the spread of core release times out of a barrier:
+	// each core arrives at the next loop up to this many cycles late,
+	// uniformly at random. Real barriers never release symmetrically;
+	// without this skew, central-queue schedulers would drain chunks in
+	// the same core order every loop and show artificially high affinity.
+	BarrierJitter float64
+}
+
+// Machine is a simulated shared-memory multicore.
+type Machine struct {
+	Sockets        int
+	CoresPerSocket int
+	CacheLine      int // bytes
+	BlockSize      int // cache-model granularity, bytes (multiple of CacheLine)
+	L1Size         int // per core, bytes
+	L2Size         int // per core, bytes
+	L3Size         int // per socket, bytes
+	// Lat is the dependent-access latency per level (Figure 5); it is
+	// what counters are converted to inferred latency with.
+	Lat Latencies
+	// TimeLat is the effective per-line cost, in cycles, charged to a
+	// core's clock when a line is serviced at each level. It reflects
+	// memory-level parallelism: independent strided accesses overlap, so
+	// effective costs sit near bandwidth limits, not raw latencies.
+	TimeLat  Latencies
+	Cost     SchedCosts
+	ClockGHz float64 // for reporting only; simulation is in cycles
+}
+
+// Paper returns the paper's testbed: four sockets of eight 2.2 GHz cores,
+// 32 KiB L1d + 256 KiB L2 per core, 16 MiB shared L3 per socket, with the
+// Figure 5 latencies (ranges collapsed to their midpoints, as the paper
+// itself does for the inferred-latency computation).
+func Paper() Machine {
+	return Machine{
+		Sockets:        4,
+		CoresPerSocket: 8,
+		CacheLine:      64,
+		BlockSize:      4096,
+		L1Size:         32 << 10,
+		L2Size:         256 << 10,
+		L3Size:         16 << 20,
+		Lat: Latencies{
+			L1:         4.1,
+			L2:         12.2,
+			LocalL3:    41.4,
+			LocalDRAM:  246.7,
+			RemoteL3:   (381.5 + 648.8) / 2,
+			RemoteDRAM: (643.2 + 650.9) / 2,
+		},
+		TimeLat: Latencies{
+			L1:         2,
+			L2:         4,
+			LocalL3:    10,
+			LocalDRAM:  25,
+			RemoteL3:   25,
+			RemoteDRAM: 40,
+		},
+		Cost: SchedCosts{
+			StealAttempt:      150,
+			StealSuccess:      400,
+			Claim:             60,
+			ChunkDispatch:     40,
+			SharedQueueAccess: 80,
+			SharedQueueSerial: 120,
+			LoopStartup:       600,
+			StealBackoff:      500,
+			Barrier:           200,
+			BarrierJitter:     150,
+		},
+		ClockGHz: 2.2,
+	}
+}
+
+// P returns the total number of cores.
+func (m Machine) P() int { return m.Sockets * m.CoresPerSocket }
+
+// Socket returns the socket housing the given core under the paper's
+// compact pinning (cores 0–7 on socket 0, 8–15 on socket 1, ...): if fewer
+// than CoresPerSocket threads are used, only one socket is employed.
+func (m Machine) Socket(core int) int { return core / m.CoresPerSocket }
+
+// LinesPerBlock returns how many cache lines one simulation block holds.
+func (m Machine) LinesPerBlock() int { return m.BlockSize / m.CacheLine }
+
+// BlocksIn returns how many simulation blocks cover n bytes.
+func (m Machine) BlocksIn(n int64) int64 {
+	bs := int64(m.BlockSize)
+	return (n + bs - 1) / bs
+}
+
+// Validate checks internal consistency; it returns an error describing the
+// first problem found, or nil.
+func (m Machine) Validate() error {
+	switch {
+	case m.Sockets < 1 || m.CoresPerSocket < 1:
+		return fmt.Errorf("topology: bad core layout %dx%d", m.Sockets, m.CoresPerSocket)
+	case m.CacheLine <= 0 || m.BlockSize <= 0 || m.BlockSize%m.CacheLine != 0:
+		return fmt.Errorf("topology: block size %d not a multiple of line size %d", m.BlockSize, m.CacheLine)
+	case m.L1Size < m.BlockSize || m.L2Size < m.L1Size || m.L3Size < m.L2Size:
+		return fmt.Errorf("topology: cache sizes not increasing: %d/%d/%d", m.L1Size, m.L2Size, m.L3Size)
+	}
+	for l := Level(0); l < NumLevels; l++ {
+		if m.Lat[l] <= 0 {
+			return fmt.Errorf("topology: nonpositive latency for %v", l)
+		}
+		if m.TimeLat[l] <= 0 {
+			return fmt.Errorf("topology: nonpositive time cost for %v", l)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPaperMachineValid(t *testing.T) {
+	m := Paper()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.P() != 32 {
+		t.Fatalf("P() = %d, want 32", m.P())
+	}
+	if m.LinesPerBlock() != 64 {
+		t.Fatalf("LinesPerBlock = %d, want 64", m.LinesPerBlock())
+	}
+}
+
+func TestCompactPinning(t *testing.T) {
+	m := Paper()
+	cases := map[int]int{0: 0, 7: 0, 8: 1, 15: 1, 16: 2, 31: 3}
+	for core, want := range cases {
+		if got := m.Socket(core); got != want {
+			t.Errorf("Socket(%d) = %d, want %d", core, got, want)
+		}
+	}
+}
+
+func TestLatenciesMatchFigure5(t *testing.T) {
+	m := Paper()
+	// The paper's Figure 5 values (ranges collapsed to midpoints).
+	if m.Lat[L1] != 4.1 || m.Lat[L2] != 12.2 || m.Lat[LocalL3] != 41.4 {
+		t.Fatalf("cache latencies diverge from Figure 5: %+v", m.Lat)
+	}
+	if m.Lat[LocalDRAM] != 246.7 {
+		t.Fatalf("local DRAM latency %v, want 246.7", m.Lat[LocalDRAM])
+	}
+	// Monotone up the hierarchy.
+	for l := L2; l < NumLevels; l++ {
+		if m.Lat[l] <= m.Lat[l-1] && !(l == RemoteL3 && m.Lat[l] > m.Lat[LocalDRAM]) {
+			t.Errorf("latency not increasing at %v: %v <= %v", l, m.Lat[l], m.Lat[l-1])
+		}
+	}
+	for l := Level(1); l < NumLevels; l++ {
+		if m.TimeLat[l] < m.TimeLat[l-1] {
+			t.Errorf("time cost not monotone at %v", l)
+		}
+	}
+}
+
+func TestBlocksIn(t *testing.T) {
+	m := Paper()
+	cases := map[int64]int64{0: 0, 1: 1, 4096: 1, 4097: 2, 1 << 20: 256}
+	for in, want := range cases {
+		if got := m.BlocksIn(in); got != want {
+			t.Errorf("BlocksIn(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestValidateCatchesBadMachines(t *testing.T) {
+	bad := []func(*Machine){
+		func(m *Machine) { m.Sockets = 0 },
+		func(m *Machine) { m.BlockSize = 100 }, // not multiple of line
+		func(m *Machine) { m.L1Size = 0 },
+		func(m *Machine) { m.L3Size = m.L2Size / 2 },
+		func(m *Machine) { m.Lat[L1] = 0 },
+		func(m *Machine) { m.TimeLat[RemoteDRAM] = -1 },
+	}
+	for i, mutate := range bad {
+		m := Paper()
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad machine %d passed validation", i)
+		}
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	want := []string{"L1", "L2", "local L3", "local DRAM", "remote L3", "remote DRAM"}
+	for l := Level(0); l < NumLevels; l++ {
+		if l.String() != want[l] {
+			t.Errorf("Level(%d).String() = %q, want %q", int(l), l.String(), want[l])
+		}
+	}
+	if !strings.Contains(Level(99).String(), "99") {
+		t.Error("unknown level string unhelpful")
+	}
+}

@@ -1,0 +1,177 @@
+// Package trace records scheduling events from parallel-loop executions —
+// loop boundaries, claim attempts, partition executions, chunk runs — with
+// timestamps and worker IDs, for debugging scheduling behaviour and for
+// observing the hybrid scheme's claim dynamics on the real runtime.
+//
+// A Log is attached to loops via the public API's WithTrace option. The
+// hot path pays one nil check when tracing is off and one short critical
+// section per *chunk* (not per iteration) when on.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind classifies a scheduling event.
+type Kind uint8
+
+const (
+	// LoopStart marks a parallel loop beginning; A = begin, B = end.
+	LoopStart Kind = iota
+	// LoopEnd marks the loop's completion on the initiating worker.
+	LoopEnd
+	// ClaimOK is a successful hybrid claim; A = partition.
+	ClaimOK
+	// ClaimFail is an unsuccessful hybrid claim; A = partition.
+	ClaimFail
+	// StealEntry is a worker entering a hybrid loop via the steal
+	// protocol.
+	StealEntry
+	// Chunk is an executed chunk; A = begin, B = end.
+	Chunk
+)
+
+// String returns a short label for the event kind.
+func (k Kind) String() string {
+	switch k {
+	case LoopStart:
+		return "loop-start"
+	case LoopEnd:
+		return "loop-end"
+	case ClaimOK:
+		return "claim"
+	case ClaimFail:
+		return "claim-fail"
+	case StealEntry:
+		return "steal-entry"
+	case Chunk:
+		return "chunk"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one recorded scheduling event.
+type Event struct {
+	When   time.Duration // since the Log was created
+	Worker int32
+	Kind   Kind
+	A, B   int64
+}
+
+// Log is a bounded in-memory event recorder, safe for concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	start   time.Time
+	events  []Event
+	max     int
+	dropped int64
+}
+
+// New returns a Log keeping at most capacity events (older events are
+// retained; once full, further events are counted as dropped). capacity
+// <= 0 selects a default of 1 << 16.
+func New(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Log{start: time.Now(), max: capacity}
+}
+
+// Add records an event. Safe for concurrent use.
+func (l *Log) Add(worker int, k Kind, a, b int64) {
+	now := time.Since(l.start)
+	l.mu.Lock()
+	if len(l.events) < l.max {
+		l.events = append(l.events, Event{When: now, Worker: int32(worker), Kind: k, A: a, B: b})
+	} else {
+		l.dropped++
+	}
+	l.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in arrival order.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Dropped returns how many events were discarded after the log filled.
+func (l *Log) Dropped() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Reset clears the log and restarts its clock.
+func (l *Log) Reset() {
+	l.mu.Lock()
+	l.events = l.events[:0]
+	l.dropped = 0
+	l.start = time.Now()
+	l.mu.Unlock()
+}
+
+// WorkerSummary aggregates one worker's activity.
+type WorkerSummary struct {
+	Worker       int
+	Chunks       int
+	Iterations   int64
+	Claims       int
+	FailedClaims int
+	StealEntries int
+}
+
+// Summary returns per-worker aggregates, sorted by worker ID.
+func (l *Log) Summary() []WorkerSummary {
+	byWorker := map[int32]*WorkerSummary{}
+	for _, ev := range l.Events() {
+		s := byWorker[ev.Worker]
+		if s == nil {
+			s = &WorkerSummary{Worker: int(ev.Worker)}
+			byWorker[ev.Worker] = s
+		}
+		switch ev.Kind {
+		case Chunk:
+			s.Chunks++
+			s.Iterations += ev.B - ev.A
+		case ClaimOK:
+			s.Claims++
+		case ClaimFail:
+			s.FailedClaims++
+		case StealEntry:
+			s.StealEntries++
+		}
+	}
+	out := make([]WorkerSummary, 0, len(byWorker))
+	for _, s := range byWorker {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out
+}
+
+// Render writes the per-worker summary followed by the event count.
+func (l *Log) Render(w io.Writer) {
+	fmt.Fprintf(w, "%-7s %8s %12s %7s %11s %13s\n",
+		"worker", "chunks", "iterations", "claims", "claim-fails", "steal-entries")
+	for _, s := range l.Summary() {
+		fmt.Fprintf(w, "%-7d %8d %12d %7d %11d %13d\n",
+			s.Worker, s.Chunks, s.Iterations, s.Claims, s.FailedClaims, s.StealEntries)
+	}
+	l.mu.Lock()
+	n, dropped := len(l.events), l.dropped
+	l.mu.Unlock()
+	fmt.Fprintf(w, "%d events recorded, %d dropped\n", n, dropped)
+}
+
+// Dump writes every event, one per line, for detailed inspection.
+func (l *Log) Dump(w io.Writer) {
+	for _, ev := range l.Events() {
+		fmt.Fprintf(w, "%12v w%-3d %-11s A=%d B=%d\n", ev.When, ev.Worker, ev.Kind, ev.A, ev.B)
+	}
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddAndEvents(t *testing.T) {
+	l := New(10)
+	l.Add(0, LoopStart, 0, 100)
+	l.Add(1, Chunk, 0, 50)
+	l.Add(2, Chunk, 50, 100)
+	l.Add(0, LoopEnd, 0, 100)
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("%d events", len(evs))
+	}
+	if evs[0].Kind != LoopStart || evs[1].Worker != 1 || evs[2].B != 100 {
+		t.Fatalf("events wrong: %+v", evs)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].When < evs[i-1].When {
+			t.Fatal("timestamps not monotone")
+		}
+	}
+}
+
+func TestCapacityAndDropped(t *testing.T) {
+	l := New(3)
+	for i := 0; i < 10; i++ {
+		l.Add(0, Chunk, int64(i), int64(i+1))
+	}
+	if len(l.Events()) != 3 {
+		t.Fatalf("%d events kept", len(l.Events()))
+	}
+	if l.Dropped() != 7 {
+		t.Fatalf("Dropped = %d", l.Dropped())
+	}
+	l.Reset()
+	if len(l.Events()) != 0 || l.Dropped() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestSummaryAggregates(t *testing.T) {
+	l := New(0)
+	l.Add(0, Chunk, 0, 10)
+	l.Add(0, Chunk, 10, 30)
+	l.Add(0, ClaimOK, 0, 0)
+	l.Add(1, ClaimFail, -1, 0)
+	l.Add(1, StealEntry, 1, 0)
+	s := l.Summary()
+	if len(s) != 2 {
+		t.Fatalf("%d workers in summary", len(s))
+	}
+	if s[0].Worker != 0 || s[0].Chunks != 2 || s[0].Iterations != 30 || s[0].Claims != 1 {
+		t.Fatalf("worker 0 summary %+v", s[0])
+	}
+	if s[1].FailedClaims != 1 || s[1].StealEntries != 1 {
+		t.Fatalf("worker 1 summary %+v", s[1])
+	}
+}
+
+func TestRenderAndDump(t *testing.T) {
+	l := New(0)
+	l.Add(3, Chunk, 0, 7)
+	var buf bytes.Buffer
+	l.Render(&buf)
+	if !strings.Contains(buf.String(), "worker") || !strings.Contains(buf.String(), "1 events recorded") {
+		t.Fatalf("render output:\n%s", buf.String())
+	}
+	buf.Reset()
+	l.Dump(&buf)
+	if !strings.Contains(buf.String(), "chunk") || !strings.Contains(buf.String(), "w3") {
+		t.Fatalf("dump output:\n%s", buf.String())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		LoopStart: "loop-start", LoopEnd: "loop-end", ClaimOK: "claim",
+		ClaimFail: "claim-fail", StealEntry: "steal-entry", Chunk: "chunk",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kind string unhelpful")
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	l := New(100000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Add(w, Chunk, int64(i), int64(i+1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(l.Events()) != 8000 {
+		t.Fatalf("%d events after concurrent adds", len(l.Events()))
+	}
+}

@@ -1,0 +1,128 @@
+// Package workload defines the simulated workloads of the paper's
+// evaluation: the balanced/unbalanced microbenchmarks of Section V and
+// loop profiles mirroring the five NAS kernels (mg, ft, ep, is, cg).
+//
+// The microbenchmarks reproduce the paper's construction: an outer
+// sequential loop around an inner parallel loop, where parallel iteration
+// i walks its own disjoint array segment "in strides of 13 modulo the
+// size of the array" — a pattern chosen to defeat the hardware prefetcher,
+// so every element access costs a full cache-line fetch from wherever the
+// data resides. In the block-granular memory model this walk is a full
+// touch of the segment's blocks (see internal/memmodel).
+package workload
+
+import (
+	"fmt"
+
+	"hybridloop/internal/sim"
+)
+
+// MicroConfig parameterizes a microbenchmark instance.
+type MicroConfig struct {
+	// N is the number of parallel iterations per loop.
+	N int
+	// OuterLoops is the number of sequential repetitions of the parallel
+	// loop (the iterative-application structure).
+	OuterLoops int
+	// TotalBytes is the overall working-set size: the sum of all
+	// iterations' segments. The paper reports per-socket footprints of
+	// 11.90 MB, 15.87 MB and 79.35 MB on a 4-socket machine.
+	TotalBytes int64
+	// Balanced selects equal segment sizes; otherwise segment sizes ramp
+	// linearly from 25% to 175% of the mean (same total), so the later
+	// partitions carry most of the work.
+	Balanced bool
+	// ComputePerLine is cycles of arithmetic overlapped per line touched
+	// (address computation of the strided walk).
+	ComputePerLine float64
+}
+
+// segSizes returns per-iteration segment sizes summing to TotalBytes.
+func (c MicroConfig) segSizes() []int64 {
+	sizes := make([]int64, c.N)
+	if c.Balanced {
+		base := c.TotalBytes / int64(c.N)
+		rem := c.TotalBytes - base*int64(c.N)
+		for i := range sizes {
+			sizes[i] = base
+			if int64(i) < rem {
+				sizes[i]++
+			}
+		}
+		return sizes
+	}
+	// Unbalanced: weight w(i) = 0.25 + 1.5 * i/(N-1), normalized to the
+	// total. Deterministic, so runs are exactly reproducible.
+	weights := make([]float64, c.N)
+	var sum float64
+	for i := range weights {
+		f := 0.0
+		if c.N > 1 {
+			f = float64(i) / float64(c.N-1)
+		}
+		weights[i] = 0.25 + 1.5*f
+		sum += weights[i]
+	}
+	var assigned int64
+	for i := range sizes {
+		sizes[i] = int64(weights[i] / sum * float64(c.TotalBytes))
+		assigned += sizes[i]
+	}
+	// Push rounding leftovers onto the last segment.
+	sizes[c.N-1] += c.TotalBytes - assigned
+	return sizes
+}
+
+// Micro builds the microbenchmark workload. Region 0 is the shared array;
+// iteration i of every loop touches the same segment, which is what gives
+// iterative applications their inherent locality.
+func Micro(c MicroConfig) sim.Workload {
+	if c.N <= 0 || c.OuterLoops <= 0 || c.TotalBytes <= 0 {
+		panic(fmt.Sprintf("workload: bad MicroConfig %+v", c))
+	}
+	sizes := c.segSizes()
+	offs := make([]int64, c.N+1)
+	for i, s := range sizes {
+		offs[i+1] = offs[i] + s
+	}
+	cost := func(i int) sim.IterCost {
+		lines := float64(sizes[i]+63) / 64
+		return sim.IterCost{
+			Compute: c.ComputePerLine * lines,
+			Touches: []sim.Touch{{Region: 0, Lo: offs[i], Hi: offs[i+1]}},
+		}
+	}
+	inner := sim.Loop{N: c.N, Space: 0, Cost: cost}
+	loops := make([]sim.Loop, c.OuterLoops)
+	for i := range loops {
+		loops[i] = inner
+	}
+	name := "unbalanced"
+	if c.Balanced {
+		name = "balanced"
+	}
+	return sim.Workload{
+		Name:    fmt.Sprintf("%s/%dMB", name, c.TotalBytes>>20),
+		Regions: []int64{c.TotalBytes},
+		// The initialization loop is run by the simulator with *static*
+		// partitioning regardless of the measured strategy, modeling the
+		// paper's explicit NUMA-aware data placement ("we have used
+		// NUMA-aware memory allocation to distribute the data across
+		// sockets to allow the static partitioning to exploit the
+		// locality benefit").
+		Init:  []sim.Loop{inner},
+		Loops: loops,
+	}
+}
+
+// PaperSizes returns the paper's three per-socket working-set footprints
+// in bytes (Figure 2's column headers), scaled by the number of sockets
+// that share them at full machine width.
+func PaperSizes(sockets int) []int64 {
+	perSocket := []float64{11.90, 15.87, 79.35}
+	out := make([]int64, len(perSocket))
+	for i, mb := range perSocket {
+		out[i] = int64(mb * float64(sockets) * (1 << 20))
+	}
+	return out
+}

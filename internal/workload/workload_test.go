@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hybridloop/internal/sim"
+)
+
+func TestMicroSegmentsCoverTotal(t *testing.T) {
+	for _, bal := range []bool{true, false} {
+		c := MicroConfig{N: 100, OuterLoops: 2, TotalBytes: 1 << 20, Balanced: bal}
+		sizes := c.segSizes()
+		var sum int64
+		for _, s := range sizes {
+			if s < 0 {
+				t.Fatalf("balanced=%v: negative segment", bal)
+			}
+			sum += s
+		}
+		if sum != c.TotalBytes {
+			t.Fatalf("balanced=%v: segments sum to %d, want %d", bal, sum, c.TotalBytes)
+		}
+	}
+}
+
+func TestMicroBalancedIsBalanced(t *testing.T) {
+	c := MicroConfig{N: 64, OuterLoops: 1, TotalBytes: 1<<20 + 13, Balanced: true}
+	sizes := c.segSizes()
+	min, max := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("balanced sizes spread %d..%d", min, max)
+	}
+}
+
+func TestMicroUnbalancedRamps(t *testing.T) {
+	c := MicroConfig{N: 64, OuterLoops: 1, TotalBytes: 8 << 20, Balanced: false}
+	sizes := c.segSizes()
+	if sizes[0] >= sizes[len(sizes)-2] {
+		t.Fatalf("unbalanced sizes do not ramp: first %d, near-last %d", sizes[0], sizes[len(sizes)-2])
+	}
+	// ~7x spread between lightest and heaviest (0.25 to 1.75 weight).
+	ratio := float64(sizes[len(sizes)-2]) / float64(sizes[0])
+	if ratio < 4 || ratio > 10 {
+		t.Fatalf("imbalance ratio %.1f outside expected range", ratio)
+	}
+}
+
+func TestMicroTouchesAreDisjointAndComplete(t *testing.T) {
+	w := Micro(MicroConfig{N: 32, OuterLoops: 1, TotalBytes: 1 << 18, Balanced: false, ComputePerLine: 1})
+	l := w.Loops[0]
+	var pos int64
+	for i := 0; i < l.N; i++ {
+		ic := l.Cost(i)
+		if len(ic.Touches) != 1 {
+			t.Fatalf("iteration %d has %d touches", i, len(ic.Touches))
+		}
+		tc := ic.Touches[0]
+		if tc.Lo != pos {
+			t.Fatalf("iteration %d starts at %d, want %d (gap/overlap)", i, tc.Lo, pos)
+		}
+		pos = tc.Hi
+		if ic.Compute < 0 {
+			t.Fatalf("negative compute at %d", i)
+		}
+	}
+	if pos != w.Regions[0] {
+		t.Fatalf("touches cover %d bytes, region is %d", pos, w.Regions[0])
+	}
+}
+
+func TestMicroPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad config")
+		}
+	}()
+	Micro(MicroConfig{N: 0, OuterLoops: 1, TotalBytes: 1})
+}
+
+func TestPaperSizes(t *testing.T) {
+	sizes := PaperSizes(4)
+	if len(sizes) != 3 {
+		t.Fatalf("%d sizes", len(sizes))
+	}
+	// 11.90 MB * 4 sockets.
+	if sizes[0] < 47<<20 || sizes[0] > 48<<20 {
+		t.Fatalf("first size %d out of range", sizes[0])
+	}
+	if !(sizes[0] < sizes[1] && sizes[1] < sizes[2]) {
+		t.Fatal("sizes not increasing")
+	}
+}
+
+func checkProfile(t *testing.T, w sim.Workload) {
+	t.Helper()
+	if w.Name == "" || len(w.Loops) == 0 {
+		t.Fatalf("profile %q malformed", w.Name)
+	}
+	for li, l := range append(append([]sim.Loop{}, w.Init...), w.Loops...) {
+		if l.N <= 0 {
+			t.Fatalf("%s loop %d has N=%d", w.Name, li, l.N)
+		}
+		for i := 0; i < l.N; i++ {
+			ic := l.Cost(i)
+			if ic.Compute < 0 {
+				t.Fatalf("%s loop %d iter %d negative compute", w.Name, li, i)
+			}
+			for _, tc := range ic.Touches {
+				if tc.Region < 0 || tc.Region >= len(w.Regions) {
+					t.Fatalf("%s loop %d iter %d touches region %d of %d", w.Name, li, i, tc.Region, len(w.Regions))
+				}
+				if tc.Lo < 0 || tc.Hi > w.Regions[tc.Region] || tc.Lo > tc.Hi {
+					t.Fatalf("%s loop %d iter %d touch [%d,%d) outside region of %d bytes",
+						w.Name, li, i, tc.Lo, tc.Hi, w.Regions[tc.Region])
+				}
+			}
+		}
+	}
+}
+
+func TestNASProfilesWellFormed(t *testing.T) {
+	small := []sim.Workload{
+		MGProfile(4, 2),
+		EPProfile(64, 128),
+		FTProfile(8, 8, 8, 2),
+		ISProfile(1<<14, 2),
+		CGProfile(1<<12, 4, 1, 3, 7),
+	}
+	names := map[string]bool{}
+	for _, w := range small {
+		checkProfile(t, w)
+		names[w.Name] = true
+	}
+	for _, want := range []string{"mg", "ep", "ft", "is", "cg"} {
+		if !names[want] {
+			t.Fatalf("missing profile %q", want)
+		}
+	}
+}
+
+func TestCGProfileIrregularRows(t *testing.T) {
+	w := CGProfile(1<<12, 6, 1, 1, 7)
+	spmv := w.Loops[0]
+	flops := map[float64]bool{}
+	for i := 0; i < spmv.N; i++ {
+		flops[spmv.Cost(i).Compute] = true
+	}
+	if len(flops) < spmv.N/4 {
+		t.Fatalf("spmv row blocks too uniform: %d distinct costs over %d blocks", len(flops), spmv.N)
+	}
+}
+
+func TestMicroDeterministic(t *testing.T) {
+	prop := func(nRaw uint8, balanced bool) bool {
+		n := int(nRaw)%100 + 1
+		c := MicroConfig{N: n, OuterLoops: 1, TotalBytes: 1 << 20, Balanced: balanced}
+		a, b := c.segSizes(), c.segSizes()
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,43 @@
+package hybridloop
+
+import (
+	"io"
+
+	"hybridloop/internal/loop"
+	"hybridloop/internal/trace"
+)
+
+// TraceLog records scheduling events from loops it is attached to: loop
+// boundaries, executed chunks with their worker, and — for hybrid loops —
+// claim successes/failures and steal-protocol entries. Attach with
+// WithTrace; render with Render (per-worker summary) or Dump (raw
+// events). Safe for concurrent use and reusable across loops.
+type TraceLog struct {
+	l *trace.Log
+}
+
+// NewTraceLog returns a log holding at most capacity events (<= 0 picks
+// a default of 65536).
+func NewTraceLog(capacity int) *TraceLog {
+	return &TraceLog{l: trace.New(capacity)}
+}
+
+// WithTrace attaches the log to a loop.
+func WithTrace(t *TraceLog) ForOption {
+	return func(o *loop.Options) { o.Trace = t.l }
+}
+
+// Render writes a per-worker summary of the recorded activity.
+func (t *TraceLog) Render(w io.Writer) { t.l.Render(w) }
+
+// Dump writes every recorded event, one per line.
+func (t *TraceLog) Dump(w io.Writer) { t.l.Dump(w) }
+
+// Reset clears the log and restarts its clock.
+func (t *TraceLog) Reset() { t.l.Reset() }
+
+// WorkerSummary aggregates one worker's recorded activity.
+type WorkerSummary = trace.WorkerSummary
+
+// Summary returns per-worker aggregates, sorted by worker ID.
+func (t *TraceLog) Summary() []WorkerSummary { return t.l.Summary() }

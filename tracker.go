@@ -1,0 +1,30 @@
+package hybridloop
+
+import "hybridloop/internal/affinity"
+
+// AffinityTracker measures loop affinity: the fraction of iterations
+// executed by the same worker as in the previous loop over the same index
+// space — the paper's Figure 2 metric. Attach it to loops with
+// WithRecorder and call EndLoop after each loop completes.
+type AffinityTracker struct {
+	t *affinity.Tracker
+}
+
+// NewAffinityTracker returns a tracker for iterations [0, n).
+func NewAffinityTracker(n int) *AffinityTracker {
+	return &AffinityTracker{t: affinity.NewTracker(n)}
+}
+
+// Record implements Recorder; the runtime calls it per executed chunk.
+func (a *AffinityTracker) Record(worker, begin, end int) {
+	a.t.Record(worker, begin, end)
+}
+
+// EndLoop finishes the current loop and returns the fraction of its
+// iterations that ran on the same worker as in the previous loop
+// (0 for the first loop).
+func (a *AffinityTracker) EndLoop() float64 { return a.t.EndLoop() }
+
+// Assignment returns the completed loop's iteration-to-worker map
+// (after EndLoop), -1 for unexecuted iterations.
+func (a *AffinityTracker) Assignment() []int32 { return a.t.Assignment() }
