@@ -1,0 +1,21 @@
+GO ?= go
+
+SCHED_PKGS := ./internal/sched/... ./internal/deque/... ./internal/loop/...
+
+.PHONY: check race bench
+
+## check: vet, build and test everything (tier-1 gate)
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+## race: race-detect the scheduler hot path (includes the stress test)
+race:
+	$(GO) test -race -count=1 $(SCHED_PKGS)
+
+## bench: run the scheduler benchmarks and regenerate BENCH_sched.json
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSpawn|BenchmarkSpawnBatch|BenchmarkStealThroughput|BenchmarkWakeToFirstTask|BenchmarkForFine' \
+		-benchtime 0.5s -count=1 ./internal/sched/ | tee /tmp/bench_sched.txt
+	$(GO) run ./cmd/benchjson -in /tmp/bench_sched.txt -out BENCH_sched.json

@@ -1,0 +1,160 @@
+// Command benchjson converts `go test -bench` output into the committed
+// BENCH_sched.json. It parses the standard benchmark lines (ns/op, B/op,
+// allocs/op), records the machine the run happened on, and — when the
+// output file already exists — preserves its "baseline" section so the
+// before/after comparison survives regeneration via `make bench`. For
+// every benchmark present in both sections it reports the speedup
+// (baseline ns/op divided by current ns/op).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result holds one benchmark's parsed metrics.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// Run is one full benchmark invocation: environment plus results.
+type Run struct {
+	Date    string            `json:"date,omitempty"`
+	Commit  string            `json:"commit,omitempty"`
+	GOOS    string            `json:"goos,omitempty"`
+	GOARCH  string            `json:"goarch,omitempty"`
+	CPU     string            `json:"cpu,omitempty"`
+	Note    string            `json:"note,omitempty"`
+	Results map[string]Result `json:"results"`
+}
+
+// File is the BENCH_sched.json layout.
+type File struct {
+	Description string             `json:"description"`
+	Command     string             `json:"command"`
+	Baseline    *Run               `json:"baseline,omitempty"`
+	Current     *Run               `json:"current"`
+	Speedup     map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark[^\s-]+(?:/[^\s-]+)*)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parse(path string) (*Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	run := &Run{
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Results: map[string]Result{},
+	}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			run.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			run.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			run.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var r Result
+		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		run.Results[m[1]] = r
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(run.Results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in %s", path)
+	}
+	return run, nil
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark output to parse (required)")
+	out := flag.String("out", "BENCH_sched.json", "JSON file to write")
+	note := flag.String("note", "", "note to attach to this run")
+	asBaseline := flag.Bool("baseline", false,
+		"record this run as the baseline instead of the current run")
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run, err := parse(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	run.Note = *note
+
+	file := &File{
+		Description: "Scheduler hot-path benchmarks (internal/sched/bench_sched_test.go). " +
+			"baseline = before the single-wake/zero-alloc spawn overhaul; " +
+			"current = the committed code. Regenerate with `make bench`.",
+		Command: "go test -run '^$' -bench 'BenchmarkSpawn|BenchmarkSpawnBatch|BenchmarkStealThroughput|BenchmarkWakeToFirstTask|BenchmarkForFine' -benchtime 0.5s ./internal/sched/",
+	}
+	if prev, err := os.ReadFile(*out); err == nil {
+		var old File
+		if json.Unmarshal(prev, &old) == nil {
+			file.Baseline = old.Baseline
+			file.Current = old.Current
+		}
+	}
+	if *asBaseline {
+		file.Baseline = run
+	} else {
+		file.Current = run
+	}
+
+	if file.Baseline != nil && file.Current != nil {
+		file.Speedup = map[string]float64{}
+		for name, base := range file.Baseline.Results {
+			if cur, ok := file.Current.Results[name]; ok && cur.NsPerOp > 0 {
+				file.Speedup[name] = round2(base.NsPerOp / cur.NsPerOp)
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %s (%d benchmarks)\n", *out, len(run.Results))
+}
+
+func round2(x float64) float64 {
+	return float64(int64(x*100+0.5)) / 100
+}

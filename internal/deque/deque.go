@@ -8,41 +8,103 @@
 // the paper's Cilk substrate relies on: the oldest (topmost) frame is the
 // one with the most work behind it, so steals grab big pieces and the
 // owner keeps its cache-hot recent work.
+//
+// Elements are held in separate per-slot atomics, so a push performs no
+// heap allocation: boxing a func value or a pointer into an interface is
+// a (type, pointer) pair with no copy. Each element is a triple
+// (v, arg, ab): v is one of two caller-fixed concrete types (the scheduler
+// uses a plain task func and a range-task func), arg is a pointer payload
+// (the join group), and ab is an int64 the caller can use to carry data
+// inline (a packed iteration range). ab doubles as the element-type tag:
+// ab == 0 means v has the primary type, ab != 0 the alternate — this is
+// what lets one atomic slot alternate between two concrete func types
+// without violating sync/atomic.Value's store-type-consistency rule,
+// because each type always lives in its own per-slot atomic.Value.
+//
+// Removed slots are not cleared on the pop/steal hot path (two XCHG-class
+// stores per task that profiling shows dominate fine-grained loop
+// overhead); a consumed element lingers until its slot is reused —
+// retention bounded by one ring's capacity. The owner calls Clean when it
+// goes idle to overwrite every slot with caller-supplied zero values, so
+// a quiescent deque pins nothing.
 package deque
 
 import "sync/atomic"
-
-// Task is the unit of schedulable work held by a deque. It is defined here
-// (rather than in the scheduler) so the deque does not depend on scheduler
-// internals; the scheduler stores *its* task type behind this interface.
-type Task interface{}
 
 const (
 	// minCapacity is the initial ring capacity. Must be a power of two.
 	minCapacity = 64
 )
 
+// slot holds one queued element as independently-atomic words. A reader
+// may observe a torn element (fields from different pushes) only for an
+// index whose claim CAS it is guaranteed to lose, so torn reads are
+// always discarded — see the validation argument in Steal.
+//
+// Only one of fn/alt is meaningful per element (chosen by ab); the other
+// may hold a stale value from an earlier element in the same physical
+// slot, retained until the slot is next reused with that type — the same
+// bounded retention Steal already accepts for un-cleared stolen slots.
+type slot struct {
+	fn  atomic.Value // primary element type (ab == 0)
+	alt atomic.Value // alternate element type (ab != 0)
+	arg atomic.Value
+	ab  atomic.Int64
+}
+
 // ring is a fixed-capacity circular array. Grown copies share no state with
 // their predecessor; readers that hold an old ring still read valid slots
 // for indexes they were entitled to.
 type ring struct {
-	buf  []atomic.Value
+	buf  []slot
 	mask int64
 }
 
 func newRing(capacity int64) *ring {
-	return &ring{buf: make([]atomic.Value, capacity), mask: capacity - 1}
+	return &ring{buf: make([]slot, capacity), mask: capacity - 1}
 }
 
-func (r *ring) get(i int64) Task    { return r.buf[i&r.mask].Load() }
-func (r *ring) put(i int64, t Task) { r.buf[i&r.mask].Store(t) }
-func (r *ring) capacity() int64     { return int64(len(r.buf)) }
+func (r *ring) get(i int64) (v, arg any, ab int64) {
+	s := &r.buf[i&r.mask]
+	ab = s.ab.Load()
+	if ab == 0 {
+		v = s.fn.Load()
+	} else {
+		v = s.alt.Load()
+	}
+	return v, s.arg.Load(), ab
+}
+
+func (r *ring) put(i int64, v, arg any, ab int64) {
+	s := &r.buf[i&r.mask]
+	// Skip stores whose slot already holds the value: a loop pushing
+	// splits of one range reuses a handful of physical slots with the
+	// same group pointer and (for plain tasks) the same tag, so an atomic
+	// load replaces an XCHG-class store on most pushes. v cannot get the
+	// same treatment — func-typed interfaces are not comparable. Skipping
+	// is sound because a reader cannot distinguish a rewritten value from
+	// an identical retained one.
+	if s.ab.Load() != ab {
+		s.ab.Store(ab)
+	}
+	if ab == 0 {
+		s.fn.Store(v)
+	} else {
+		s.alt.Store(v)
+	}
+	if s.arg.Load() != arg {
+		s.arg.Store(arg)
+	}
+}
+
+func (r *ring) capacity() int64 { return int64(len(r.buf)) }
 
 // grow returns a ring of twice the capacity holding elements [top, bottom).
 func (r *ring) grow(top, bottom int64) *ring {
 	nr := newRing(r.capacity() * 2)
 	for i := top; i < bottom; i++ {
-		nr.put(i, r.get(i))
+		v, arg, ab := r.get(i)
+		nr.put(i, v, arg, ab)
 	}
 	return nr
 }
@@ -54,31 +116,61 @@ type Deque struct {
 	top    atomic.Int64 // next slot to steal from
 	bottom atomic.Int64 // next slot to push to (owner-private except for reads)
 	active atomic.Pointer[ring]
+
+	// zeroFn/zeroAlt/zeroArg are what Clean overwrites slots with. They
+	// must be typed non-nil interface values of the same concrete types
+	// every push uses (sync/atomic.Value requires store-type consistency)
+	// — e.g. typed nil funcs and a typed nil pointer.
+	zeroFn  any
+	zeroAlt any
+	zeroArg any
+
+	// Owner-private dirty-range bookkeeping for Clean: slots for indexes
+	// in [cleanedTo, hw) of the active ring may hold consumed elements;
+	// everything below cleanedTo is zeroed and everything at or above hw
+	// is virgin. Plain fields — only the owner reads or writes them.
+	cleanedTo int64
+	hw        int64 // high-water bottom since the ring was last clean
 }
 
-// New returns an empty deque.
-func New() *Deque {
-	d := &Deque{}
+// New returns an empty deque. zeroFn, zeroAlt and zeroArg are the values
+// Clean overwrites slots with; they must have the same concrete types as
+// the values later passed to PushBottom with ab == 0, ab != 0, and as arg
+// respectively (typed nils are the usual choice) and must not be untyped
+// nil interfaces.
+func New(zeroFn, zeroAlt, zeroArg any) *Deque {
+	d := &Deque{zeroFn: zeroFn, zeroAlt: zeroAlt, zeroArg: zeroArg}
 	d.active.Store(newRing(minCapacity))
 	return d
 }
 
-// PushBottom adds t at the bottom of the deque. Owner only.
-func (d *Deque) PushBottom(t Task) {
+// PushBottom adds the element (v, arg, ab) at the bottom of the deque.
+// Owner only. ab selects v's concrete type: pass 0 for the primary type
+// and any non-zero value for the alternate. Does not allocate (outside
+// amortized ring growth) when v and arg are pointer-shaped values of the
+// deque's fixed concrete types.
+func (d *Deque) PushBottom(v, arg any, ab int64) {
 	b := d.bottom.Load()
 	tp := d.top.Load()
 	r := d.active.Load()
 	if b-tp >= r.capacity() {
 		r = r.grow(tp, b)
 		d.active.Store(r)
+		// The new ring is virgin outside the live range [tp, b): reset the
+		// dirty range so Clean doesn't sweep slots that were never used.
+		d.cleanedTo = tp
+		d.hw = b
 	}
-	r.put(b, t)
+	r.put(b, v, arg, ab)
+	if b+1 > d.hw {
+		d.hw = b + 1
+	}
 	d.bottom.Store(b + 1)
 }
 
-// PopBottom removes and returns the most recently pushed task, or
-// (nil, false) if the deque is empty. Owner only.
-func (d *Deque) PopBottom() (Task, bool) {
+// PopBottom removes and returns the most recently pushed element, or
+// ok == false if the deque is empty. Owner only.
+func (d *Deque) PopBottom() (v, arg any, ab int64, ok bool) {
 	b := d.bottom.Load() - 1
 	r := d.active.Load()
 	d.bottom.Store(b)
@@ -86,35 +178,72 @@ func (d *Deque) PopBottom() (Task, bool) {
 	if b < tp {
 		// Deque was empty; restore the canonical empty state.
 		d.bottom.Store(tp)
-		return nil, false
+		return nil, nil, 0, false
 	}
-	t := r.get(b)
+	v, arg, ab = r.get(b)
 	if b > tp {
-		return t, true
+		return v, arg, ab, true
 	}
 	// Single element left: race with thieves via CAS on top.
 	won := d.top.CompareAndSwap(tp, tp+1)
 	d.bottom.Store(tp + 1)
 	if !won {
-		return nil, false
+		return nil, nil, 0, false
 	}
-	return t, true
+	return v, arg, ab, true
 }
 
-// Steal removes and returns the oldest task, or (nil, false) if the deque
-// is empty or the steal lost a race. Callable from any goroutine.
-func (d *Deque) Steal() (Task, bool) {
+// Clean overwrites every slot with the zero values, releasing whatever the
+// consumed elements still pin. Owner only, and only while the deque is
+// empty (it returns without touching anything otherwise) — the scheduler
+// calls it on the way into a park, so a busy worker pays no per-pop
+// clearing (two removed XCHG-class stores per task) while an idle one
+// retains nothing. Stale slots of a busy deque are bounded by one ring's
+// capacity either way. Doomed thieves may read a slot mid-clean; their
+// validating CAS fails (top == bottom here, so any index they could have
+// read is already claimed or out of range) and the torn read is discarded.
+func (d *Deque) Clean() {
+	b := d.bottom.Load()
+	if d.top.Load() != b {
+		return
+	}
+	r := d.active.Load()
+	lo := d.hw - r.capacity()
+	if d.cleanedTo > lo {
+		lo = d.cleanedTo
+	}
+	for i := lo; i < d.hw; i++ {
+		s := &r.buf[i&r.mask]
+		s.fn.Store(d.zeroFn)
+		s.alt.Store(d.zeroAlt)
+		s.arg.Store(d.zeroArg)
+	}
+	d.cleanedTo = d.hw
+}
+
+// Steal removes and returns the oldest element, or ok == false if the
+// deque is empty or the steal lost a race. Callable from any goroutine.
+func (d *Deque) Steal() (v, arg any, ab int64, ok bool) {
 	tp := d.top.Load()
 	b := d.bottom.Load()
 	if tp >= b {
-		return nil, false
+		return nil, nil, 0, false
 	}
 	r := d.active.Load()
-	t := r.get(tp)
+	v, arg, ab = r.get(tp)
 	if !d.top.CompareAndSwap(tp, tp+1) {
-		return nil, false
+		// Lost the race: the element read above may even be torn (an owner
+		// overwrite interleaved between the loads), but it is discarded
+		// here, so only CAS winners observe consistent elements.
+		return nil, nil, 0, false
 	}
-	return t, true
+	// Unlike the owner-side pops, a thief must NOT clear its slot: after
+	// top advances to tp+1 the owner may push index tp+capacity — the same
+	// physical slot — without growing (occupancy is then capacity-1), and
+	// a deferred clear would destroy that push. A stolen task therefore
+	// lingers in the victim's ring until the slot is reused or the ring is
+	// dropped — retention bounded by one ring's capacity.
+	return v, arg, ab, true
 }
 
 // Size returns a linearizable-at-some-point estimate of the number of

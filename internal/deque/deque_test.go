@@ -7,12 +7,36 @@ import (
 	"testing/quick"
 )
 
+// newInt returns a deque configured for int elements (v = the value,
+// arg = its negation, so tests can verify the element travels together).
+func newInt() *Deque { return New(0, 0, 0) }
+
+// pushInt pushes i routed through the primary field for even i and the
+// alternate field (ab = i, nonzero) for odd i, so every test exercises
+// both element types and the tag's field selection.
+func pushInt(d *Deque, i int) { d.PushBottom(i, -i, abFor(i)) }
+
+func abFor(i int) int64 {
+	if i%2 == 1 {
+		return int64(i)
+	}
+	return 0
+}
+
+func checkElem(t *testing.T, v, arg any, ab int64, ok bool, want int) {
+	t.Helper()
+	if !ok || v.(int) != want || arg.(int) != -want || ab != abFor(want) {
+		t.Fatalf("got (%v, %v, %d, %v), want (%d, %d, %d, true)",
+			v, arg, ab, ok, want, -want, abFor(want))
+	}
+}
+
 func TestEmptyPop(t *testing.T) {
-	d := New()
-	if _, ok := d.PopBottom(); ok {
+	d := newInt()
+	if _, _, _, ok := d.PopBottom(); ok {
 		t.Fatal("PopBottom on empty deque returned a task")
 	}
-	if _, ok := d.Steal(); ok {
+	if _, _, _, ok := d.Steal(); ok {
 		t.Fatal("Steal on empty deque returned a task")
 	}
 	if !d.Empty() || d.Size() != 0 {
@@ -21,94 +45,84 @@ func TestEmptyPop(t *testing.T) {
 }
 
 func TestLIFOOwner(t *testing.T) {
-	d := New()
+	d := newInt()
 	for i := 0; i < 10; i++ {
-		d.PushBottom(i)
+		pushInt(d, i)
 	}
 	for i := 9; i >= 0; i-- {
-		v, ok := d.PopBottom()
-		if !ok || v.(int) != i {
-			t.Fatalf("PopBottom = %v,%v; want %d", v, ok, i)
-		}
+		v, arg, ab, ok := d.PopBottom()
+		checkElem(t, v, arg, ab, ok, i)
 	}
-	if _, ok := d.PopBottom(); ok {
+	if _, _, _, ok := d.PopBottom(); ok {
 		t.Fatal("deque not empty after draining")
 	}
 }
 
 func TestFIFOThief(t *testing.T) {
-	d := New()
+	d := newInt()
 	for i := 0; i < 10; i++ {
-		d.PushBottom(i)
+		pushInt(d, i)
 	}
 	for i := 0; i < 10; i++ {
-		v, ok := d.Steal()
-		if !ok || v.(int) != i {
-			t.Fatalf("Steal = %v,%v; want %d", v, ok, i)
-		}
+		v, arg, ab, ok := d.Steal()
+		checkElem(t, v, arg, ab, ok, i)
 	}
-	if _, ok := d.Steal(); ok {
+	if _, _, _, ok := d.Steal(); ok {
 		t.Fatal("deque not empty after stealing all")
 	}
 }
 
 func TestMixedEnds(t *testing.T) {
-	d := New()
+	d := newInt()
 	for i := 0; i < 6; i++ {
-		d.PushBottom(i)
+		pushInt(d, i)
 	}
 	// Steal the two oldest, pop the two newest.
-	if v, _ := d.Steal(); v.(int) != 0 {
-		t.Fatalf("first steal = %v", v)
-	}
-	if v, _ := d.Steal(); v.(int) != 1 {
-		t.Fatalf("second steal = %v", v)
-	}
-	if v, _ := d.PopBottom(); v.(int) != 5 {
-		t.Fatalf("first pop = %v", v)
-	}
-	if v, _ := d.PopBottom(); v.(int) != 4 {
-		t.Fatalf("second pop = %v", v)
-	}
+	v, arg, ab, ok := d.Steal()
+	checkElem(t, v, arg, ab, ok, 0)
+	v, arg, ab, ok = d.Steal()
+	checkElem(t, v, arg, ab, ok, 1)
+	v, arg, ab, ok = d.PopBottom()
+	checkElem(t, v, arg, ab, ok, 5)
+	v, arg, ab, ok = d.PopBottom()
+	checkElem(t, v, arg, ab, ok, 4)
 	if d.Size() != 2 {
 		t.Fatalf("size = %d, want 2", d.Size())
 	}
 }
 
 func TestGrowth(t *testing.T) {
-	d := New()
+	d := newInt()
 	const n = 10 * minCapacity
 	for i := 0; i < n; i++ {
-		d.PushBottom(i)
+		pushInt(d, i)
 	}
 	if d.Size() != n {
 		t.Fatalf("size = %d, want %d", d.Size(), n)
 	}
 	for i := 0; i < n; i++ {
-		v, ok := d.Steal()
-		if !ok || v.(int) != i {
-			t.Fatalf("steal %d = %v,%v after growth", i, v, ok)
-		}
+		v, arg, ab, ok := d.Steal()
+		checkElem(t, v, arg, ab, ok, i)
 	}
 }
 
 func TestGrowthPreservesAfterWrap(t *testing.T) {
 	// Force top/bottom well past the initial capacity, with interleaved
 	// pops, so the ring indexes wrap before growing.
-	d := New()
+	d := newInt()
 	next := 0
 	for round := 0; round < 50; round++ {
 		for i := 0; i < minCapacity-1; i++ {
-			d.PushBottom(next)
+			pushInt(d, next)
 			next++
 		}
 		for i := 0; i < minCapacity/2; i++ {
-			if _, ok := d.Steal(); !ok {
+			if _, _, _, ok := d.Steal(); !ok {
 				t.Fatal("unexpected empty deque")
 			}
 		}
 		for i := 0; i < minCapacity/2-1; i++ {
-			if _, ok := d.PopBottom(); !ok {
+			if _, _, _, ok := d.PopBottom(); !ok {
 				t.Fatal("unexpected empty deque")
 			}
 		}
@@ -116,66 +130,115 @@ func TestGrowthPreservesAfterWrap(t *testing.T) {
 	// Drain and check all remaining values are distinct and were pushed.
 	seen := map[int]bool{}
 	for {
-		v, ok := d.PopBottom()
+		v, arg, ab, ok := d.PopBottom()
 		if !ok {
 			break
 		}
 		i := v.(int)
-		if i < 0 || i >= next || seen[i] {
-			t.Fatalf("duplicate or alien value %d", i)
+		if i < 0 || i >= next || seen[i] || arg.(int) != -i || ab != abFor(i) {
+			t.Fatalf("duplicate, alien, or torn value %d (arg %v, ab %d)", i, arg, ab)
 		}
 		seen[i] = true
 	}
 }
 
+// TestCleanClearsSlots verifies the quiescence hygiene contract: pops
+// deliberately leave slot contents behind (hot-path cost), and Clean —
+// which the scheduler runs when a worker parks — must overwrite every
+// slot, primary and alternate fields alike, with the zero values.
+func TestCleanClearsSlots(t *testing.T) {
+	d := New("zfn", "zalt", "zarg")
+	d.PushBottom("a", "b", 0)
+	d.PushBottom("c", "d", 7)
+	for i := 0; i < 2; i++ {
+		if _, _, _, ok := d.PopBottom(); !ok {
+			t.Fatal("pop failed")
+		}
+	}
+
+	d.Clean()
+	r := d.active.Load()
+	// Every slot must hold either its zero value or nothing at all
+	// (virgin slots outside the dirty range are never touched).
+	clean := func(v any, zero string) bool { return v == nil || v.(string) == zero }
+	for i := range r.buf {
+		s := &r.buf[i]
+		if fn, alt, arg := s.fn.Load(), s.alt.Load(), s.arg.Load(); !clean(fn, "zfn") ||
+			!clean(alt, "zalt") || !clean(arg, "zarg") {
+			t.Fatalf("slot %d not cleared: (%v, %v, %v)", i, fn, alt, arg)
+		}
+	}
+
+	// Clean on a non-empty deque must refuse to touch anything.
+	d.PushBottom("live", "payload", 0)
+	d.Clean()
+	if v, arg, ab, ok := d.PopBottom(); !ok || v.(string) != "live" || arg.(string) != "payload" || ab != 0 {
+		t.Fatalf("Clean on non-empty deque corrupted the element: (%v, %v, %d, %v)", v, arg, ab, ok)
+	}
+}
+
 // TestConcurrentStealExactlyOnce pushes n tasks and lets several thieves
-// race the owner for them; every task must be received exactly once.
+// race the owner for them; every task must be received exactly once, and
+// every received element must be intact (v/arg/ab from the same push).
 func TestConcurrentStealExactlyOnce(t *testing.T) {
 	const n = 100000
 	const thieves = 4
-	d := New()
+	d := newInt()
 	var got [n]atomic.Int32
+	var torn atomic.Int32
 	var wg sync.WaitGroup
 	var stop atomic.Bool
+
+	receive := func(v, arg any, ab int64) {
+		i := v.(int)
+		if arg.(int) != -i || ab != abFor(i) {
+			torn.Add(1)
+			return
+		}
+		got[i].Add(1)
+	}
 
 	for th := 0; th < thieves; th++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
-				if v, ok := d.Steal(); ok {
-					got[v.(int)].Add(1)
+				if v, arg, ab, ok := d.Steal(); ok {
+					receive(v, arg, ab)
 				}
 			}
 			// Final drain so nothing is stranded.
 			for {
-				v, ok := d.Steal()
+				v, arg, ab, ok := d.Steal()
 				if !ok {
 					return
 				}
-				got[v.(int)].Add(1)
+				receive(v, arg, ab)
 			}
 		}()
 	}
 
 	for i := 0; i < n; i++ {
-		d.PushBottom(i)
+		pushInt(d, i)
 		if i%3 == 0 {
-			if v, ok := d.PopBottom(); ok {
-				got[v.(int)].Add(1)
+			if v, arg, ab, ok := d.PopBottom(); ok {
+				receive(v, arg, ab)
 			}
 		}
 	}
 	for {
-		v, ok := d.PopBottom()
+		v, arg, ab, ok := d.PopBottom()
 		if !ok {
 			break
 		}
-		got[v.(int)].Add(1)
+		receive(v, arg, ab)
 	}
 	stop.Store(true)
 	wg.Wait()
 
+	if torn.Load() != 0 {
+		t.Fatalf("%d torn elements received", torn.Load())
+	}
 	for i := 0; i < n; i++ {
 		if c := got[i].Load(); c != 1 {
 			t.Fatalf("task %d received %d times", i, c)
@@ -187,17 +250,17 @@ func TestConcurrentStealExactlyOnce(t *testing.T) {
 // slice model under random single-threaded operation sequences.
 func TestQuickSequentialModel(t *testing.T) {
 	prop := func(ops []uint8) bool {
-		d := New()
+		d := newInt()
 		var model []int
 		next := 0
 		for _, op := range ops {
 			switch op % 3 {
 			case 0: // push
-				d.PushBottom(next)
+				pushInt(d, next)
 				model = append(model, next)
 				next++
 			case 1: // pop bottom
-				v, ok := d.PopBottom()
+				v, arg, ab, ok := d.PopBottom()
 				if len(model) == 0 {
 					if ok {
 						return false
@@ -206,11 +269,11 @@ func TestQuickSequentialModel(t *testing.T) {
 				}
 				want := model[len(model)-1]
 				model = model[:len(model)-1]
-				if !ok || v.(int) != want {
+				if !ok || v.(int) != want || arg.(int) != -want || ab != abFor(want) {
 					return false
 				}
 			case 2: // steal
-				v, ok := d.Steal()
+				v, arg, ab, ok := d.Steal()
 				if len(model) == 0 {
 					if ok {
 						return false
@@ -219,7 +282,7 @@ func TestQuickSequentialModel(t *testing.T) {
 				}
 				want := model[0]
 				model = model[1:]
-				if !ok || v.(int) != want {
+				if !ok || v.(int) != want || arg.(int) != -want || ab != abFor(want) {
 					return false
 				}
 			}
@@ -232,20 +295,19 @@ func TestQuickSequentialModel(t *testing.T) {
 }
 
 func BenchmarkPushPop(b *testing.B) {
-	d := New()
-	task := struct{}{}
+	d := newInt()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d.PushBottom(task)
+		d.PushBottom(1, 2, 1)
 		d.PopBottom()
 	}
 }
 
 func BenchmarkStealUncontended(b *testing.B) {
-	d := New()
-	task := struct{}{}
+	d := newInt()
 	for i := 0; i < b.N; i++ {
-		d.PushBottom(task)
+		d.PushBottom(1, 2, 1)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -39,7 +39,7 @@ func hybridFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
 	// group counts partition completions (Theorem 3: exactly R of them).
 	h.g.Add(ps.R())
 	w.Pool().RegisterLoop(h)
-	h.doHybridLoop(w)
+	h.doHybridLoop(w, false)
 	w.Wait(&h.g)
 	w.Pool().UnregisterLoop(h)
 }
@@ -51,15 +51,16 @@ func (h *hybridLoop) Live() bool { return h.ps.Unclaimed() > 0 }
 // TrySteal implements the steal protocol of Section III: a thief w checks
 // whether its designated partition r = w XOR 0 has been claimed. If so it
 // reverts to ordinary randomized work stealing (returns false); if not, it
-// enters DoHybridLoop with its own worker ID.
+// enters DoHybridLoop with its own worker ID. The trace.StealEntry event
+// is emitted by the claim walk only once a partition is actually claimed,
+// so a thief that loses every claim race logs no entry — the trace and
+// the scheduler's Stats.LoopEntries counter (which counts TrySteal
+// returning true) always agree.
 func (h *hybridLoop) TrySteal(w *sched.Worker) bool {
 	if h.ps.PeekClaimed(w.ID()) {
 		return false
 	}
-	if h.opts.Trace != nil {
-		h.opts.Trace.Add(w.ID(), trace.StealEntry, int64(w.ID()), 0)
-	}
-	return h.doHybridLoop(w)
+	return h.doHybridLoop(w, true)
 }
 
 // doHybridLoop is Algorithm 3 for worker w: walk the claim sequence,
@@ -68,13 +69,27 @@ func (h *hybridLoop) TrySteal(w *sched.Worker) bool {
 // claim loop sits in the deque as a stealable continuation; here the
 // continuation is reachable through the loop registry instead, with
 // identical effect — other workers enter concurrently with their own IDs.
+// viaSteal marks an entry through the steal protocol (for tracing).
 // Returns whether any partition was claimed.
-func (h *hybridLoop) doHybridLoop(w *sched.Worker) bool {
+func (h *hybridLoop) doHybridLoop(w *sched.Worker, viaSteal bool) bool {
 	c := core.NewClaimer(h.ps, w.ID())
 	any := false
 	failedBefore := 0
 	for {
 		r, ok := c.Next()
+		if ok && !any {
+			// First successful claim: this worker has definitely entered
+			// the loop. Record the steal entry now (not before the walk,
+			// where a thief losing every race would log a phantom entry),
+			// and chain the wakeup — partitions left unclaimed are surplus
+			// another parked worker could be claiming concurrently.
+			if viaSteal && h.opts.Trace != nil {
+				h.opts.Trace.Add(w.ID(), trace.StealEntry, int64(w.ID()), 0)
+			}
+			if h.ps.Unclaimed() > 0 {
+				w.Pool().Notify()
+			}
+		}
 		if h.opts.Trace != nil {
 			for f := failedBefore; f < c.Failed(); f++ {
 				// The failed partition indexes are internal to the claim
@@ -106,12 +121,13 @@ func (h *hybridLoop) runPartition(w *sched.Worker, r int) {
 		return
 	}
 	var pg sched.Group
-	var rec func(cw *sched.Worker, lo, hi int)
+	// One closure per partition; per-split bounds ride in the deque slots
+	// (SpawnRange), so dividing the partition allocates nothing.
+	var rec sched.RangeTask
 	rec = func(cw *sched.Worker, lo, hi int) {
 		for hi-lo > h.chunk {
 			mid := lo + (hi-lo)/2
-			lo2, hi2 := mid, hi
-			cw.Spawn(&pg, func(sw *sched.Worker) { rec(sw, lo2, hi2) })
+			cw.SpawnRange(&pg, rec, mid, hi)
 			hi = mid
 		}
 		runChunk(cw, h.body, h.opts, lo, hi)

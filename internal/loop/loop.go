@@ -237,12 +237,13 @@ func staticFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
 func stealingFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
 	chunk := opts.chunk(end-begin, w.Pool().P())
 	var g sched.Group
-	var rec func(cw *sched.Worker, lo, hi int)
+	// One closure for the whole loop; the per-split bounds travel inside
+	// the deque slots (SpawnRange), so splitting allocates nothing.
+	var rec sched.RangeTask
 	rec = func(cw *sched.Worker, lo, hi int) {
 		for hi-lo > chunk {
 			mid := lo + (hi-lo)/2
-			lo2, hi2 := mid, hi
-			cw.Spawn(&g, func(sw *sched.Worker) { rec(sw, lo2, hi2) })
+			cw.SpawnRange(&g, rec, mid, hi)
 			hi = mid
 		}
 		runChunk(cw, body, opts, lo, hi)

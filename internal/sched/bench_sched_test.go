@@ -1,0 +1,149 @@
+// Microbenchmarks for the scheduler hot paths: spawn latency, steal
+// throughput, wake-to-first-task latency, and fine-grained parallel-loop
+// overhead vs chunk size. Results are recorded in BENCH_sched.json at the
+// repo root (regenerate with `make bench`) so perf changes leave a
+// trajectory across PRs.
+//
+// The suite lives in the external test package so it can drive the loop
+// strategies (internal/loop imports sched) exactly as the public API does.
+package sched_test
+
+import (
+	"runtime"
+	"testing"
+
+	"hybridloop/internal/loop"
+	"hybridloop/internal/sched"
+)
+
+func noop(w *sched.Worker) {}
+
+// BenchmarkSpawn measures one Spawn + execute + join on a single worker:
+// the pure per-spawn cost of the deque push, the task bookkeeping, and the
+// pop-and-run, with no steal traffic. This is the constant the paper's
+// T_1/P term multiplies.
+func BenchmarkSpawn(b *testing.B) {
+	pool := sched.NewPool(1, 1)
+	defer pool.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	pool.Run(func(w *sched.Worker) {
+		var g sched.Group
+		for i := 0; i < b.N; i++ {
+			w.Spawn(&g, noop)
+			w.Wait(&g)
+		}
+	})
+}
+
+// BenchmarkSpawnBatch amortizes the join: spawn 256 tasks, then wait. The
+// deque grows past its initial capacity, so ring growth is in the loop.
+func BenchmarkSpawnBatch(b *testing.B) {
+	pool := sched.NewPool(1, 1)
+	defer pool.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	pool.Run(func(w *sched.Worker) {
+		var g sched.Group
+		for i := 0; i < b.N; i += 256 {
+			for j := 0; j < 256; j++ {
+				w.Spawn(&g, noop)
+			}
+			w.Wait(&g)
+		}
+	})
+}
+
+// TestSpawnAllocFree pins the allocation count of the steady-state spawn
+// path at zero: Spawn must not heap-allocate per task (acceptance
+// criterion for the allocation-free spawn path).
+func TestSpawnAllocFree(t *testing.T) {
+	pool := sched.NewPool(1, 1)
+	defer pool.Close()
+	pool.Run(func(w *sched.Worker) {
+		var g sched.Group
+		allocs := testing.AllocsPerRun(1000, func() {
+			w.Spawn(&g, noop)
+			w.Wait(&g)
+		})
+		if allocs != 0 {
+			t.Errorf("Spawn+Wait allocates %.1f objects per spawn, want 0", allocs)
+		}
+	})
+}
+
+// BenchmarkStealThroughput has one producer spawning tiny tasks while the
+// other workers drain them by stealing — the handoff rate of the
+// spawn→wake→steal path.
+func BenchmarkStealThroughput(b *testing.B) {
+	p := runtime.NumCPU()
+	if p < 4 {
+		p = 4
+	}
+	pool := sched.NewPool(p, 1)
+	defer pool.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	pool.Run(func(w *sched.Worker) {
+		var g sched.Group
+		for i := 0; i < b.N; i++ {
+			w.Spawn(&g, noop)
+		}
+		w.Wait(&g)
+	})
+}
+
+// BenchmarkWakeToFirstTask measures the external-submission round trip on
+// an otherwise idle pool: submit, wake a parked worker, execute, signal
+// completion. Dominated by the park/notify handshake.
+func BenchmarkWakeToFirstTask(b *testing.B) {
+	p := runtime.NumCPU()
+	if p < 4 {
+		p = 4
+	}
+	pool := sched.NewPool(p, 1)
+	defer pool.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.Run(func(w *sched.Worker) {})
+	}
+}
+
+// benchFor measures a whole fine-grained parallel loop with an empty body:
+// pure spawn+join scheduling overhead per loop at P = NumCPU. The chunk
+// sizes bracket the paper's fine-grained regime (chunk <= 64) where
+// scheduling constants dominate.
+func benchFor(b *testing.B, strategy loop.Strategy, chunk int) {
+	pool := sched.NewPool(runtime.NumCPU(), 1)
+	defer pool.Close()
+	const n = 1 << 15
+	body := func(lo, hi int) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loop.For(pool, 0, n, body, loop.Options{Strategy: strategy, Chunk: chunk})
+	}
+}
+
+func BenchmarkForFineHybrid(b *testing.B) {
+	for _, chunk := range []int{16, 64, 256} {
+		b.Run(benchName(chunk), func(b *testing.B) { benchFor(b, loop.Hybrid, chunk) })
+	}
+}
+
+func BenchmarkForFineStealing(b *testing.B) {
+	for _, chunk := range []int{16, 64, 256} {
+		b.Run(benchName(chunk), func(b *testing.B) { benchFor(b, loop.DynamicStealing, chunk) })
+	}
+}
+
+func benchName(chunk int) string {
+	switch chunk {
+	case 16:
+		return "chunk16"
+	case 64:
+		return "chunk64"
+	case 256:
+		return "chunk256"
+	}
+	return "chunk"
+}

@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestInjectedTasksCollectable is the regression test for the injection
+// queue retaining popped tasks: the old implementation popped with
+// p.inject = p.inject[1:], which kept every consumed Task reachable
+// through the shared backing array forever. The ring must release a task
+// as soon as it is popped, so memory captured by a Run root becomes
+// collectable once Run returns.
+func TestInjectedTasksCollectable(t *testing.T) {
+	pool := NewPool(2, 1)
+	defer pool.Close()
+
+	type blob struct{ b [1 << 20]byte }
+	collected := make(chan struct{})
+	func() {
+		x := new(blob)
+		runtime.SetFinalizer(x, func(*blob) { close(collected) })
+		pool.Run(func(w *Worker) { _ = x })
+	}()
+
+	// A few follow-up submissions, so the test also passes if a future
+	// implementation only releases slots lazily on reuse.
+	for i := 0; i < 4; i++ {
+		pool.Run(func(w *Worker) {})
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	t.Fatal("popped injected task still reachable: finalizer never ran")
+}
+
+// TestRunCloseRace exercises Run racing Close. Every Run must either
+// panic ("Run on closed pool") or execute its root and return — no Run
+// may hang with its root enqueued but never executed. Before close/submit
+// were made mutually exclusive under the inject lock, a Run that passed
+// the closed check concurrently with Close could enqueue after the
+// workers' final sweep and block on <-done forever.
+func TestRunCloseRace(t *testing.T) {
+	const rounds = 30
+	const runners = 8
+	for round := 0; round < rounds; round++ {
+		pool := NewPool(2, uint64(round))
+		var executed, panicked atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < runners; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() {
+					if recover() != nil {
+						panicked.Add(1)
+					}
+				}()
+				<-start
+				pool.Run(func(w *Worker) { executed.Add(1) })
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			pool.Close()
+		}()
+
+		close(start)
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("round %d: Run/Close race deadlocked", round)
+		}
+		if got := executed.Load() + panicked.Load(); got != runners {
+			t.Fatalf("round %d: %d executed + %d panicked, want %d total",
+				round, executed.Load(), panicked.Load(), runners)
+		}
+	}
+}
+
+// TestSubmitBeforeCloseAlwaysRuns pins the winning side of the race: a
+// Run whose submit acquired the inject lock before Close did must have
+// its root executed by the shutdown drain, even though the pool closes
+// immediately afterwards.
+func TestSubmitBeforeCloseAlwaysRuns(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		pool := NewPool(1, uint64(i))
+		var ran atomic.Bool
+		outcome := make(chan string, 1)
+		go func() {
+			defer func() {
+				if recover() != nil {
+					outcome <- "panicked"
+				}
+			}()
+			pool.Run(func(w *Worker) { ran.Store(true) })
+			outcome <- "returned"
+		}()
+		pool.Close()
+		select {
+		case o := <-outcome:
+			if o == "returned" && !ran.Load() {
+				t.Fatalf("iteration %d: Run returned without executing its root", i)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("iteration %d: Run neither panicked nor returned — root stranded", i)
+		}
+	}
+}
+
+// TestNotifyWakesPinnedTarget pins the targeted-wake requirement: with
+// every worker parked, SpawnOn(id) must wake worker id specifically — a
+// round-robin wake of some other worker would leave the pinned task
+// stranded (the bug class the single-wake policy must not introduce).
+func TestNotifyWakesPinnedTarget(t *testing.T) {
+	pool := NewPool(4, 7)
+	defer pool.Close()
+	for target := 0; target < pool.P(); target++ {
+		for round := 0; round < 50; round++ {
+			// Let the pool go quiescent so workers are parked, then pin.
+			var g Group
+			ran := make(chan int, 1)
+			pool.SpawnOn(target, &g, func(cw *Worker) { ran <- cw.ID() })
+			select {
+			case id := <-ran:
+				if id != target {
+					t.Fatalf("pinned task ran on worker %d, want %d", id, target)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatalf("pinned task for worker %d never ran (lost wakeup)", target)
+			}
+			for !g.Finished() {
+				runtime.Gosched()
+			}
+		}
+	}
+}

@@ -18,6 +18,28 @@
 // partition structure; if w's designated partition A[w] is unclaimed, the
 // worker enters the loop's claim sequence with its own worker ID
 // (Section III, "Steal protocol for DoHybridLoop frames").
+//
+// # Wake policy
+//
+// Idle workers park on a per-worker wake-token channel. Making work
+// visible (Spawn, external submission, loop registration) wakes exactly
+// ONE parked worker, chosen round-robin — never all of them, avoiding the
+// thundering herd of a broadcast (cf. Rokos et al., "An Interrupt-Driven
+// Work-Sharing For-Loop Scheduler"). Throughput is preserved by wake
+// chaining: a worker that acquires work and observes surplus behind it —
+// a steal from a victim whose deque is still non-empty, an injected task
+// with more queued behind it, or a hybrid-loop claim with partitions
+// still unclaimed — wakes the next parked worker before executing, so
+// wakeups propagate one hop per surplus observation while work remains.
+//
+// Lost-wakeup freedom relies on the announce-then-sweep handshake: a
+// worker announces parking (its parked flag, then the pool's nparked
+// counter) *before* its final sweep for work, and every producer makes
+// work visible *before* reading nparked. If the producer reads
+// nparked == 0, the parker's announce — and hence its final sweep —
+// happens after the work was published, so the sweep finds it; otherwise
+// the producer delivers a token (or observes one already pending, which
+// guarantees a future full sweep by that worker).
 package sched
 
 import (
@@ -67,6 +89,17 @@ func (g *Group) Done() {
 // Finished reports whether all enrolled tasks have completed.
 func (g *Group) Finished() bool { return g.pending.Load() <= 0 }
 
+// capture records a panic value into the group (first panic wins),
+// unwrapping a *TaskPanicError re-raised by a nested Wait so the original
+// stack is kept.
+func (g *Group) capture(r any) {
+	if tpe, ok := r.(*TaskPanicError); ok {
+		g.panics.CompareAndSwap(nil, &taskPanic{value: tpe.Value, stack: tpe.Stack})
+		return
+	}
+	g.panics.CompareAndSwap(nil, &taskPanic{value: r, stack: debug.Stack()})
+}
+
 // Protect runs fn, capturing any panic into the group so that the Wait
 // joining it re-raises the panic on the waiting worker. Runtime components
 // that execute user code outside a spawned task — such as the hybrid
@@ -75,17 +108,9 @@ func (g *Group) Finished() bool { return g.pending.Load() <= 0 }
 // panicking loop body cannot kill a scheduler worker.
 func (g *Group) Protect(fn func()) {
 	defer func() {
-		r := recover()
-		if r == nil {
-			return
+		if r := recover(); r != nil {
+			g.capture(r)
 		}
-		if tpe, ok := r.(*TaskPanicError); ok {
-			// Already captured once (e.g. by a nested Wait): keep the
-			// original stack.
-			g.panics.CompareAndSwap(nil, &taskPanic{value: tpe.Value, stack: tpe.Stack})
-			return
-		}
-		g.panics.CompareAndSwap(nil, &taskPanic{value: r, stack: debug.Stack()})
 	}()
 	fn()
 }
@@ -105,9 +130,13 @@ type HybridLoop interface {
 
 // Stats aggregates scheduler counters across workers.
 type Stats struct {
-	Tasks        int64 // tasks executed
-	Steals       int64 // successful steals
-	FailedSteals int64 // steal attempts that found nothing
+	Tasks  int64 // tasks executed
+	Steals int64 // successful steals
+	// FailedSteals counts unsuccessful steal SWEEPS: one per full
+	// round over all P-1 victims that found nothing — not one per
+	// victim probed. An idle worker cycling through empty deques
+	// increments this once per cycle.
+	FailedSteals int64
 	LoopEntries  int64 // hybrid-loop entries via the steal protocol
 }
 
@@ -116,16 +145,16 @@ type Pool struct {
 	workers []*Worker
 
 	injectMu sync.Mutex
-	inject   []Task // external submissions, consumed by idle workers
+	inject   taskRing // external submissions, consumed by idle workers
+	closed   bool     // guarded by injectMu; makes Close/submit mutually exclusive
 
-	nparked atomic.Int64 // workers announced as parking or parked
-	quit    chan struct{}
-	closed  atomic.Bool
-	wg      sync.WaitGroup
+	nparked    atomic.Int64  // workers announced as parking or parked
+	wakeCursor atomic.Uint32 // round-robin start for targeted wakeups
+	quit       chan struct{}
+	wg         sync.WaitGroup
 
-	loopsMu sync.Mutex
-	loops   []HybridLoop // registered live hybrid loops
-	nloops  atomic.Int32 // fast-path check: number of registered loops
+	loopsMu sync.Mutex                   // serializes Register/Unregister
+	loops   atomic.Pointer[[]HybridLoop] // immutable snapshot, lock-free probes
 }
 
 // NewPool creates a pool with p workers (p >= 1) and starts them. seed
@@ -157,7 +186,7 @@ func newPool(p int, seed uint64, lockThreads bool) *Pool {
 		pool.workers[i] = &Worker{
 			id:   i,
 			pool: pool,
-			dq:   deque.New(),
+			dq:   deque.New(Task(nil), RangeTask(nil), (*Group)(nil)),
 			rng:  rng.NewXoshiro256(master.Next()),
 			park: make(chan struct{}, 1),
 		}
@@ -181,12 +210,18 @@ func (p *Pool) P() int { return len(p.workers) }
 // Worker returns worker i (for tests and instrumentation).
 func (p *Pool) Worker(i int) *Worker { return p.workers[i] }
 
-// Close shuts the pool down. Outstanding Run calls must have returned;
-// Close does not drain pending work.
+// Close shuts the pool down. Close and Run are mutually exclusive under
+// the injection lock: a Run that wins the race has its root executed
+// during the workers' final drain, and a Run that loses panics — it can
+// never be stranded with an enqueued-but-never-run root.
 func (p *Pool) Close() {
-	if p.closed.Swap(true) {
+	p.injectMu.Lock()
+	if p.closed {
+		p.injectMu.Unlock()
 		return
 	}
+	p.closed = true
+	p.injectMu.Unlock()
 	close(p.quit)
 	p.wg.Wait()
 }
@@ -216,11 +251,9 @@ func (p *Pool) ResetStats() {
 // Run executes root on some worker and blocks until it (and everything it
 // waited for) returns. It is the entry point for code outside the pool.
 // A panic inside root (including a *TaskPanicError re-raised by a Wait)
-// propagates to the Run caller rather than killing a worker.
+// propagates to the Run caller rather than killing a worker. Run on a
+// closed pool panics.
 func (p *Pool) Run(root func(w *Worker)) {
-	if p.closed.Load() {
-		panic("sched: Run on closed pool")
-	}
 	done := make(chan struct{})
 	var rootPanic *taskPanic
 	p.submit(func(w *Worker) {
@@ -242,88 +275,228 @@ func (p *Pool) Run(root func(w *Worker)) {
 }
 
 // submit places a task on the external injection queue and wakes a worker.
+// The closed check happens under the same lock Close takes, so a task is
+// enqueued iff it precedes the close — in which case the workers' final
+// drain executes it.
 func (p *Pool) submit(t Task) {
 	p.injectMu.Lock()
-	p.inject = append(p.inject, t)
+	if p.closed {
+		p.injectMu.Unlock()
+		panic("sched: Run on closed pool")
+	}
+	p.inject.push(t)
 	p.injectMu.Unlock()
 	p.notify()
 }
 
-// takeInjected removes one externally submitted task, FIFO.
-func (p *Pool) takeInjected() (Task, bool) {
+// takeInjected removes one externally submitted task, FIFO. more reports
+// whether further injected tasks remain (for wake chaining).
+func (p *Pool) takeInjected() (t Task, ok, more bool) {
 	p.injectMu.Lock()
-	defer p.injectMu.Unlock()
-	if len(p.inject) == 0 {
+	t, ok = p.inject.pop()
+	more = p.inject.len() > 0
+	p.injectMu.Unlock()
+	return t, ok, more
+}
+
+// taskRing is a circular FIFO of injected tasks. Popped slots are nil'ed
+// so consumed tasks do not linger in the buffer (the previous
+// slice-reslicing queue kept every popped task reachable through the
+// shared backing array). It grows by doubling when full; capacity is
+// always a power of two.
+type taskRing struct {
+	buf  []Task
+	head int // index of the oldest task
+	n    int // number of queued tasks
+}
+
+func (r *taskRing) len() int { return r.n }
+
+func (r *taskRing) push(t Task) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = t
+	r.n++
+}
+
+func (r *taskRing) pop() (Task, bool) {
+	if r.n == 0 {
 		return nil, false
 	}
-	t := p.inject[0]
-	p.inject = p.inject[1:]
+	t := r.buf[r.head]
+	r.buf[r.head] = nil // release the slot: no retention of popped tasks
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
 	return t, true
 }
 
-// notify wakes parked workers after new work was made visible. Workers
-// announce parking (nparked) *before* their final sweep for work, so the
-// pattern "publish task; read nparked" here cannot lose a wakeup: if the
-// read sees zero, the parker's sweep necessarily sees the task.
+func (r *taskRing) grow() {
+	cap := len(r.buf) * 2
+	if cap == 0 {
+		cap = 16
+	}
+	buf := make([]Task, cap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
+// notify wakes ONE parked worker, round-robin, after new work was made
+// visible — see the package comment's wake-policy section for why this
+// (plus wake chaining) cannot lose a wakeup. A worker whose token channel
+// is already full counts as woken: the pending token forces a full sweep
+// that is ordered after this producer's publication.
 func (p *Pool) notify() {
 	if p.nparked.Load() == 0 {
 		return
 	}
-	for _, w := range p.workers {
+	ws := p.workers
+	n := uint32(len(ws))
+	start := p.wakeCursor.Add(1)
+	for k := uint32(0); k < n; k++ {
+		w := ws[(start+k)%n]
+		if !w.parked.Load() {
+			continue
+		}
 		select {
 		case w.park <- struct{}{}:
-		default: // already has a pending wake token
+		default: // pending token: w is already committed to a re-sweep
 		}
+		return
+	}
+	// No worker was observed parked: every announcer either found work or
+	// will announce (and final-sweep) after our publication. Nothing to do.
+}
+
+// Notify wakes one parked worker. Runtime components that discover
+// surplus work outside the pool's own paths (e.g. the hybrid loop after a
+// successful claim with partitions still unclaimed) chain wakeups with it.
+func (p *Pool) Notify() { p.notify() }
+
+// notifyWorker wakes one specific worker — required for pinned tasks,
+// which only their target worker may execute, so a round-robin wake of
+// some other worker would strand them. The same announce-then-sweep
+// handshake applies, per worker: if w is not observed parked, its next
+// parking announcement is ordered after the task's publication and the
+// final sweep finds it.
+func (p *Pool) notifyWorker(w *Worker) {
+	if !w.parked.Load() {
+		return
+	}
+	select {
+	case w.park <- struct{}{}:
+	default: // pending token: w is already committed to a re-sweep
 	}
 }
 
-// RegisterLoop enrolls a live hybrid loop in the steal protocol.
-// UnregisterLoop must be called when the loop's partitions are exhausted.
+// RegisterLoop enrolls a live hybrid loop in the steal protocol and wakes
+// one parked worker; further participants are recruited by wake chaining
+// as claims observe unclaimed partitions.
 func (p *Pool) RegisterLoop(l HybridLoop) {
 	p.loopsMu.Lock()
-	p.loops = append(p.loops, l)
+	old := p.loops.Load()
+	var ls []HybridLoop
+	if old != nil {
+		ls = append(ls, *old...)
+	}
+	ls = append(ls, l)
+	p.loops.Store(&ls)
 	p.loopsMu.Unlock()
-	p.nloops.Add(1)
 	p.notify()
 }
 
 // UnregisterLoop removes a hybrid loop from the steal protocol registry.
 func (p *Pool) UnregisterLoop(l HybridLoop) {
 	p.loopsMu.Lock()
-	for i, x := range p.loops {
-		if x == l {
-			p.loops = append(p.loops[:i], p.loops[i+1:]...)
-			break
+	defer p.loopsMu.Unlock()
+	old := p.loops.Load()
+	if old == nil {
+		return
+	}
+	ls := make([]HybridLoop, 0, len(*old))
+	for _, x := range *old {
+		if x != l {
+			ls = append(ls, x)
 		}
 	}
-	p.loopsMu.Unlock()
-	p.nloops.Add(-1)
+	p.loops.Store(&ls)
 }
 
-// snapshotLoops returns the currently registered loops (copy; callers
-// iterate without holding the lock).
-func (p *Pool) snapshotLoops() []HybridLoop {
-	p.loopsMu.Lock()
-	defer p.loopsMu.Unlock()
-	return append([]HybridLoop(nil), p.loops...)
+// loopList returns the current registered-loop snapshot without copying:
+// Register/Unregister publish fresh immutable slices, so the per-probe
+// copy the old mutex+snapshot scheme made on every idle probe is gone.
+func (p *Pool) loopList() []HybridLoop {
+	ls := p.loops.Load()
+	if ls == nil {
+		return nil
+	}
+	return *ls
 }
 
 // Worker is a surrogate of a processing core (Section II): a goroutine
 // with its own deque participating in randomized work stealing.
 type Worker struct {
-	id   int
-	pool *Pool
-	dq   *deque.Deque
-	rng  *rng.Xoshiro256
-	park chan struct{} // capacity-1 wake token channel
+	id     int
+	pool   *Pool
+	dq     *deque.Deque
+	rng    *rng.Xoshiro256
+	park   chan struct{} // capacity-1 wake token channel
+	parked atomic.Bool   // set before the final pre-park sweep
 
-	pinnedMu sync.Mutex
-	pinned   []Task // worker-targeted tasks; FIFO, not stealable
+	pinnedMu   sync.Mutex
+	pinned     []spawned    // worker-targeted tasks; FIFO, not stealable
+	pinnedHead int          // consumed prefix of pinned (slots nil'ed)
+	pinnedN    atomic.Int32 // queued pinned tasks; lets runOne skip the lock
 
 	tasks        atomic.Int64
 	steals       atomic.Int64
 	failedSteals atomic.Int64
 	loopEntries  atomic.Int64
+}
+
+// spawned is the deque/pinned-queue element: the task function plus its
+// join group. Panic capture and the group Done happen in runSpawned, so
+// enqueuing a task requires no closure allocation. Exactly one of fn/rt
+// is set; rt carries its iteration range in lo/hi.
+type spawned struct {
+	fn     Task
+	rt     RangeTask
+	g      *Group
+	lo, hi int
+}
+
+// RangeTask is a task parameterized by an iteration range. SpawnRange
+// stores the range inline in the deque slot, so loop lowerings that spawn
+// one task per split need no per-spawn closure capturing the bounds —
+// the allocation that used to dominate fine-grained loop overhead.
+type RangeTask func(w *Worker, lo, hi int)
+
+// packRange packs lo and hi into one non-zero int64 deque word, or
+// ok == false if either bound needs more than 32 bits. hi > lo guarantees
+// the packed word is non-zero, which is what distinguishes a RangeTask
+// element from a plain Task element (packed == 0) in the deque.
+func packRange(lo, hi int) (int64, bool) {
+	if int(int32(lo)) != lo || int(int32(hi)) != hi {
+		return 0, false
+	}
+	return int64(uint32(lo)) | int64(uint32(hi))<<32, true
+}
+
+func unpackRange(ab int64) (lo, hi int) {
+	return int(int32(uint32(ab))), int(int32(uint32(ab >> 32)))
+}
+
+// decode rebuilds a spawned from the deque's (v, arg, ab) element.
+func decode(v, arg any, ab int64) spawned {
+	g := arg.(*Group)
+	if ab == 0 {
+		return spawned{fn: v.(Task), g: g}
+	}
+	lo, hi := unpackRange(ab)
+	return spawned{rt: v.(RangeTask), g: g, lo: lo, hi: hi}
 }
 
 // ID returns the worker's ID in [0, P).
@@ -341,17 +514,30 @@ func (w *Worker) RNG() *rng.Xoshiro256 { return w.rng }
 // and re-raised from the Wait call that joins the group (wrapped in a
 // TaskPanicError), so a panicking loop body surfaces to the code that
 // started the loop instead of killing a scheduler worker.
+//
+// Spawn does not heap-allocate: the task function and group pointer are
+// stored directly in the deque, and the completion/panic bookkeeping runs
+// in the executing worker rather than in a per-spawn wrapper closure.
 func (w *Worker) Spawn(g *Group, t Task) {
 	g.Add(1)
-	w.dq.PushBottom(Task(func(cw *Worker) {
-		defer g.Done()
-		defer func() {
-			if r := recover(); r != nil {
-				g.panics.CompareAndSwap(nil, &taskPanic{value: r, stack: debug.Stack()})
-			}
-		}()
-		t(cw)
-	}))
+	w.dq.PushBottom(t, g, 0)
+	w.pool.notify()
+}
+
+// SpawnRange is Spawn for a RangeTask over [lo, hi): the bounds travel
+// inside the deque slot, so repeated spawns of the same task function over
+// different ranges (the shape of every divide-and-conquer loop lowering)
+// are allocation-free. Ranges whose bounds exceed 32 bits fall back to a
+// heap-allocated wrapper — correct, merely slower, and unreachable for
+// any loop this repository runs.
+func (w *Worker) SpawnRange(g *Group, rt RangeTask, lo, hi int) {
+	ab, ok := packRange(lo, hi)
+	if !ok {
+		w.Spawn(g, func(cw *Worker) { rt(cw, lo, hi) })
+		return
+	}
+	g.Add(1)
+	w.dq.PushBottom(rt, g, ab)
 	w.pool.notify()
 }
 
@@ -376,29 +562,37 @@ func (p *Pool) SpawnOn(id int, g *Group, t Task) {
 	g.Add(1)
 	w := p.workers[id]
 	w.pinnedMu.Lock()
-	w.pinned = append(w.pinned, Task(func(cw *Worker) {
-		defer g.Done()
-		defer func() {
-			if r := recover(); r != nil {
-				g.panics.CompareAndSwap(nil, &taskPanic{value: r, stack: debug.Stack()})
-			}
-		}()
-		t(cw)
-	}))
+	w.pinned = append(w.pinned, spawned{fn: t, g: g})
+	w.pinnedN.Add(1)
 	w.pinnedMu.Unlock()
-	p.notify()
+	p.notifyWorker(w)
 }
 
-// takePinned removes one pinned task, FIFO. Owner only.
-func (w *Worker) takePinned() (Task, bool) {
+// takePinned removes one pinned task, FIFO. Owner only. Consumed slots
+// are zeroed so executed tasks are not retained by the queue.
+func (w *Worker) takePinned() (spawned, bool) {
+	// Lock-free common case: pinned work is rare outside the team-based
+	// strategies, and runOne probes here on every task, so an empty queue
+	// must cost one atomic load, not a mutex round trip. A producer
+	// increments pinnedN before its notifyWorker, so the park/notify
+	// handshake covers a count published after this check.
+	if w.pinnedN.Load() == 0 {
+		return spawned{}, false
+	}
 	w.pinnedMu.Lock()
 	defer w.pinnedMu.Unlock()
-	if len(w.pinned) == 0 {
-		return nil, false
+	if w.pinnedHead == len(w.pinned) {
+		if w.pinnedHead > 0 {
+			w.pinned = w.pinned[:0]
+			w.pinnedHead = 0
+		}
+		return spawned{}, false
 	}
-	t := w.pinned[0]
-	w.pinned = w.pinned[1:]
-	return t, true
+	s := w.pinned[w.pinnedHead]
+	w.pinned[w.pinnedHead] = spawned{}
+	w.pinnedHead++
+	w.pinnedN.Add(-1)
+	return s, true
 }
 
 // Wait helps execute work until all tasks enrolled in g have completed.
@@ -427,32 +621,55 @@ func (w *Worker) Wait(g *Group) {
 	}
 }
 
-// run executes a task with accounting.
+// run executes a group-less task (external submission) with accounting.
 func (w *Worker) run(t Task) {
 	w.tasks.Add(1)
 	t(w)
+}
+
+// runSpawned executes one spawned task: accounting, panic capture into
+// the group, and the group Done — the bookkeeping the spawn path used to
+// pay two heap-allocated closures for, now performed inline by the
+// executing worker.
+func (w *Worker) runSpawned(s spawned) {
+	w.tasks.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			s.g.capture(r)
+		}
+		s.g.Done()
+	}()
+	if s.rt != nil {
+		s.rt(w, s.lo, s.hi)
+		return
+	}
+	s.fn(w)
 }
 
 // runOne executes one unit of work if any can be found: own deque first,
 // then the hybrid-loop steal protocol, then a random steal, then the
 // injection queue. Returns false if nothing was found.
 func (w *Worker) runOne() bool {
-	if t, ok := w.takePinned(); ok {
-		w.run(t)
+	if s, ok := w.takePinned(); ok {
+		w.runSpawned(s)
 		return true
 	}
-	if t, ok := w.dq.PopBottom(); ok {
-		w.run(t.(Task))
+	if v, arg, ab, ok := w.dq.PopBottom(); ok {
+		w.runSpawned(decode(v, arg, ab))
 		return true
 	}
-	if w.pool.nloops.Load() > 0 && w.tryLoopProtocol() {
+	if w.tryLoopProtocol() {
 		return true
 	}
-	if t, ok := w.trySteal(); ok {
-		w.run(t)
+	if s, ok := w.trySteal(); ok {
+		w.runSpawned(s)
 		return true
 	}
-	if t, ok := w.pool.takeInjected(); ok {
+	if t, ok, more := w.pool.takeInjected(); ok {
+		if more {
+			// Chain: more external submissions are queued behind this one.
+			w.pool.notify()
+		}
 		w.run(t)
 		return true
 	}
@@ -460,9 +677,12 @@ func (w *Worker) runOne() bool {
 }
 
 // tryLoopProtocol probes registered hybrid loops per the DoHybridLoop
-// steal protocol; returns true if the worker executed loop work.
+// steal protocol; returns true if the worker executed loop work. The
+// loop itself chains wakeups on successful claims (see Pool.Notify), so
+// probing stays wake-silent for workers whose designated partition is
+// already claimed.
 func (w *Worker) tryLoopProtocol() bool {
-	for _, l := range w.pool.snapshotLoops() {
+	for _, l := range w.pool.loopList() {
 		if !l.Live() {
 			continue
 		}
@@ -475,11 +695,14 @@ func (w *Worker) tryLoopProtocol() bool {
 }
 
 // trySteal makes one randomized steal attempt against each other worker in
-// a random starting rotation, returning a stolen task if successful.
-func (w *Worker) trySteal() (Task, bool) {
-	n := len(w.pool.workers)
+// a random starting rotation, returning a stolen task if successful. A
+// successful thief whose victim still has queued work wakes the next
+// parked worker before executing (wake chaining).
+func (w *Worker) trySteal() (spawned, bool) {
+	ws := w.pool.workers
+	n := len(ws)
 	if n == 1 {
-		return nil, false
+		return spawned{}, false
 	}
 	start := w.rng.Intn(n)
 	for k := 0; k < n; k++ {
@@ -487,13 +710,17 @@ func (w *Worker) trySteal() (Task, bool) {
 		if v == w.id {
 			continue
 		}
-		if t, ok := w.pool.workers[v].dq.Steal(); ok {
+		vd := ws[v].dq
+		if v, arg, ab, ok := vd.Steal(); ok {
 			w.steals.Add(1)
-			return t.(Task), true
+			if !vd.Empty() {
+				w.pool.notify()
+			}
+			return decode(v, arg, ab), true
 		}
 	}
 	w.failedSteals.Add(1)
-	return nil, false
+	return spawned{}, false
 }
 
 // mainLoop is the top-level scheduling loop: run work while it exists,
@@ -506,18 +733,35 @@ func (w *Worker) mainLoop() {
 		}
 		// Announce intent to park, then sweep once more: any task made
 		// visible before the announce is found by this sweep, and any task
-		// published after it observes nparked > 0 and sends a wake token.
+		// published after it observes the announce and delivers (or
+		// credits) a wake token.
+		w.parked.Store(true)
 		w.pool.nparked.Add(1)
 		if w.runOne() {
-			w.pool.nparked.Add(-1)
+			w.unpark()
 			continue
 		}
+		// Going idle: release whatever consumed deque slots still pin.
+		// Pops and steals skip slot clearing on the hot path, so this is
+		// where the memory-hygiene debt is settled.
+		w.dq.Clean()
 		select {
 		case <-w.park:
-			w.pool.nparked.Add(-1)
+			w.unpark()
 		case <-w.pool.quit:
-			w.pool.nparked.Add(-1)
+			w.unpark()
+			// Final drain: a Run that won the submit/Close race enqueued
+			// its root before quit closed; execute everything reachable so
+			// no Run caller is left blocked on a task that never runs.
+			for w.runOne() {
+			}
 			return
 		}
 	}
+}
+
+// unpark retracts a parking announcement.
+func (w *Worker) unpark() {
+	w.parked.Store(false)
+	w.pool.nparked.Add(-1)
 }

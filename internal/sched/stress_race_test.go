@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStressSpawnStealParkNotify drives every hot path at once under more
+// workers than CPUs: concurrent Spawn (forcing deque growth well past the
+// initial ring), randomized stealing, external injection, and the
+// park/notify handshake with targeted wakeups and wake chaining. Run it
+// under -race (`make race`); in -short mode (and therefore in tier-1's
+// plain `go test ./...` it still runs, just scaled down) it uses a
+// smaller task count.
+func TestStressSpawnStealParkNotify(t *testing.T) {
+	p := 4 * runtime.NumCPU() // deliberately oversubscribed: P > NumCPU
+	if p < 8 {
+		p = 8
+	}
+	submitters, rounds, width := 8, 16, 512
+	if testing.Short() {
+		submitters, rounds, width = 4, 6, 256
+	}
+
+	pool := NewPool(p, 0xdeadbeef)
+	defer pool.Close()
+
+	var executed atomic.Int64
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				pool.Run(func(w *Worker) {
+					var g Group
+					// A wide wave of tiny tasks: the owner's deque grows
+					// past minCapacity, and parked workers must be
+					// recruited by single wakeups + chaining to drain it.
+					for i := 0; i < width; i++ {
+						w.Spawn(&g, func(cw *Worker) {
+							executed.Add(1)
+							// A few grandchildren from whichever worker
+							// stole this task, so foreign deques fill too.
+							if i := executed.Load(); i%7 == 0 {
+								var gg Group
+								cw.Spawn(&gg, func(iw *Worker) { executed.Add(1) })
+								cw.Spawn(&gg, func(iw *Worker) { executed.Add(1) })
+								cw.Wait(&gg)
+							}
+						})
+					}
+					w.Wait(&g)
+				})
+				// Let the pool quiesce sometimes so parking actually
+				// happens mid-test rather than only at the end.
+				if r%5 == 0 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	min := int64(submitters * rounds * width)
+	if got := executed.Load(); got < min {
+		t.Fatalf("executed %d tasks, want at least %d", got, min)
+	}
+	// The pool must be quiescent and reusable afterwards.
+	var final atomic.Int64
+	pool.Run(func(w *Worker) {
+		var g Group
+		for i := 0; i < 100; i++ {
+			w.Spawn(&g, func(cw *Worker) { final.Add(1) })
+		}
+		w.Wait(&g)
+	})
+	if final.Load() != 100 {
+		t.Fatalf("pool unhealthy after stress: %d/100 tasks ran", final.Load())
+	}
+}
