@@ -2,7 +2,9 @@ GO ?= go
 
 SCHED_PKGS := ./internal/sched/... ./internal/deque/... ./internal/loop/...
 
-.PHONY: check race bench
+BENCH_PATTERN := BenchmarkSpawn|BenchmarkSpawnBatch|BenchmarkStealThroughput|BenchmarkWakeToFirstTask|BenchmarkForFine
+
+.PHONY: check race bench benchdiff
 
 ## check: vet, build and test everything (tier-1 gate)
 check:
@@ -16,6 +18,13 @@ race:
 
 ## bench: run the scheduler benchmarks and regenerate BENCH_sched.json
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkSpawn|BenchmarkSpawnBatch|BenchmarkStealThroughput|BenchmarkWakeToFirstTask|BenchmarkForFine' \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' \
 		-benchtime 0.5s -count=1 ./internal/sched/ | tee /tmp/bench_sched.txt
 	$(GO) run ./cmd/benchjson -in /tmp/bench_sched.txt -out BENCH_sched.json
+
+## benchdiff: rerun the benchmarks and fail on a >10% ns/op regression
+## against the committed BENCH_sched.json (writes nothing)
+benchdiff:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' \
+		-benchtime 0.5s -count=1 ./internal/sched/ | tee /tmp/bench_sched_diff.txt
+	$(GO) run ./cmd/benchjson -in /tmp/bench_sched_diff.txt -out BENCH_sched.json -diff -threshold 0.10

@@ -1,10 +1,16 @@
 // Command benchjson converts `go test -bench` output into the committed
 // BENCH_sched.json. It parses the standard benchmark lines (ns/op, B/op,
 // allocs/op), records the machine the run happened on, and — when the
-// output file already exists — preserves its "baseline" section so the
-// before/after comparison survives regeneration via `make bench`. For
-// every benchmark present in both sections it reports the speedup
-// (baseline ns/op divided by current ns/op).
+// output file already exists — preserves its "baseline" section and
+// shifts the replaced "current" run into a "history" list, so every
+// earlier PR's numbers survive regeneration via `make bench`. For every
+// benchmark present in both the baseline and current sections it reports
+// the speedup (baseline ns/op divided by current ns/op).
+//
+// With -diff the tool writes nothing: it compares the freshly parsed run
+// against the committed file's current section and exits non-zero if any
+// benchmark regressed by more than -threshold (default 10%) in ns/op —
+// the `make benchdiff` regression gate.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -38,11 +45,14 @@ type Run struct {
 	Results map[string]Result `json:"results"`
 }
 
-// File is the BENCH_sched.json layout.
+// File is the BENCH_sched.json layout. History holds every former
+// current run, oldest first, so regenerating never erases a prior PR's
+// numbers.
 type File struct {
 	Description string             `json:"description"`
 	Command     string             `json:"command"`
 	Baseline    *Run               `json:"baseline,omitempty"`
+	History     []*Run             `json:"history,omitempty"`
 	Current     *Run               `json:"current"`
 	Speedup     map[string]float64 `json:"speedup_vs_baseline,omitempty"`
 }
@@ -102,6 +112,10 @@ func main() {
 	note := flag.String("note", "", "note to attach to this run")
 	asBaseline := flag.Bool("baseline", false,
 		"record this run as the baseline instead of the current run")
+	diff := flag.Bool("diff", false,
+		"compare the run against the committed current section and exit 1 on regression; writes nothing")
+	threshold := flag.Float64("threshold", 0.10,
+		"with -diff: maximum tolerated ns/op regression as a fraction (0.10 = 10%)")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -115,6 +129,10 @@ func main() {
 	}
 	run.Note = *note
 
+	if *diff {
+		os.Exit(diffAgainst(*out, run, *threshold))
+	}
+
 	file := &File{
 		Description: "Scheduler hot-path benchmarks (internal/sched/bench_sched_test.go). " +
 			"baseline = before the single-wake/zero-alloc spawn overhaul; " +
@@ -125,12 +143,17 @@ func main() {
 		var old File
 		if json.Unmarshal(prev, &old) == nil {
 			file.Baseline = old.Baseline
+			file.History = old.History
 			file.Current = old.Current
 		}
 	}
 	if *asBaseline {
 		file.Baseline = run
 	} else {
+		if file.Current != nil {
+			// The replaced current run is history, never discarded.
+			file.History = append(file.History, file.Current)
+		}
 		file.Current = run
 	}
 
@@ -157,4 +180,62 @@ func main() {
 
 func round2(x float64) float64 {
 	return float64(int64(x*100+0.5)) / 100
+}
+
+// diffAgainst compares run's ns/op against the committed file's current
+// section and returns the process exit code: 0 if every shared benchmark
+// is within threshold, 1 if any regressed beyond it. Benchmarks present
+// on only one side are reported but never fail the gate (new benchmarks
+// must be recordable before they have a committed reference).
+func diffAgainst(path string, run *Run, threshold float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: -diff:", err)
+		return 1
+	}
+	var committed File
+	if err := json.Unmarshal(data, &committed); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: -diff: parsing %s: %v\n", path, err)
+		return 1
+	}
+	if committed.Current == nil {
+		fmt.Fprintf(os.Stderr, "benchjson: -diff: %s has no current section\n", path)
+		return 1
+	}
+	names := make([]string, 0, len(committed.Current.Results))
+	for name := range committed.Current.Results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := 0
+	for _, name := range names {
+		ref := committed.Current.Results[name]
+		cur, ok := run.Results[name]
+		if !ok {
+			fmt.Printf("  ?  %-40s missing from this run\n", name)
+			continue
+		}
+		delta := cur.NsPerOp/ref.NsPerOp - 1
+		mark := "ok "
+		if delta > threshold {
+			mark = "FAIL"
+			failed++
+		}
+		fmt.Printf("  %-4s %-40s %10.1f -> %10.1f ns/op  (%+.1f%%)\n",
+			mark, name, ref.NsPerOp, cur.NsPerOp, delta*100)
+	}
+	for name := range run.Results {
+		if _, ok := committed.Current.Results[name]; !ok {
+			fmt.Printf("  new  %-40s %10.1f ns/op (no committed reference)\n",
+				name, run.Results[name].NsPerOp)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% vs %s\n",
+			failed, threshold*100, path)
+		return 1
+	}
+	fmt.Printf("benchjson: no regression beyond %.0f%% vs %s (%d benchmarks)\n",
+		threshold*100, path, len(names))
+	return 0
 }

@@ -204,13 +204,22 @@ func (p *Pool) For(begin, end int, body Body, opts ...ForOption) {
 }
 
 // ForEach is For with a per-index body — more convenient, slightly slower
-// for very fine-grained loops.
+// for very fine-grained loops. The per-index adapter is built once, in
+// the worker-aware form the loop core consumes directly, so ForEach costs
+// at most one more allocation per loop than For (it used to wrap body in
+// two closure layers re-boxed on every call).
 func (p *Pool) ForEach(begin, end int, body func(i int), opts ...ForOption) {
-	p.For(begin, end, func(lo, hi int) {
+	loop.ForW(p.s, begin, end, eachBody(body), p.options(opts))
+}
+
+// eachBody adapts a per-index body to the chunked worker-aware form with
+// a single closure allocation.
+func eachBody(body func(i int)) loop.BodyW {
+	return func(_ *sched.Worker, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			body(i)
 		}
-	}, opts...)
+	}
 }
 
 // BodyW is a loop body that also receives the worker executing its chunk.

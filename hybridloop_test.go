@@ -142,3 +142,32 @@ func TestWithOSThreads(t *testing.T) {
 		t.Fatalf("sum = %d", sum.Load())
 	}
 }
+
+// allocProbeSink absorbs iteration work in the allocation tests; package
+// scope so the probe bodies capture nothing and are themselves
+// allocation-free.
+var allocProbeSink atomic.Int64
+
+// TestForEachAllocations pins down the ForEach fix: the per-index adapter
+// is built once per loop in the worker-aware form the core consumes
+// directly, so ForEach may cost at most one more allocation per loop than
+// For (it used to rebuild a doubly wrapped closure chain on every
+// chunk). P=1 keeps the scheduler deterministic enough for
+// testing.AllocsPerRun.
+func TestForEachAllocations(t *testing.T) {
+	pool := hybridloop.NewPool(1, hybridloop.WithSeed(1))
+	defer pool.Close()
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			allocProbeSink.Add(int64(i))
+		}
+	}
+	each := func(i int) { allocProbeSink.Add(int64(i)) }
+	pool.For(0, 4096, body)     // warm the pool's lazy state
+	pool.ForEach(0, 4096, each) // and both entry paths
+	allocsFor := testing.AllocsPerRun(50, func() { pool.For(0, 4096, body) })
+	allocsEach := testing.AllocsPerRun(50, func() { pool.ForEach(0, 4096, each) })
+	if allocsEach > allocsFor+1 {
+		t.Fatalf("ForEach allocates %.1f per loop, For %.1f — more than one extra", allocsEach, allocsFor)
+	}
+}

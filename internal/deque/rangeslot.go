@@ -1,0 +1,130 @@
+// RangeSlot is the atomically splittable range descriptor behind the lazy
+// loop-splitting scheme: instead of eagerly pushing a binary tree of
+// lg(n/chunk) range splits into the deque, the worker executing a loop
+// range publishes its remaining [lo, hi) interval in one uint64 word and
+// consumes it one chunk at a time from the front, while a thief may CAS
+// off the upper half from the back (steal-half). Both ends shrink under
+// CAS on the same word, so a chunk take and a half steal can never hand
+// out overlapping iterations, and an interval is never lost: every CAS
+// either transfers a sub-interval to exactly one party or fails and is
+// retried against the freshly observed remainder.
+//
+// Bounds are packed as two int32 halves (lo in the low word, hi in the
+// high word); the canonical empty state is the packed value 0. Publish
+// rejects bounds outside int32 — callers fall back to the eager
+// SpawnRange lowering, mirroring SpawnRange's own int32-overflow
+// fallback — and also rejects publishing over a non-empty slot, which is
+// how re-entrant nested entries (a worker helping inside a Wait while its
+// own slot still holds a suspended range) are detected and routed to the
+// eager path.
+
+package deque
+
+import "sync/atomic"
+
+// RangeSlot holds one published iteration range [lo, hi), shrinkable from
+// the front by its owner and from the back by thieves. The zero value is
+// an empty slot, ready for use.
+type RangeSlot struct {
+	v atomic.Uint64
+}
+
+// packRange packs lo and hi into one word, or ok == false if either bound
+// needs more than 32 bits. An empty range (hi <= lo) must not be packed;
+// the empty state is represented by the zero word.
+func packSlotRange(lo, hi int) (uint64, bool) {
+	if int(int32(lo)) != lo || int(int32(hi)) != hi {
+		return 0, false
+	}
+	return uint64(uint32(int32(lo))) | uint64(uint32(int32(hi)))<<32, true
+}
+
+func unpackSlotRange(w uint64) (lo, hi int) {
+	return int(int32(uint32(w))), int(int32(uint32(w >> 32)))
+}
+
+// Publish installs [lo, hi) as the slot's content. It fails (without
+// storing anything) if either bound exceeds int32, or if the slot is
+// already occupied — the caller must then fall back to eager splitting.
+// Owner only.
+func (s *RangeSlot) Publish(lo, hi int) bool {
+	if hi <= lo {
+		return false
+	}
+	w, ok := packSlotRange(lo, hi)
+	if !ok || w == 0 {
+		return false
+	}
+	return s.v.CompareAndSwap(0, w)
+}
+
+// TakeFront removes and returns up to n iterations [lo, lo+n) from the
+// front of the published range, or ok == false if the slot is empty.
+// Owner only (thieves must use StealHalf); the CAS loop is still required
+// because thieves concurrently shrink the back.
+func (s *RangeSlot) TakeFront(n int) (lo, hi int, ok bool) {
+	if n < 1 {
+		n = 1
+	}
+	for {
+		w := s.v.Load()
+		if w == 0 {
+			return 0, 0, false
+		}
+		l, h := unpackSlotRange(w)
+		take := l + n
+		if take >= h {
+			// Final chunk: the slot transitions to the canonical empty word.
+			if s.v.CompareAndSwap(w, 0) {
+				return l, h, true
+			}
+			continue
+		}
+		nw, _ := packSlotRange(take, h) // take < h <= int32 max: always packs
+		if s.v.CompareAndSwap(w, nw) {
+			return l, take, true
+		}
+	}
+}
+
+// StealHalf removes and returns the upper half [mid, hi) of the published
+// range, or ok == false if fewer than min+1 iterations remain (the owner
+// always keeps at least one iteration, so only the owner ever empties the
+// slot). Callable from any goroutine. A single successful CAS transfers
+// the half; there is no per-split deque traffic.
+func (s *RangeSlot) StealHalf(min int) (lo, hi int, ok bool) {
+	for {
+		w := s.v.Load()
+		if w == 0 {
+			return 0, 0, false
+		}
+		l, h := unpackSlotRange(w)
+		if h-l <= min {
+			return 0, 0, false
+		}
+		mid := l + (h-l)/2
+		nw, _ := packSlotRange(l, mid) // l < mid < h: always packs
+		if s.v.CompareAndSwap(w, nw) {
+			return mid, h, true
+		}
+	}
+}
+
+// Remaining returns the number of unconsumed iterations at some recent
+// moment. Cheap (one load); used by owners to decide whether surplus
+// remains worth advertising and by thieves to skip empty slots.
+func (s *RangeSlot) Remaining() int {
+	w := s.v.Load()
+	if w == 0 {
+		return 0
+	}
+	l, h := unpackSlotRange(w)
+	return h - l
+}
+
+// Reset forces the slot empty, abandoning whatever range it held. Owner
+// only; used on the panic-unwind path so a dying loop never advertises
+// stealable work. A thief racing with Reset either completed its CAS
+// first (and owns its half) or fails it (the word changed) — no interval
+// is ever handed out twice.
+func (s *RangeSlot) Reset() { s.v.Store(0) }

@@ -1,0 +1,152 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRangeSlotPublishTake(t *testing.T) {
+	var s RangeSlot
+	if s.Remaining() != 0 {
+		t.Fatal("zero slot not empty")
+	}
+	if _, _, ok := s.TakeFront(4); ok {
+		t.Fatal("TakeFront on empty slot succeeded")
+	}
+	if !s.Publish(10, 25) {
+		t.Fatal("Publish failed on empty slot")
+	}
+	if s.Remaining() != 15 {
+		t.Fatalf("Remaining = %d, want 15", s.Remaining())
+	}
+	// Front consumption in chunk-sized bites, remainder as the last bite.
+	want := [][2]int{{10, 14}, {14, 18}, {18, 22}, {22, 25}}
+	for _, w := range want {
+		lo, hi, ok := s.TakeFront(4)
+		if !ok || lo != w[0] || hi != w[1] {
+			t.Fatalf("TakeFront = (%d,%d,%v), want (%d,%d,true)", lo, hi, ok, w[0], w[1])
+		}
+	}
+	if _, _, ok := s.TakeFront(4); ok {
+		t.Fatal("slot not empty after draining")
+	}
+	if !s.Publish(0, 1) {
+		t.Fatal("slot not reusable after draining")
+	}
+}
+
+func TestRangeSlotPublishRejections(t *testing.T) {
+	var s RangeSlot
+	if s.Publish(5, 5) || s.Publish(7, 3) {
+		t.Fatal("Publish accepted an empty range")
+	}
+	// int32 overflow in either bound: the caller must fall back to eager
+	// splitting, so Publish must refuse rather than truncate.
+	big := int64(1) << 40
+	if s.Publish(int(big), int(big)+100) {
+		t.Fatal("Publish accepted lo beyond int32")
+	}
+	if s.Publish(0, int(big)) {
+		t.Fatal("Publish accepted hi beyond int32")
+	}
+	if s.Publish(-int(big), 0) {
+		t.Fatal("Publish accepted lo beyond -2^31")
+	}
+	// Occupied slot: re-entrant publish must fail and leave the content.
+	if !s.Publish(3, 9) {
+		t.Fatal("Publish failed on empty slot")
+	}
+	if s.Publish(100, 200) {
+		t.Fatal("Publish succeeded over an occupied slot")
+	}
+	if s.Remaining() != 6 {
+		t.Fatalf("occupied content clobbered: Remaining = %d", s.Remaining())
+	}
+	// Negative bounds within int32 are fine.
+	s.Reset()
+	if !s.Publish(-50, -10) {
+		t.Fatal("Publish rejected a valid negative range")
+	}
+	lo, hi, ok := s.TakeFront(100)
+	if !ok || lo != -50 || hi != -10 {
+		t.Fatalf("TakeFront = (%d,%d,%v)", lo, hi, ok)
+	}
+}
+
+func TestRangeSlotStealHalf(t *testing.T) {
+	var s RangeSlot
+	if _, _, ok := s.StealHalf(1); ok {
+		t.Fatal("StealHalf on empty slot succeeded")
+	}
+	s.Publish(0, 100)
+	lo, hi, ok := s.StealHalf(10)
+	if !ok || lo != 50 || hi != 100 {
+		t.Fatalf("StealHalf = (%d,%d,%v), want (50,100,true)", lo, hi, ok)
+	}
+	if s.Remaining() != 50 {
+		t.Fatalf("victim Remaining = %d, want 50", s.Remaining())
+	}
+	// Halving continues only while more than min remains.
+	for s.Remaining() > 10 {
+		if _, _, ok := s.StealHalf(10); !ok {
+			t.Fatalf("StealHalf failed with %d > min remaining", s.Remaining())
+		}
+	}
+	if _, _, ok := s.StealHalf(10); ok {
+		t.Fatal("StealHalf took below the min threshold")
+	}
+	// The owner still drains the remainder: thieves never empty a slot.
+	if s.Remaining() == 0 {
+		t.Fatal("thief emptied the slot")
+	}
+	s.Reset()
+	if s.Remaining() != 0 {
+		t.Fatal("Reset left content")
+	}
+}
+
+// TestRangeSlotConcurrentExactlyOnce hammers one slot with an owner
+// taking chunks and many thieves stealing halves, asserting every
+// iteration of the published range is handed out exactly once. Run with
+// -race for the full effect.
+func TestRangeSlotConcurrentExactlyOnce(t *testing.T) {
+	const n, chunk, thieves = 1 << 16, 7, 8
+	var s RangeSlot
+	counts := make([]atomic.Int32, n)
+	claim := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			counts[i].Add(1)
+		}
+	}
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if lo, hi, ok := s.StealHalf(chunk); ok {
+					claim(lo, hi)
+				}
+			}
+		}()
+	}
+	if !s.Publish(0, n) {
+		t.Fatal("Publish failed")
+	}
+	for {
+		lo, hi, ok := s.TakeFront(chunk)
+		if !ok {
+			break
+		}
+		claim(lo, hi)
+	}
+	stop.Store(true)
+	wg.Wait()
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("iteration %d handed out %d times", i, c)
+		}
+	}
+}

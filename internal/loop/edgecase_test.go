@@ -1,0 +1,212 @@
+package loop
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hybridloop/internal/sched"
+)
+
+// recordChunks collects every (lo, hi) chunk a loop hands to its body.
+type recordChunks struct {
+	mu     sync.Mutex
+	chunks [][2]int
+}
+
+func (r *recordChunks) body(lo, hi int) {
+	r.mu.Lock()
+	r.chunks = append(r.chunks, [2]int{lo, hi})
+	r.mu.Unlock()
+}
+
+func (r *recordChunks) verifyExactlyOnce(t *testing.T, begin, end int) {
+	t.Helper()
+	seen := make(map[int]int)
+	for _, c := range r.chunks {
+		if c[0] >= c[1] {
+			t.Fatalf("empty chunk [%d, %d) handed to body", c[0], c[1])
+		}
+		for i := c[0]; i < c[1]; i++ {
+			seen[i]++
+		}
+	}
+	for i := begin; i < end; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("iteration %d executed %d times, want 1", i, seen[i])
+		}
+	}
+	if len(seen) != end-begin {
+		t.Fatalf("body saw %d distinct iterations, want %d", len(seen), end-begin)
+	}
+}
+
+// TestChunkLargerThanRange: chunk > n must degenerate into a single body
+// call covering the whole range for every strategy — no strategy may hand
+// out a chunk past the end or split below its floor.
+func TestChunkLargerThanRange(t *testing.T) {
+	pool := sched.NewPool(4, 11)
+	defer pool.Close()
+	for _, s := range allStrategies {
+		for _, n := range []int{1, 5, 63} {
+			rec := &recordChunks{}
+			For(pool, 0, n, rec.body, Options{Strategy: s, Chunk: n + 100})
+			rec.verifyExactlyOnce(t, 0, n)
+			for _, c := range rec.chunks {
+				if c[1] > n || c[0] < 0 {
+					t.Fatalf("%v n=%d: chunk [%d, %d) outside the range", s, n, c[0], c[1])
+				}
+			}
+		}
+	}
+}
+
+// TestBeginEqualsEnd: a zero-trip loop must not call the body, must not
+// touch the registry, and must leave the group balanced (no hang, no
+// panic) for every strategy and every entry form.
+func TestBeginEqualsEnd(t *testing.T) {
+	pool := sched.NewPool(2, 3)
+	defer pool.Close()
+	for _, s := range allStrategies {
+		var ran atomic.Bool
+		body := func(lo, hi int) { ran.Store(true) }
+		For(pool, 42, 42, body, Options{Strategy: s})
+		For(pool, -7, -7, body, Options{Strategy: s, Chunk: 1})
+		pool.Run(func(w *sched.Worker) {
+			WorkerFor(w, 0, 0, body, Options{Strategy: s})
+		})
+		if ran.Load() {
+			t.Fatalf("%v: body ran for begin == end", s)
+		}
+	}
+}
+
+// TestFewerIterationsThanWorkers: n < P leaves workers without a full
+// share; every strategy must still cover [0, n) exactly once and the
+// chunk rule must floor at 1 (DefaultChunk(n, p) with n/(8p) == 0).
+func TestFewerIterationsThanWorkers(t *testing.T) {
+	pool := sched.NewPool(8, 19)
+	defer pool.Close()
+	for _, s := range allStrategies {
+		for _, n := range []int{1, 3, 7} {
+			for _, chunk := range []int{0, 1, 2} {
+				rec := &recordChunks{}
+				For(pool, 0, n, rec.body, Options{Strategy: s, Chunk: chunk})
+				rec.verifyExactlyOnce(t, 0, n)
+			}
+		}
+	}
+}
+
+// TestSerialCutoffInteraction: loops at or below the cutoff run inline as
+// one chunk on the calling worker regardless of strategy or chunk
+// setting; loops above it schedule normally. The cutoff comparison is on
+// the trip count, not the chunk.
+func TestSerialCutoffInteraction(t *testing.T) {
+	pool := sched.NewPool(4, 29)
+	defer pool.Close()
+	for _, s := range allStrategies {
+		// n <= cutoff: exactly one body call with the full range, executed
+		// by the initiating worker.
+		rec := &recordChunks{}
+		var caller, executor atomic.Int32
+		pool.Run(func(w *sched.Worker) {
+			caller.Store(int32(w.ID()))
+			WorkerForW(w, 0, 50, func(cw *sched.Worker, lo, hi int) {
+				executor.Store(int32(cw.ID()))
+				rec.body(lo, hi)
+			}, Options{Strategy: s, Chunk: 4, SerialCutoff: 50})
+		})
+		if len(rec.chunks) != 1 || rec.chunks[0] != [2]int{0, 50} {
+			t.Fatalf("%v: cutoff loop chunks = %v, want one [0, 50)", s, rec.chunks)
+		}
+		if caller.Load() != executor.Load() {
+			t.Fatalf("%v: cutoff loop ran on worker %d, caller was %d",
+				s, executor.Load(), caller.Load())
+		}
+		// n just above the cutoff: scheduled normally, chunk setting
+		// honored (more than one chunk for chunk < n), still exactly once.
+		rec = &recordChunks{}
+		For(pool, 0, 51, rec.body, Options{Strategy: s, Chunk: 4, SerialCutoff: 50})
+		rec.verifyExactlyOnce(t, 0, 51)
+		if s != Static && len(rec.chunks) < 2 {
+			t.Fatalf("%v: above-cutoff loop ran as %d chunk(s), want scheduled chunks", s, len(rec.chunks))
+		}
+	}
+}
+
+// TestSharingChunkMath: schedule(dynamic)'s fixed-size grabs must all be
+// exactly chunk long except a single remainder, and the count must match
+// ceil(n/chunk).
+func TestSharingChunkMath(t *testing.T) {
+	pool := sched.NewPool(4, 37)
+	defer pool.Close()
+	const n, chunk = 1009, 64 // prime n: guaranteed remainder
+	rec := &recordChunks{}
+	For(pool, 0, n, rec.body, Options{Strategy: DynamicSharing, Chunk: chunk})
+	rec.verifyExactlyOnce(t, 0, n)
+	if want := (n + chunk - 1) / chunk; len(rec.chunks) != want {
+		t.Fatalf("sharing handed out %d chunks, want %d", len(rec.chunks), want)
+	}
+	remainders := 0
+	for _, c := range rec.chunks {
+		switch c[1] - c[0] {
+		case chunk:
+		case n % chunk:
+			remainders++
+		default:
+			t.Fatalf("sharing chunk [%d, %d) has size %d, want %d or remainder %d",
+				c[0], c[1], c[1]-c[0], chunk, n%chunk)
+		}
+	}
+	if remainders != 1 {
+		t.Fatalf("sharing produced %d remainder chunks, want 1", remainders)
+	}
+}
+
+// TestGuidedChunkMath: schedule(guided)'s grabs are bounded above by
+// ceil(remaining/2P) at grab time (so never larger than the first grab)
+// and below by the minimum chunk, except the final remainder.
+func TestGuidedChunkMath(t *testing.T) {
+	pool := sched.NewPool(4, 41)
+	defer pool.Close()
+	const n, minChunk = 10000, 16
+	p := 4
+	rec := &recordChunks{}
+	For(pool, 0, n, rec.body, Options{Strategy: Guided, Chunk: minChunk})
+	rec.verifyExactlyOnce(t, 0, n)
+	first := (n + 2*p - 1) / (2 * p)
+	for i, c := range rec.chunks {
+		size := c[1] - c[0]
+		if size > first {
+			t.Fatalf("guided chunk %d has size %d, above the first-grab bound %d", i, size, first)
+		}
+		if size < minChunk && c[1] != n {
+			t.Fatalf("guided chunk %d has size %d below the floor %d and is not the tail", i, size, minChunk)
+		}
+	}
+}
+
+// TestLoopBoundsBeyondInt32 runs the two lazily split strategies over a
+// base beyond 2^31, where range descriptors and deque words cannot pack:
+// the whole loop must flow through the eager SpawnRange closure fallback
+// and still cover every iteration exactly once.
+func TestLoopBoundsBeyondInt32(t *testing.T) {
+	pool := sched.NewPool(4, 43)
+	defer pool.Close()
+	const n = 50000
+	base := 1 << 31
+	for _, s := range []Strategy{DynamicStealing, Hybrid, Static, DynamicSharing, Guided} {
+		counts := make([]atomic.Int32, n)
+		For(pool, base, base+n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				counts[i-base].Add(1)
+			}
+		}, Options{Strategy: s, Chunk: 64})
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("%v: iteration base+%d ran %d times", s, i, c)
+			}
+		}
+	}
+}

@@ -15,7 +15,14 @@ type hybridLoop struct {
 	body  BodyW
 	opts  *Options
 	chunk int
-	g     sched.Group // one Done per partition executed
+	g     sched.Group // partition completions + outstanding lazy ranges
+	rs    rangeSet    // per-worker steal-half descriptors (doWork state)
+}
+
+// initRanges wires the lazy-splitting state for a pool of p workers. Must
+// be called before the loop is registered or executed.
+func (h *hybridLoop) initRanges(p int) {
+	h.rs.init(p, &h.g, h.body, h.opts, h.chunk)
 }
 
 // hybridFor is InitHybridLoop (Algorithm 1): build the partition structure,
@@ -35,32 +42,44 @@ func hybridFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
 		opts:  opts,
 		chunk: opts.chunk(end-begin, p),
 	}
+	h.initRanges(p)
 	// Every partition must be executed before the loop completes; the
-	// group counts partition completions (Theorem 3: exactly R of them).
+	// group counts partition completions (Theorem 3: exactly R of them)
+	// plus, transiently, the published ranges and stolen halves of the
+	// lazy doWork inside each partition.
 	h.g.Add(ps.R())
 	w.Pool().RegisterLoop(h)
+	// Deferred so a body panic re-raised by Wait still removes the loop
+	// from the registry.
+	defer w.Pool().UnregisterLoop(h)
 	h.doHybridLoop(w, false)
 	w.Wait(&h.g)
-	w.Pool().UnregisterLoop(h)
 }
 
-// Live reports whether unclaimed partitions remain; dead loops are skipped
-// by the steal protocol without touching the flags.
-func (h *hybridLoop) Live() bool { return h.ps.Unclaimed() > 0 }
+// Live reports whether the loop can still feed a thief: unclaimed
+// partitions remain, or some claimed partition's published range still
+// has stealable iterations. Dead loops are skipped by the steal protocol
+// without touching the flags.
+func (h *hybridLoop) Live() bool {
+	return h.ps.Unclaimed() > 0 || h.rs.active.Load() > 0
+}
 
-// TrySteal implements the steal protocol of Section III: a thief w checks
-// whether its designated partition r = w XOR 0 has been claimed. If so it
-// reverts to ordinary randomized work stealing (returns false); if not, it
-// enters DoHybridLoop with its own worker ID. The trace.StealEntry event
-// is emitted by the claim walk only once a partition is actually claimed,
-// so a thief that loses every claim race logs no entry — the trace and
-// the scheduler's Stats.LoopEntries counter (which counts TrySteal
-// returning true) always agree.
+// TrySteal implements the steal protocol of Section III, extended with
+// steal-half range stealing: a thief w first checks whether its
+// designated partition r = w XOR 0 has been claimed; if not it enters
+// DoHybridLoop with its own worker ID. With no claimable partition left
+// it tries to CAS the upper half off another worker's published
+// in-partition range before reverting to ordinary randomized work
+// stealing. The trace.StealEntry event is emitted only once a partition
+// is actually claimed or a half actually stolen, so a thief that loses
+// every race logs no entry — the trace and the scheduler's
+// Stats.LoopEntries counter (which counts TrySteal returning true)
+// always agree.
 func (h *hybridLoop) TrySteal(w *sched.Worker) bool {
-	if h.ps.PeekClaimed(w.ID()) {
-		return false
+	if !h.ps.PeekClaimed(w.ID()) && h.doHybridLoop(w, true) {
+		return true
 	}
-	return h.doHybridLoop(w, true)
+	return h.rs.trySteal(w)
 }
 
 // doHybridLoop is Algorithm 3 for worker w: walk the claim sequence,
@@ -112,26 +131,18 @@ func (h *hybridLoop) doHybridLoop(w *sched.Worker, viaSteal bool) bool {
 	}
 }
 
-// runPartition executes one claimed partition via an ordinary
-// divide-and-conquer parallel loop (the doWork routine), so the work of an
-// unbalanced partition can itself be load balanced by work stealing.
+// runPartition executes one claimed partition via the lazy doWork: the
+// claiming worker publishes the partition's range in its steal-half
+// descriptor and consumes it chunk by chunk, so an unbalanced partition
+// can still be load balanced — but a partition nobody contends for runs
+// with zero deque traffic instead of the former lg(n/chunk) eager
+// splits. The worker does not wait here: outstanding stolen halves are
+// enrolled in the loop group, so the claimer moves straight on to its
+// next claim (work-conserving) and the initiating Wait joins everything.
 func (h *hybridLoop) runPartition(w *sched.Worker, r int) {
 	part := h.ps.Partition(r)
 	if part.Empty() {
 		return
 	}
-	var pg sched.Group
-	// One closure per partition; per-split bounds ride in the deque slots
-	// (SpawnRange), so dividing the partition allocates nothing.
-	var rec sched.RangeTask
-	rec = func(cw *sched.Worker, lo, hi int) {
-		for hi-lo > h.chunk {
-			mid := lo + (hi-lo)/2
-			cw.SpawnRange(&pg, rec, mid, hi)
-			hi = mid
-		}
-		runChunk(cw, h.body, h.opts, lo, hi)
-	}
-	rec(w, part.Begin, part.End)
-	w.Wait(&pg)
+	h.rs.runOwned(w, part.Begin, part.End)
 }

@@ -1,0 +1,186 @@
+package loop
+
+import (
+	"sync/atomic"
+
+	"hybridloop/internal/deque"
+	"hybridloop/internal/sched"
+	"hybridloop/internal/trace"
+)
+
+// rangeSet is the shared stealable-range state of one lazily split loop
+// (or of the per-partition doWork of one hybrid loop): a published range
+// descriptor per worker, plus the loop body and the accounting group that
+// Wait joins on. Both loop strategies that used eager divide-and-conquer
+// (DynamicStealing's stealingFor and Hybrid's runPartition) run on it.
+//
+// The lazy protocol replaces the eager binary tree of lg(n/chunk) deque
+// pushes per range with a single published word: the executing worker
+// keeps its remaining [lo, hi) interval in its RangeSlot, consumes it one
+// chunk at a time from the front, and polls the pool's thief-demand hint
+// each chunk. When no thief ever shows up — the common case, because the
+// claim phase already balanced the load — the whole range executes with
+// zero deque traffic and zero allocations. A thief CASes off the upper
+// half of a victim's remaining range (steal-half) and becomes a lazy
+// owner of the stolen half in its own slot, so splitting recurses exactly
+// as deep as demand drives it.
+//
+// Accounting invariants (all atomics are sequentially consistent):
+//
+//   - A published slot counts as one pending unit in g ("the hold"),
+//     added before consumption starts and released by the owner after it
+//     observes its slot empty. Only the owner ever empties its slot:
+//     StealHalf always leaves at least one iteration behind.
+//   - A thief Adds to g BEFORE attempting its CAS and Dones after
+//     executing the stolen half (or immediately, if the CAS failed). A
+//     successful steal CAS precedes the owner's emptying CAS in the
+//     slot's modification order, so by the time the owner releases its
+//     hold the thief's Add is already visible — the group can never hit
+//     zero while stolen work is in flight.
+//
+// Ranges whose bounds exceed int32, and re-entrant entries whose slot is
+// still occupied (a worker helping inside a nested Wait while its own
+// published range is suspended), fall back to the eager SpawnRange
+// lowering — correct, merely eager.
+type rangeSet struct {
+	slots  []deque.RangeSlot // indexed by worker ID
+	active atomic.Int32      // published, not-yet-released slots
+	g      *sched.Group
+	body   BodyW
+	opts   *Options
+	chunk  int
+	task   sched.RangeTask // eager-fallback task; re-enters runOwned
+}
+
+// initRangeSet wires a rangeSet for a pool of p workers. The single task
+// closure is the only per-loop allocation besides the slot array.
+func (rs *rangeSet) init(p int, g *sched.Group, body BodyW, opts *Options, chunk int) {
+	rs.slots = make([]deque.RangeSlot, p)
+	rs.g = g
+	rs.body = body
+	rs.opts = opts
+	rs.chunk = chunk
+	rs.task = func(cw *sched.Worker, lo, hi int) { rs.runOwned(cw, lo, hi) }
+}
+
+// runOwned executes [lo, hi) on w as its lazy owner: publish the range in
+// w's slot, then consume chunk-at-a-time while thieves may halve the
+// remainder. Falls back to the eager spawn lowering when the range does
+// not pack (int32 overflow) or the slot is occupied (re-entrant nested
+// entry).
+func (rs *rangeSet) runOwned(w *sched.Worker, lo, hi int) {
+	if hi-lo <= rs.chunk {
+		runChunk(w, rs.body, rs.opts, lo, hi)
+		return
+	}
+	s := &rs.slots[w.ID()]
+	if !s.Publish(lo, hi) {
+		rs.runEager(w, lo, hi)
+		return
+	}
+	rs.g.Add(1) // the hold: the published slot is outstanding work
+	rs.active.Add(1)
+	defer func() {
+		// On the normal path the slot is already empty and Reset is a
+		// no-op; on a panic unwind it abandons the remainder so a dying
+		// loop stops advertising stealable work.
+		s.Reset()
+		rs.active.Add(-1)
+		rs.g.Done()
+	}()
+	pool := w.Pool()
+	for {
+		clo, chi, ok := s.TakeFront(rs.chunk)
+		if !ok {
+			return
+		}
+		runChunk(w, rs.body, rs.opts, clo, chi)
+		// The demand poll: one or two uncontended loads per chunk. Only
+		// when idle capacity exists AND surplus remains does the owner
+		// spend a wakeup routing a thief to its published range.
+		if s.Remaining() > rs.chunk && pool.Demand() {
+			pool.MeetDemand()
+		}
+	}
+}
+
+// runEager is the pre-lazy lowering kept as the fallback: recursive
+// binary division spawned into the deque so thieves steal the biggest
+// remaining pieces. Stolen subtrees re-enter runOwned on the thief and
+// turn lazy again.
+func (rs *rangeSet) runEager(w *sched.Worker, lo, hi int) {
+	for hi-lo > rs.chunk {
+		mid := lo + (hi-lo)/2
+		w.SpawnRange(rs.g, rs.task, mid, hi)
+		hi = mid
+	}
+	runChunk(w, rs.body, rs.opts, lo, hi)
+}
+
+// trySteal makes one steal-half sweep over the published slots, starting
+// at a random victim. On success the thief executes the stolen half as a
+// lazy owner (protected, so a panicking body surfaces at the loop's Wait
+// rather than killing the worker) and returns true.
+func (rs *rangeSet) trySteal(w *sched.Worker) bool {
+	n := len(rs.slots)
+	if n == 0 || rs.active.Load() == 0 {
+		return false
+	}
+	self := w.ID()
+	start := 0
+	if n > 1 {
+		start = w.RNG().Intn(n)
+	}
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		if i == self {
+			// Own slot: nothing to steal from ourselves — if it is
+			// non-empty we are re-entrant and our outer frame owns it.
+			continue
+		}
+		s := &rs.slots[i]
+		if s.Remaining() <= rs.chunk {
+			continue
+		}
+		// Optimistic Add: ordered before the CAS, so a successful steal
+		// is enrolled in the group before the victim can possibly release
+		// its hold (see the invariant note on rangeSet).
+		rs.g.Add(1)
+		lo, hi, ok := s.StealHalf(rs.chunk)
+		if !ok {
+			rs.g.Done()
+			continue
+		}
+		w.NoteRangeSteal()
+		if rs.opts.Trace != nil {
+			rs.opts.Trace.Add(w.ID(), trace.RangeSplit, int64(lo), int64(hi))
+			rs.opts.Trace.Add(w.ID(), trace.StealEntry, int64(w.ID()), 0)
+		}
+		if s.Remaining() > rs.chunk {
+			// Wake chaining: the victim still has surplus after this
+			// steal; recruit the next parked worker toward it.
+			w.Pool().Notify()
+		}
+		rs.g.Protect(func() { rs.runOwned(w, lo, hi) })
+		rs.g.Done()
+		return true
+	}
+	return false
+}
+
+// lazyLoop adapts a rangeSet to the pool's loop registry so idle workers
+// discover published ranges through the same probe that serves the hybrid
+// steal protocol. DynamicStealing loops register one for their lifetime;
+// thieves then reach the descriptor slots with a registry probe instead
+// of popping pre-spawned subtree nodes off a deque.
+type lazyLoop struct {
+	rs rangeSet
+	g  sched.Group
+}
+
+// Live reports whether any published range still holds work. Claim-free
+// loops are live exactly while a slot is outstanding.
+func (l *lazyLoop) Live() bool { return l.rs.active.Load() > 0 }
+
+// TrySteal attempts one steal-half sweep on behalf of idle worker w.
+func (l *lazyLoop) TrySteal(w *sched.Worker) bool { return l.rs.trySteal(w) }

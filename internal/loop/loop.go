@@ -231,25 +231,29 @@ func staticFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
 	w.Wait(&g)
 }
 
-// stealingFor is the vanilla cilk_for lowering: recursive binary division
-// of the range until the chunk size is reached; halves are spawned so
-// thieves steal the biggest remaining pieces.
+// stealingFor is the cilk_for strategy, lowered lazily: instead of
+// eagerly spawning the binary tree of lg(n/chunk) range splits into the
+// deque, the initiating worker publishes its remaining range in a
+// steal-half descriptor and consumes it one chunk at a time; idle workers
+// discover the loop through the registry probe and CAS off the upper half
+// of the biggest published remainder on demand. When no thief shows up
+// the loop runs with zero per-split deque traffic.
 func stealingFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
-	chunk := opts.chunk(end-begin, w.Pool().P())
-	var g sched.Group
-	// One closure for the whole loop; the per-split bounds travel inside
-	// the deque slots (SpawnRange), so splitting allocates nothing.
-	var rec sched.RangeTask
-	rec = func(cw *sched.Worker, lo, hi int) {
-		for hi-lo > chunk {
-			mid := lo + (hi-lo)/2
-			cw.SpawnRange(&g, rec, mid, hi)
-			hi = mid
-		}
-		runChunk(cw, body, opts, lo, hi)
+	pool := w.Pool()
+	chunk := opts.chunk(end-begin, pool.P())
+	if end-begin <= chunk {
+		runChunk(w, body, opts, begin, end)
+		return
 	}
-	rec(w, begin, end)
-	w.Wait(&g)
+	l := &lazyLoop{}
+	l.rs.init(pool.P(), &l.g, body, opts, chunk)
+	pool.RegisterLoop(l)
+	// Unregister even if the body panics mid-range (the slot itself is
+	// drained by runOwned's unwind path) so the registry never holds a
+	// dead loop.
+	defer pool.UnregisterLoop(l)
+	l.rs.runOwned(w, begin, end)
+	w.Wait(&l.g)
 }
 
 // sharingFor is OpenMP schedule(dynamic, chunk): every worker joins the

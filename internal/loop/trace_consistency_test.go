@@ -40,10 +40,13 @@ func TestStealEntryOnlyOnClaim(t *testing.T) {
 			body: func(w *sched.Worker, lo, hi int) {},
 			opts: &Options{Trace: tr, Chunk: 64},
 			// chunk >= the whole range: claimed partitions execute inline
-			// with no nested spawns, so TrySteal is safe to call from the
-			// test goroutine (it never touches the worker's deque).
+			// with no published range descriptors and no nested spawns, so
+			// TrySteal is safe to call from the test goroutine (it touches
+			// neither the worker's deque nor its RNG — the steal-half sweep
+			// bails out on active == 0 before selecting a victim).
 			chunk: 64,
 		}
+		h.initRanges(pool.P())
 		h.g.Add(ps.R())
 
 		raced := make(chan struct{})
@@ -70,6 +73,47 @@ func TestStealEntryOnlyOnClaim(t *testing.T) {
 			t.Fatalf("iter %d: %d StealEntry events for TrySteal=%v, want %d",
 				iter, got, entered, want)
 		}
+	}
+}
+
+// TestRangeSplitMatchesRangeSteals reconciles the trace's RangeSplit
+// events against the scheduler's Stats.RangeSteals counter: both count
+// exactly the successful StealHalf CASes, so across any set of fully
+// traced loops on a freshly reset pool they must agree. Both lazily
+// split strategies feed the same rangeSet.trySteal, so both are run,
+// with each loop's first chunk gated until a steal lands (so the
+// reconciliation is non-vacuous even on one CPU).
+func TestRangeSplitMatchesRangeSteals(t *testing.T) {
+	pool := sched.NewPool(8, 4242)
+	defer pool.Close()
+	pool.ResetStats()
+	tr := trace.New(1 << 20)
+
+	loops := 10
+	if testing.Short() {
+		loops = 4
+	}
+	var sink atomic.Int64
+	for i := 0; i < loops; i++ {
+		s := DynamicStealing
+		if i%2 == 1 {
+			s = Hybrid
+		}
+		ForW(pool, 0, 1<<14, gateFirstChunk(pool, func(w *sched.Worker, lo, hi int) {
+			sink.Add(int64(hi - lo))
+		}), Options{Strategy: s, Chunk: 8, Trace: tr})
+	}
+
+	got := countKind(tr, trace.RangeSplit)
+	want := int(pool.Stats().RangeSteals)
+	if got != want {
+		t.Fatalf("trace has %d RangeSplit events, Stats.RangeSteals = %d — views disagree", got, want)
+	}
+	if want == 0 {
+		t.Fatal("no range steals occurred; the reconciliation was vacuous")
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("trace dropped %d events; enlarge the log for this test", tr.Dropped())
 	}
 }
 

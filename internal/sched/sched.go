@@ -138,6 +138,12 @@ type Stats struct {
 	// increments this once per cycle.
 	FailedSteals int64
 	LoopEntries  int64 // hybrid-loop entries via the steal protocol
+	// RangeSteals counts steal-half operations: a thief CASing off the
+	// upper half of a victim's published lazy-split range descriptor.
+	// These transfers bypass the deque entirely, so they are NOT included
+	// in Steals; each one corresponds to exactly one trace.RangeSplit
+	// event when the loop is traced.
+	RangeSteals int64
 }
 
 // Pool is a work-stealing scheduler with a fixed set of workers.
@@ -150,6 +156,7 @@ type Pool struct {
 
 	nparked    atomic.Int64  // workers announced as parking or parked
 	wakeCursor atomic.Uint32 // round-robin start for targeted wakeups
+	demandFlag atomic.Uint32 // set by failed steal sweeps, cleared by MeetDemand
 	quit       chan struct{}
 	wg         sync.WaitGroup
 
@@ -234,6 +241,7 @@ func (p *Pool) Stats() Stats {
 		s.Steals += w.steals.Load()
 		s.FailedSteals += w.failedSteals.Load()
 		s.LoopEntries += w.loopEntries.Load()
+		s.RangeSteals += w.rangeSteals.Load()
 	}
 	return s
 }
@@ -245,6 +253,7 @@ func (p *Pool) ResetStats() {
 		w.steals.Store(0)
 		w.failedSteals.Store(0)
 		w.loopEntries.Store(0)
+		w.rangeSteals.Store(0)
 	}
 }
 
@@ -376,6 +385,30 @@ func (p *Pool) notify() {
 // successful claim with partitions still unclaimed) chain wakeups with it.
 func (p *Pool) Notify() { p.notify() }
 
+// Demand reports whether there is evidence of thief demand: a worker is
+// parked (idle capacity with nothing to run) or some worker recently swept
+// every victim without finding work. It costs one or two uncontended
+// atomic loads, cheap enough for a loop owner to poll once per executed
+// chunk — the demand signal that drives lazy range splitting: with no
+// demand the owner keeps consuming its published range in large sequential
+// grains and the loop pays zero splitting overhead.
+func (p *Pool) Demand() bool {
+	return p.nparked.Load() > 0 || p.demandFlag.Load() != 0
+}
+
+// MeetDemand acknowledges a Demand observation: it clears the failed-steal
+// flag and wakes one parked worker so the surplus the caller is
+// advertising (a published range descriptor with more than a chunk left)
+// gets a thief routed to it. Recruitment then spreads by the usual wake
+// chaining — a thief that steals half and observes the victim still has
+// surplus wakes the next parked worker.
+func (p *Pool) MeetDemand() {
+	if p.demandFlag.Load() != 0 {
+		p.demandFlag.Store(0)
+	}
+	p.notify()
+}
+
 // notifyWorker wakes one specific worker — required for pinned tasks,
 // which only their target worker may execute, so a round-robin wake of
 // some other worker would strand them. The same announce-then-sweep
@@ -455,7 +488,14 @@ type Worker struct {
 	steals       atomic.Int64
 	failedSteals atomic.Int64
 	loopEntries  atomic.Int64
+	rangeSteals  atomic.Int64
 }
+
+// NoteRangeSteal records one successful steal-half of a published range
+// descriptor. Called by the loop strategies (internal/loop), which own
+// the steal-half protocol; the counter lives here so Stats aggregates it
+// with the other scheduling counters.
+func (w *Worker) NoteRangeSteal() { w.rangeSteals.Add(1) }
 
 // spawned is the deque/pinned-queue element: the task function plus its
 // join group. Panic capture and the group Done happen in runSpawned, so
@@ -720,6 +760,12 @@ func (w *Worker) trySteal() (spawned, bool) {
 		}
 	}
 	w.failedSteals.Add(1)
+	// Raise the thief-demand flag (load-then-store so the common case of
+	// an already-raised flag touches no shared cacheline exclusively):
+	// loop owners poll it and respond by advertising their surplus range.
+	if w.pool.demandFlag.Load() == 0 {
+		w.pool.demandFlag.Store(1)
+	}
 	return spawned{}, false
 }
 

@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestSpawnRangeInt32Overflow exercises SpawnRange's fallback for bounds
+// that do not fit the packed int32 deque word: beyond 2^31-1, below
+// -2^31, and one packable control case for the fast path. Each spawned
+// range must execute exactly once with the exact bounds it was spawned
+// with — the fallback wrapper must not truncate.
+func TestSpawnRangeInt32Overflow(t *testing.T) {
+	pool := NewPool(2, 1)
+	defer pool.Close()
+
+	cases := []struct {
+		name   string
+		lo, hi int
+	}{
+		{"lo-beyond-int32-max", 1 << 31, 1<<31 + 10},
+		{"hi-beyond-int32-max", 1<<31 - 5, 1<<31 + 5},
+		{"lo-below-int32-min", -(1 << 31) - 10, -(1 << 31)},
+		{"both-beyond", -(1 << 40), 1 << 40},
+		{"packable-control", -100, 100},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var calls atomic.Int32
+			var gotLo, gotHi atomic.Int64
+			pool.Run(func(w *Worker) {
+				var g Group
+				w.SpawnRange(&g, func(cw *Worker, lo, hi int) {
+					calls.Add(1)
+					gotLo.Store(int64(lo))
+					gotHi.Store(int64(hi))
+				}, c.lo, c.hi)
+				w.Wait(&g)
+			})
+			if n := calls.Load(); n != 1 {
+				t.Fatalf("range task ran %d times, want 1", n)
+			}
+			if gotLo.Load() != int64(c.lo) || gotHi.Load() != int64(c.hi) {
+				t.Fatalf("task received [%d, %d), want [%d, %d)",
+					gotLo.Load(), gotHi.Load(), c.lo, c.hi)
+			}
+		})
+	}
+}
+
+// TestSpawnRangeOverflowMany spawns a mix of packable and overflowing
+// ranges from one task and checks the join sees all of them — the
+// heap-allocated fallback and the inline fast path share the same group
+// accounting.
+func TestSpawnRangeOverflowMany(t *testing.T) {
+	pool := NewPool(4, 7)
+	defer pool.Close()
+	const each = 64
+	base := 1 << 31 // first unpackable positive bound
+	var sum atomic.Int64
+	pool.Run(func(w *Worker) {
+		var g Group
+		for i := 0; i < each; i++ {
+			w.SpawnRange(&g, func(cw *Worker, lo, hi int) {
+				sum.Add(int64(hi - lo))
+			}, base+i, base+i+i+1) // hi-lo = i+1, bounds never pack
+			w.SpawnRange(&g, func(cw *Worker, lo, hi int) {
+				sum.Add(int64(hi - lo))
+			}, i, i+i+1) // same lengths, packable
+		}
+		w.Wait(&g)
+	})
+	want := int64(2 * each * (each + 1) / 2)
+	if got := sum.Load(); got != want {
+		t.Fatalf("joined iteration count = %d, want %d", got, want)
+	}
+}

@@ -33,6 +33,11 @@ const (
 	StealEntry
 	// Chunk is an executed chunk; A = begin, B = end.
 	Chunk
+	// RangeSplit is a lazy split: a thief CASed the upper half [A, B) off
+	// a victim's published range descriptor (steal-half). Recorded by the
+	// thief; one event per successful steal, so the per-log count equals
+	// the scheduler's Stats.RangeSteals delta when every loop is traced.
+	RangeSplit
 )
 
 // String returns a short label for the event kind.
@@ -50,6 +55,8 @@ func (k Kind) String() string {
 		return "steal-entry"
 	case Chunk:
 		return "chunk"
+	case RangeSplit:
+		return "range-split"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -124,6 +131,7 @@ type WorkerSummary struct {
 	Claims       int
 	FailedClaims int
 	StealEntries int
+	RangeSplits  int
 }
 
 // Summary returns per-worker aggregates, sorted by worker ID.
@@ -145,6 +153,8 @@ func (l *Log) Summary() []WorkerSummary {
 			s.FailedClaims++
 		case StealEntry:
 			s.StealEntries++
+		case RangeSplit:
+			s.RangeSplits++
 		}
 	}
 	out := make([]WorkerSummary, 0, len(byWorker))
@@ -157,11 +167,11 @@ func (l *Log) Summary() []WorkerSummary {
 
 // Render writes the per-worker summary followed by the event count.
 func (l *Log) Render(w io.Writer) {
-	fmt.Fprintf(w, "%-7s %8s %12s %7s %11s %13s\n",
-		"worker", "chunks", "iterations", "claims", "claim-fails", "steal-entries")
+	fmt.Fprintf(w, "%-7s %8s %12s %7s %11s %13s %12s\n",
+		"worker", "chunks", "iterations", "claims", "claim-fails", "steal-entries", "range-splits")
 	for _, s := range l.Summary() {
-		fmt.Fprintf(w, "%-7d %8d %12d %7d %11d %13d\n",
-			s.Worker, s.Chunks, s.Iterations, s.Claims, s.FailedClaims, s.StealEntries)
+		fmt.Fprintf(w, "%-7d %8d %12d %7d %11d %13d %12d\n",
+			s.Worker, s.Chunks, s.Iterations, s.Claims, s.FailedClaims, s.StealEntries, s.RangeSplits)
 	}
 	l.mu.Lock()
 	n, dropped := len(l.events), l.dropped
