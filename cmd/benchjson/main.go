@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"regexp"
 	"sort"
 	"strconv"
@@ -36,13 +37,14 @@ type Result struct {
 
 // Run is one full benchmark invocation: environment plus results.
 type Run struct {
-	Date    string            `json:"date,omitempty"`
-	Commit  string            `json:"commit,omitempty"`
-	GOOS    string            `json:"goos,omitempty"`
-	GOARCH  string            `json:"goarch,omitempty"`
-	CPU     string            `json:"cpu,omitempty"`
-	Note    string            `json:"note,omitempty"`
-	Results map[string]Result `json:"results"`
+	Date       string            `json:"date,omitempty"`
+	Commit     string            `json:"commit,omitempty"`
+	GOOS       string            `json:"goos,omitempty"`
+	GOARCH     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	GOMAXPROCS int               `json:"gomaxprocs,omitempty"`
+	Note       string            `json:"note,omitempty"`
+	Results    map[string]Result `json:"results"`
 }
 
 // File is the BENCH_sched.json layout. History holds every former
@@ -57,8 +59,11 @@ type File struct {
 	Speedup     map[string]float64 `json:"speedup_vs_baseline,omitempty"`
 }
 
+// benchLine also captures the -N GOMAXPROCS suffix the testing package
+// appends to each benchmark name, so the environment section can record
+// how many procs the run used.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark[^\s-]+(?:/[^\s-]+)*)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+	`^(Benchmark[^\s-]+(?:/[^\s-]+)*)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func parse(path string) (*Run, error) {
 	f, err := os.Open(path)
@@ -86,14 +91,17 @@ func parse(path string) (*Run, error) {
 		if m == nil {
 			continue
 		}
-		var r Result
-		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
-		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		if m[2] != "" && run.GOMAXPROCS == 0 {
+			run.GOMAXPROCS, _ = strconv.Atoi(m[2])
 		}
+		var r Result
+		r.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
 		if m[5] != "" {
-			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			r.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		if m[6] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
 		}
 		run.Results[m[1]] = r
 	}
@@ -128,6 +136,7 @@ func main() {
 		os.Exit(1)
 	}
 	run.Note = *note
+	run.Commit = headCommit()
 
 	if *diff {
 		os.Exit(diffAgainst(*out, run, *threshold))
@@ -180,6 +189,16 @@ func main() {
 
 func round2(x float64) float64 {
 	return float64(int64(x*100+0.5)) / 100
+}
+
+// headCommit returns the short hash of the checked-out commit, or "" when
+// git is unavailable (the field is omitempty).
+func headCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // diffAgainst compares run's ns/op against the committed file's current

@@ -6,8 +6,12 @@
 // Usage:
 //
 //	loopbench [-scale f] [-seeds n] [-outer n] [-iters n]
+//	loopbench -strategy auto [-workers n] [-reps n]
 //
 // -scale shrinks the working sets (use e.g. 0.25 for a quick look).
+// -strategy auto skips the simulator and instead runs the real-runtime
+// autotuning ablation: per micro-workload, the Auto strategy's converged
+// configuration is timed against every fixed strategy.
 package main
 
 import (
@@ -27,7 +31,20 @@ func main() {
 	iters := flag.Int("iters", 1024, "parallel iterations per loop")
 	svgDir := flag.String("svg", "", "also write each panel as an SVG chart into this directory")
 	csvDir := flag.String("csv", "", "also write each panel's data points as CSV into this directory")
+	strategy := flag.String("strategy", "", "\"auto\": run the real-runtime Auto-vs-fixed ablation instead of the simulated Figure 1")
+	workers := flag.Int("workers", 0, "workers for -strategy auto (0 = GOMAXPROCS)")
+	reps := flag.Int("reps", 120, "invocations per cell for -strategy auto")
 	flag.Parse()
+
+	if *strategy != "" {
+		if *strategy != "auto" {
+			fmt.Fprintf(os.Stderr, "loopbench: unknown -strategy %q (only \"auto\" is supported; fixed strategies are covered by the default Figure 1 sweep)\n", *strategy)
+			os.Exit(2)
+		}
+		results := harness.AutoAblation{Workers: *workers, Seed: 1, Reps: *reps}.Run()
+		harness.RenderAutoResults(os.Stdout, results)
+		return
+	}
 
 	m := topology.Paper()
 	seedList := make([]uint64, *seeds)

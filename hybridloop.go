@@ -37,6 +37,7 @@ package hybridloop
 import (
 	"runtime"
 
+	"hybridloop/internal/adaptive"
 	"hybridloop/internal/loop"
 	"hybridloop/internal/sched"
 )
@@ -61,6 +62,14 @@ const (
 	// Guided is work sharing with geometrically decreasing chunks, like
 	// OpenMP schedule(guided, chunk).
 	Guided Strategy = loop.Guided
+	// Auto lets the pool's adaptive autotuner pick the strategy, chunk
+	// size, and serial cutoff per call site from runtime feedback: each
+	// Auto loop is profiled (cost per iteration, steal rates, busy-time
+	// imbalance), candidate configurations are explored a few times in a
+	// deterministic seeded order, and the cheapest is committed to — with
+	// re-exploration when the observed cost drifts. See WithAuto and
+	// Pool.TunerSnapshot.
+	Auto Strategy = loop.Auto
 )
 
 // Worker is a scheduler worker — the surrogate of a processing core. Loop
@@ -88,6 +97,7 @@ type Body = loop.Body
 // Pool is a work-stealing scheduler with a fixed set of workers.
 type Pool struct {
 	s           *sched.Pool
+	tuner       *adaptive.Tuner
 	strategy    Strategy
 	chunk       int
 	seed        uint64
@@ -139,6 +149,15 @@ func NewPool(workers int, opts ...Option) *Pool {
 	} else {
 		p.s = sched.NewPool(workers, p.seed)
 	}
+	// Busy/idle accounting costs two clock reads per busy burst — nothing
+	// on the per-task path — and feeds Stats.BusyNanos/IdleNanos plus the
+	// tuner's imbalance signal, so it is on for every public pool.
+	p.s.SetTimeAccounting(true)
+	p.tuner = adaptive.NewTuner(adaptive.Config{
+		Seed:    p.seed,
+		Workers: p.s.P(),
+		Arms:    loop.AutoArms,
+	})
 	return p
 }
 
@@ -187,10 +206,45 @@ func WithSerialCutoff(n int) ForOption {
 	return func(o *loop.Options) { o.SerialCutoff = n }
 }
 
-func (p *Pool) options(opts []ForOption) loop.Options {
+// WithAuto hands this loop to the pool's adaptive autotuner — equivalent
+// to WithStrategy(Auto). The tuner profiles the call site and converges
+// on the cheapest of {Hybrid, DynamicStealing, Static, Guided}, a chunk
+// scale, and possibly the serial shortcut; see the Auto constant.
+func WithAuto() ForOption {
+	return func(o *loop.Options) { o.Strategy = Auto }
+}
+
+// withSite attributes the loop to the given call-site PC for the tuner.
+// Internal: wrappers like Reduce and For2D capture their own caller so
+// tuning profiles attach to the user's line, not the wrapper's.
+func withSite(pc uintptr) ForOption {
+	return func(o *loop.Options) { o.Site = pc }
+}
+
+// callerPC returns the program counter skip logical frames above
+// callerPC's caller (0 = the calling function itself).
+func callerPC(skip int) uintptr {
+	var pcs [1]uintptr
+	if runtime.Callers(skip+2, pcs[:]) == 0 {
+		return 0
+	}
+	return pcs[0]
+}
+
+// options materializes a loop's Options. skip is the number of stack
+// frames between options and the user's call site, used to capture the
+// site identity when — and only when — the loop resolved to Auto, so
+// fixed-strategy loops pay nothing for the tuner's existence.
+func (p *Pool) options(opts []ForOption, skip int) loop.Options {
 	o := loop.Options{Strategy: p.strategy, Chunk: p.chunk}
 	for _, fn := range opts {
 		fn(&o)
+	}
+	if o.Strategy == Auto {
+		o.Tuner = p.tuner
+		if o.Site == 0 {
+			o.Site = callerPC(skip + 1)
+		}
 	}
 	return o
 }
@@ -200,7 +254,7 @@ func (p *Pool) options(opts []ForOption) loop.Options {
 // outside the pool's workers; inside a running task, use the free
 // function For with the current Worker.
 func (p *Pool) For(begin, end int, body Body, opts ...ForOption) {
-	loop.For(p.s, begin, end, body, p.options(opts))
+	loop.For(p.s, begin, end, body, p.options(opts, 1))
 }
 
 // ForEach is For with a per-index body — more convenient, slightly slower
@@ -209,7 +263,7 @@ func (p *Pool) For(begin, end int, body Body, opts ...ForOption) {
 // at most one more allocation per loop than For (it used to wrap body in
 // two closure layers re-boxed on every call).
 func (p *Pool) ForEach(begin, end int, body func(i int), opts ...ForOption) {
-	loop.ForW(p.s, begin, end, eachBody(body), p.options(opts))
+	loop.ForW(p.s, begin, end, eachBody(body), p.options(opts, 1))
 }
 
 // eachBody adapts a per-index body to the chunked worker-aware form with
@@ -232,7 +286,7 @@ type BodyW = loop.BodyW
 // ForWorker is For with a worker-aware body, for bodies containing nested
 // parallelism.
 func (p *Pool) ForWorker(begin, end int, body BodyW, opts ...ForOption) {
-	loop.ForW(p.s, begin, end, body, p.options(opts))
+	loop.ForW(p.s, begin, end, body, p.options(opts, 1))
 }
 
 // ForWorkerNested runs a worker-aware nested loop from inside a task
@@ -256,3 +310,25 @@ func For(w *Worker, begin, end int, body Body, opts ...ForOption) {
 
 // DefaultChunk exposes the paper's chunk rule min(2048, N/(8P)).
 func DefaultChunk(n, p int) int { return loop.DefaultChunk(n, p) }
+
+// TunerSite is one Auto call site's learned profile: its source location,
+// trip-count bucket, exploration state, committed configuration, and
+// per-arm statistics. See Pool.TunerSites.
+type TunerSite = adaptive.SiteSnapshot
+
+// TunerSites returns the adaptive tuner's per-site profiles, sorted by
+// source location — the observability surface for Auto: which strategy
+// each call site converged on, at what cost, after how many decisions.
+func (p *Pool) TunerSites() []TunerSite { return p.tuner.Sites() }
+
+// TunerSnapshot serializes the tuner's learned profiles as JSON. Save it
+// at shutdown and feed it to LoadTunerSnapshot in the next run so
+// iterative applications skip re-exploration and start on the committed
+// configuration (profiles are keyed by file:line plus trip-count bucket,
+// so they survive rebuilds).
+func (p *Pool) TunerSnapshot() ([]byte, error) { return p.tuner.SnapshotJSON() }
+
+// LoadTunerSnapshot warm-starts the tuner from a TunerSnapshot taken by
+// an earlier run. Call it before the first Auto loop; sites that already
+// started exploring are not rewritten.
+func (p *Pool) LoadTunerSnapshot(data []byte) error { return p.tuner.LoadJSON(data) }

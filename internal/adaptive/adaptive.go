@@ -1,0 +1,472 @@
+// Package adaptive implements the online autotuner behind the public
+// Auto strategy: no single loop schedule dominates (uniform iterations
+// favor static affinity, skewed ones favor stealing, tiny trip counts
+// favor running inline), so instead of making the caller hard-code a
+// Strategy/Chunk per call, the tuner learns the best configuration per
+// *loop call site* from runtime feedback.
+//
+// Every Auto loop is identified by a SiteKey — the caller's program
+// counter plus a log2 trip-count bucket, so the same source line run at
+// very different sizes is tuned independently. Per site the Tuner keeps a
+// profile: for each candidate configuration ("arm") an estimate of the
+// cost per iteration (running mean over the first plays, EWMA after),
+// mean per-chunk cost, steal / failed-steal / range-steal rates drawn
+// from the scheduler's counters, and the busy-time imbalance
+// (max − min worker busy nanoseconds within the invocation, as a
+// fraction of the wall time).
+//
+// The policy is an explore-then-commit bandit: each arm is played
+// ExplorePlays times in a schedule shuffled by a generator seeded from
+// the pool seed (so runs are reproducible given the same invocation
+// sequence and observations), then the tuner commits to the cheapest
+// arm. Committed sites keep observing: if the EWMA cost rises beyond
+// DriftFactor of the reference cost (the commit-time cost, re-anchored
+// downward when the arm improves), or a committed arm without dynamic
+// load balancing (Static, or the serial shortcut) shows sustained
+// busy-time imbalance, the site re-explores
+// with one refresh play per arm; a periodic refresh every ReexploreEvery
+// committed plays bounds how long a stale commitment can survive
+// workload drift the cost signal alone does not show.
+//
+// Profiles can be snapshotted to JSON and loaded into a fresh Tuner
+// (sites are matched by file:line, which is stable across builds, not by
+// raw PC), so iterative applications — the paper's affinity case — start
+// from a warmed profile instead of re-exploring.
+package adaptive
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"hybridloop/internal/rng"
+)
+
+// Arm is one candidate configuration the bandit chooses among. Strategy
+// holds the caller's strategy enum (internal/loop's Strategy as an int;
+// the tuner never interprets it), ChunkScale multiplies the loop's base
+// chunk size, Serial marks the run-inline shortcut, and NoBalance marks
+// configurations with no dynamic load balancing (Static, Serial) so the
+// imbalance signal can evict them when the workload turns skewed.
+type Arm struct {
+	Strategy   int     `json:"strategy"`
+	ChunkScale float64 `json:"chunk_scale"`
+	Serial     bool    `json:"serial,omitempty"`
+	NoBalance  bool    `json:"no_balance,omitempty"`
+}
+
+func (a Arm) equal(b Arm) bool { return a == b }
+
+// Config parameterizes a Tuner.
+type Config struct {
+	// Seed makes exploration schedules reproducible; derive it from the
+	// pool seed.
+	Seed uint64
+	// Workers is the pool's worker count, passed to Arms.
+	Workers int
+	// Arms returns the candidate configurations for a loop of n
+	// iterations. Required.
+	Arms func(n, workers int) []Arm
+	// ExplorePlays is how many times each arm is played before the site
+	// commits. Default 2.
+	ExplorePlays int
+	// ReexploreEvery forces a one-play-per-arm refresh after this many
+	// committed plays. Default 512; <0 disables.
+	ReexploreEvery int
+	// DriftFactor is the relative EWMA-cost rise above the commitment's
+	// reference cost that triggers re-exploration of a committed site
+	// (improvements re-anchor the reference instead). Default 0.75.
+	DriftFactor float64
+	// ImbalanceLimit is the busy-time imbalance fraction above which a
+	// committed NoBalance arm is re-explored. Default 0.35.
+	ImbalanceLimit float64
+	// Alpha is the EWMA smoothing factor. Default 0.25.
+	Alpha float64
+}
+
+func (c *Config) fill() {
+	if c.ExplorePlays <= 0 {
+		c.ExplorePlays = 2
+	}
+	if c.ReexploreEvery == 0 {
+		c.ReexploreEvery = 512
+	}
+	if c.DriftFactor <= 0 {
+		c.DriftFactor = 0.75
+	}
+	if c.ImbalanceLimit <= 0 {
+		c.ImbalanceLimit = 0.35
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		c.Alpha = 0.25
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+}
+
+// SiteKey identifies one tuned loop site: the call-site program counter
+// plus the log2 bucket of the trip count, so one source line invoked at
+// very different sizes keeps independent profiles.
+type SiteKey struct {
+	PC     uintptr
+	Bucket uint8
+}
+
+// bucketOf maps a trip count to its log2 bucket.
+func bucketOf(n int) uint8 {
+	if n < 1 {
+		return 0
+	}
+	return uint8(bits.Len(uint(n)))
+}
+
+// Observation is the per-invocation feedback reported back for a
+// Decision: wall time, trip count, executed chunks, scheduler counter
+// deltas, and the busy-time imbalance across workers.
+type Observation struct {
+	Elapsed      time.Duration
+	Iterations   int
+	Chunks       int64
+	Steals       int64
+	FailedSteals int64
+	RangeSteals  int64
+	LoopEntries  int64
+	// Imbalance is max − min per-worker busy time among the workers that
+	// executed at least one chunk of the invocation.
+	Imbalance time.Duration
+}
+
+// Decision is the tuner's answer for one invocation: the chosen arm and
+// the concrete Chunk/SerialCutoff to run with. Pass it back to Report
+// with the invocation's Observation.
+type Decision struct {
+	Arm      Arm
+	ArmIndex int
+	// Chunk is the resolved chunk size (base chunk times the arm's
+	// scale), always >= 1.
+	Chunk int
+	// SerialCutoff is the trip count at or below which the loop should
+	// run inline; it is >= the invocation's trip count exactly when the
+	// serial arm was chosen.
+	SerialCutoff int
+	// Exploring reports whether this play is part of an exploration
+	// phase (as opposed to the committed configuration).
+	Exploring bool
+
+	site *site
+}
+
+const (
+	stateExploring = iota
+	stateCommitted
+)
+
+// armStats is the per-arm slice of a site profile.
+type armStats struct {
+	Plays        int64
+	CostPerIter  float64 // ns per iteration: mean over the first plays, EWMA after
+	ChunkCost    float64 // EWMA mean ns per executed chunk
+	Steals       float64 // EWMA steals per invocation (deque steals)
+	FailedSteals float64 // EWMA failed steal sweeps per invocation
+	RangeSteals  float64 // EWMA steal-half range splits per invocation
+	Imbalance    float64 // EWMA busy-time imbalance fraction of wall time
+}
+
+// observe folds one cost sample into the arm estimate: a plain running
+// mean for the first few plays (converges faster from nothing), EWMA
+// afterwards (tracks drift).
+func (st *armStats) observe(cost, alpha float64) {
+	st.Plays++
+	switch {
+	case st.Plays == 1:
+		st.CostPerIter = cost
+	case st.Plays <= 4:
+		st.CostPerIter += (cost - st.CostPerIter) / float64(st.Plays)
+	default:
+		st.CostPerIter += alpha * (cost - st.CostPerIter)
+	}
+}
+
+func ewma(old, sample, alpha float64) float64 {
+	if old == 0 {
+		return sample
+	}
+	return old + alpha*(sample-old)
+}
+
+// site is one loop site's profile and bandit state.
+type site struct {
+	key  SiteKey
+	name string // file:line, stable across builds (persistence key)
+	n    int    // representative trip count (first seen in the bucket)
+
+	arms  []Arm
+	stats []armStats
+
+	state     int
+	sched     []int // exploration schedule: arm indexes
+	pos       int
+	committed int
+
+	commitCost       float64 // cost/iter when the commitment was made
+	ewmaCost         float64 // EWMA cost/iter of committed plays
+	ewmaVar          float64 // EWMA squared deviation of committed plays
+	ewmaImb          float64 // EWMA imbalance fraction of committed plays
+	playsSinceCommit int64
+
+	decisions  int64
+	reexplores int64
+
+	rng rng.SplitMix64
+}
+
+// startExplore installs a fresh exploration schedule of plays rounds
+// over all arms, shuffled by the site's deterministic generator.
+func (s *site) startExplore(plays int) {
+	s.state = stateExploring
+	s.sched = s.sched[:0]
+	for p := 0; p < plays; p++ {
+		for a := range s.arms {
+			s.sched = append(s.sched, a)
+		}
+	}
+	// Fisher–Yates with the site's private stream: reproducible given the
+	// tuner seed, independent across sites.
+	for i := len(s.sched) - 1; i > 0; i-- {
+		j := int(s.rng.Next() % uint64(i+1))
+		s.sched[i], s.sched[j] = s.sched[j], s.sched[i]
+	}
+	s.pos = 0
+}
+
+// commit locks the site onto the cheapest played arm. Returns false if
+// no arm has a reported play yet (all reports lost to panics).
+func (s *site) commit() bool {
+	best, bestCost := -1, 0.0
+	for i := range s.stats {
+		if s.stats[i].Plays == 0 {
+			continue
+		}
+		if best < 0 || s.stats[i].CostPerIter < bestCost {
+			best, bestCost = i, s.stats[i].CostPerIter
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	s.state = stateCommitted
+	s.committed = best
+	s.commitCost = bestCost
+	s.ewmaCost = bestCost
+	s.ewmaVar = 0
+	s.ewmaImb = 0
+	s.playsSinceCommit = 0
+	return true
+}
+
+// next picks the arm for the site's next invocation.
+func (s *site) next(cfg *Config) (arm int, exploring bool) {
+	s.decisions++
+	if s.state == stateCommitted {
+		s.playsSinceCommit++
+		if cfg.ReexploreEvery > 0 && s.playsSinceCommit >= int64(cfg.ReexploreEvery) {
+			s.reexplores++
+			s.startExplore(1)
+		} else {
+			return s.committed, false
+		}
+	}
+	if s.pos >= len(s.sched) {
+		if s.commit() {
+			s.playsSinceCommit++
+			return s.committed, false
+		}
+		// Nothing reported yet: extend exploration by one more round.
+		s.startExplore(1)
+	}
+	a := s.sched[s.pos]
+	s.pos++
+	return a, true
+}
+
+// Tuner holds the per-site profiles of one pool. Safe for concurrent
+// use; Decide/Report cost one short critical section each, paid only by
+// Auto loops.
+type Tuner struct {
+	cfg Config
+
+	mu    sync.Mutex
+	sites map[SiteKey]*site
+	warm  map[string]*SiteSnapshot // loaded profiles keyed by name#bucket
+}
+
+// NewTuner creates a tuner. cfg.Arms is required.
+func NewTuner(cfg Config) *Tuner {
+	if cfg.Arms == nil {
+		panic("adaptive: Config.Arms is required")
+	}
+	cfg.fill()
+	return &Tuner{cfg: cfg, sites: map[SiteKey]*site{}}
+}
+
+// siteName resolves a call-site PC to "file:line" with the file reduced
+// to its last two path components — the stable identity persistence
+// matches on.
+func siteName(pc uintptr) string {
+	if pc == 0 {
+		return "unknown:0"
+	}
+	frames := runtime.CallersFrames([]uintptr{pc})
+	f, _ := frames.Next()
+	if f.File == "" {
+		return fmt.Sprintf("pc:%#x", pc)
+	}
+	file := f.File
+	slashes := 0
+	for i := len(file) - 1; i >= 0; i-- {
+		if file[i] == '/' {
+			slashes++
+			if slashes == 2 {
+				file = file[i+1:]
+				break
+			}
+		}
+	}
+	return fmt.Sprintf("%s:%d", file, f.Line)
+}
+
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// lookup finds or creates the profile for (pc, bucket of n).
+func (t *Tuner) lookup(pc uintptr, n int) *site {
+	key := SiteKey{PC: pc, Bucket: bucketOf(n)}
+	if s, ok := t.sites[key]; ok {
+		return s
+	}
+	name := siteName(pc)
+	s := &site{
+		key:       key,
+		name:      name,
+		n:         n,
+		arms:      t.cfg.Arms(n, t.cfg.Workers),
+		committed: -1,
+		rng:       *rng.NewSplitMix64(t.cfg.Seed ^ fnv64(name) ^ uint64(key.Bucket)<<56),
+	}
+	s.stats = make([]armStats, len(s.arms))
+	if warm := t.warm[warmKey(name, key.Bucket)]; warm != nil {
+		s.adoptSnapshot(warm)
+	}
+	if s.state != stateCommitted {
+		s.startExplore(t.cfg.ExplorePlays)
+	}
+	t.sites[key] = s
+	return s
+}
+
+// Decide picks the configuration for one invocation of the loop at pc
+// with n iterations, whose default chunk size would be baseChunk.
+func (t *Tuner) Decide(pc uintptr, n, baseChunk int) Decision {
+	t.mu.Lock()
+	s := t.lookup(pc, n)
+	idx, exploring := s.next(&t.cfg)
+	t.mu.Unlock()
+
+	arm := s.arms[idx]
+	d := Decision{Arm: arm, ArmIndex: idx, Exploring: exploring, site: s}
+	if baseChunk < 1 {
+		baseChunk = 1
+	}
+	d.Chunk = baseChunk
+	if arm.ChunkScale > 0 && arm.ChunkScale != 1 {
+		d.Chunk = int(float64(baseChunk)*arm.ChunkScale + 0.5)
+		if d.Chunk < 1 {
+			d.Chunk = 1
+		}
+	}
+	if arm.Serial {
+		d.SerialCutoff = n
+	}
+	return d
+}
+
+// Report feeds an invocation's outcome back into the profile the
+// Decision came from.
+func (t *Tuner) Report(d Decision, o Observation) {
+	s := d.site
+	if s == nil || o.Iterations <= 0 || o.Elapsed <= 0 {
+		return
+	}
+	cost := float64(o.Elapsed.Nanoseconds()) / float64(o.Iterations)
+	imb := 0.0
+	if o.Elapsed > 0 && o.Imbalance > 0 {
+		imb = float64(o.Imbalance) / float64(o.Elapsed)
+	}
+	alpha := t.cfg.Alpha
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := &s.stats[d.ArmIndex]
+	st.observe(cost, alpha)
+	if o.Chunks > 0 {
+		st.ChunkCost = ewma(st.ChunkCost, float64(o.Elapsed.Nanoseconds())/float64(o.Chunks), alpha)
+	}
+	st.Steals = ewma(st.Steals, float64(o.Steals), alpha)
+	st.FailedSteals = ewma(st.FailedSteals, float64(o.FailedSteals), alpha)
+	st.RangeSteals = ewma(st.RangeSteals, float64(o.RangeSteals), alpha)
+	st.Imbalance = ewma(st.Imbalance, imb, alpha)
+
+	if s.state != stateCommitted || d.ArmIndex != s.committed {
+		return
+	}
+	dev := cost - s.ewmaCost
+	s.ewmaCost = ewma(s.ewmaCost, cost, alpha)
+	s.ewmaVar = ewma(s.ewmaVar, dev*dev, alpha)
+	s.ewmaImb = ewma(s.ewmaImb, imb, alpha)
+	if s.playsSinceCommit < 4 {
+		return // let the EWMAs settle before judging drift
+	}
+	if s.ewmaCost*(1+t.cfg.DriftFactor) < s.commitCost {
+		// The committed arm got cheaper (caches warmed, the machine
+		// quieted down): re-anchor the reference cost rather than
+		// re-exploring — an improvement is no evidence the choice was
+		// wrong, and the periodic refresh still checks whether some other
+		// arm improved even more.
+		s.commitCost = s.ewmaCost
+	}
+	drifted := s.ewmaCost > s.commitCost*(1+t.cfg.DriftFactor)
+	imbalanced := d.Arm.NoBalance && !d.Arm.Serial && s.ewmaImb > t.cfg.ImbalanceLimit
+	if drifted || imbalanced {
+		s.reexplores++
+		s.startExplore(1)
+	}
+}
+
+// Sites returns a snapshot of every profile, sorted by site name then
+// bucket — the observability surface the harness and the persistence
+// layer share.
+func (t *Tuner) Sites() []SiteSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SiteSnapshot, 0, len(t.sites))
+	for _, s := range t.sites {
+		out = append(out, s.snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return out[i].Bucket < out[j].Bucket
+	})
+	return out
+}

@@ -1,0 +1,249 @@
+package adaptive
+
+import (
+	"testing"
+	"time"
+)
+
+// testArms is a fixed three-arm candidate set: arm 1 is made the
+// cheapest by the synthetic cost model in play().
+func testArms(n, workers int) []Arm {
+	return []Arm{
+		{Strategy: 0, ChunkScale: 1},
+		{Strategy: 1, ChunkScale: 1},
+		{Strategy: 2, ChunkScale: 1, NoBalance: true},
+	}
+}
+
+func newTestTuner(seed uint64, opts ...func(*Config)) *Tuner {
+	cfg := Config{Seed: seed, Workers: 4, Arms: testArms, ReexploreEvery: -1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return NewTuner(cfg)
+}
+
+const testPC = uintptr(0xbeef00)
+
+// play runs one Decide/Report round with cost-per-iteration costs[arm].
+func play(t *Tuner, n int, costs []float64) Decision {
+	d := t.Decide(testPC, n, 64)
+	t.Report(d, Observation{
+		Elapsed:    time.Duration(costs[d.ArmIndex] * float64(n)),
+		Iterations: n,
+		Chunks:     8,
+	})
+	return d
+}
+
+func TestExploreThenCommit(t *testing.T) {
+	tu := newTestTuner(1)
+	costs := []float64{100, 40, 200}
+	// 3 arms x 2 explore plays.
+	seen := map[int]int{}
+	for i := 0; i < 6; i++ {
+		d := play(tu, 1000, costs)
+		if !d.Exploring {
+			t.Fatalf("play %d: expected exploration, got committed arm %d", i, d.ArmIndex)
+		}
+		seen[d.ArmIndex]++
+	}
+	for a := 0; a < 3; a++ {
+		if seen[a] != 2 {
+			t.Fatalf("arm %d played %d times during exploration, want 2 (%v)", a, seen[a], seen)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		d := play(tu, 1000, costs)
+		if d.Exploring || d.ArmIndex != 1 {
+			t.Fatalf("after exploration: got arm %d (exploring=%v), want committed arm 1",
+				d.ArmIndex, d.Exploring)
+		}
+	}
+	sites := tu.Sites()
+	if len(sites) != 1 || sites[0].State != "committed" || sites[0].Committed != 1 {
+		t.Fatalf("site snapshot: %+v", sites)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	costs := []float64{100, 40, 200}
+	run := func() []int {
+		tu := newTestTuner(7)
+		var order []int
+		for i := 0; i < 20; i++ {
+			order = append(order, play(tu, 1000, costs).ArmIndex)
+		}
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical runs: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestBucketsSeparateSites(t *testing.T) {
+	tu := newTestTuner(1)
+	tu.Decide(testPC, 100, 4)
+	tu.Decide(testPC, 100000, 64)
+	if got := len(tu.Sites()); got != 2 {
+		t.Fatalf("trip counts 100 and 100000 share a profile: %d sites", got)
+	}
+}
+
+func TestDriftTriggersReexplore(t *testing.T) {
+	tu := newTestTuner(3)
+	costs := []float64{100, 40, 200}
+	for i := 0; i < 12; i++ {
+		play(tu, 1000, costs)
+	}
+	if s := tu.Sites()[0]; s.State != "committed" || s.Committed != 1 {
+		t.Fatalf("precondition: not committed to arm 1: %+v", s)
+	}
+	// The workload shifts: the committed arm becomes 10x more expensive,
+	// arm 0 becomes the cheapest.
+	shifted := []float64{60, 400, 200}
+	for i := 0; i < 60; i++ {
+		play(tu, 1000, shifted)
+	}
+	s := tu.Sites()[0]
+	if s.Reexplores == 0 {
+		t.Fatal("10x cost drift never triggered re-exploration")
+	}
+	if s.State != "committed" || s.Committed != 0 {
+		t.Fatalf("after drift: state=%s committed=%d, want committed arm 0", s.State, s.Committed)
+	}
+}
+
+func TestImprovementReanchorsWithoutReexplore(t *testing.T) {
+	tu := newTestTuner(4)
+	costs := []float64{100, 40, 200}
+	for i := 0; i < 12; i++ {
+		play(tu, 1000, costs)
+	}
+	// The committed arm gets 5x cheaper (caches warming): the reference
+	// cost must follow it down without abandoning the commitment.
+	better := []float64{100, 8, 200}
+	for i := 0; i < 40; i++ {
+		play(tu, 1000, better)
+	}
+	s := tu.Sites()[0]
+	if s.Reexplores != 0 {
+		t.Fatalf("improvement of the committed arm triggered %d re-explorations", s.Reexplores)
+	}
+	if s.State != "committed" || s.Committed != 1 {
+		t.Fatalf("state=%s committed=%d after improvement, want committed arm 1", s.State, s.Committed)
+	}
+}
+
+func TestImbalanceEvictsNoBalanceArm(t *testing.T) {
+	tu := newTestTuner(5)
+	// Arm 2 (NoBalance) is the cheapest, so the site commits to it.
+	costs := []float64{100, 90, 40}
+	for i := 0; i < 12; i++ {
+		play(tu, 1000, costs)
+	}
+	if s := tu.Sites()[0]; s.Committed != 2 {
+		t.Fatalf("precondition: committed to %d, want the NoBalance arm 2", s.Committed)
+	}
+	// Same cost, but the invocation turns heavily imbalanced.
+	for i := 0; i < 40; i++ {
+		d := tu.Decide(testPC, 1000, 64)
+		el := time.Duration(costs[d.ArmIndex] * 1000)
+		tu.Report(d, Observation{
+			Elapsed: el, Iterations: 1000, Chunks: 8,
+			Imbalance: el * 9 / 10,
+		})
+	}
+	if s := tu.Sites()[0]; s.Reexplores == 0 {
+		t.Fatal("sustained imbalance on a NoBalance arm never triggered re-exploration")
+	}
+}
+
+func TestPeriodicReexplore(t *testing.T) {
+	tu := newTestTuner(9, func(c *Config) { c.ReexploreEvery = 16 })
+	costs := []float64{100, 40, 200}
+	explored := 0
+	for i := 0; i < 80; i++ {
+		if play(tu, 1000, costs).Exploring {
+			explored++
+		}
+	}
+	// Initial exploration is 6 plays; periodic refreshes add more.
+	if explored <= 6 {
+		t.Fatalf("no periodic refresh happened: %d exploring plays", explored)
+	}
+	if s := tu.Sites()[0]; s.State != "committed" || s.Committed != 1 {
+		t.Fatalf("refreshes should recommit to arm 1: %+v", s)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	tu := newTestTuner(1)
+	costs := []float64{100, 40, 200}
+	for i := 0; i < 12; i++ {
+		play(tu, 1000, costs)
+	}
+	data, err := tu.SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := newTestTuner(2)
+	if err := fresh.LoadJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	d := fresh.Decide(testPC, 1000, 64)
+	if d.Exploring || d.ArmIndex != 1 {
+		t.Fatalf("warm-started site should skip exploration: arm %d exploring=%v",
+			d.ArmIndex, d.Exploring)
+	}
+
+	// A changed arm set degrades to exploration instead of misapplying
+	// the committed index.
+	other := NewTuner(Config{Seed: 1, Workers: 4, Arms: func(n, w int) []Arm {
+		return []Arm{{Strategy: 9, ChunkScale: 1}}
+	}})
+	if err := other.LoadJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if d := other.Decide(testPC, 1000, 64); !d.Exploring {
+		t.Fatal("committed state transferred onto a different arm set")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	tu := newTestTuner(1)
+	if err := tu.LoadJSON([]byte("{nope")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if err := tu.LoadJSON([]byte(`{"version": 99, "sites": []}`)); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+}
+
+func TestDecisionChunkResolution(t *testing.T) {
+	tu := NewTuner(Config{Seed: 1, Workers: 4, Arms: func(n, w int) []Arm {
+		return []Arm{{Strategy: 0, ChunkScale: 0.25}, {Strategy: 0, ChunkScale: 4}, {Serial: true, ChunkScale: 1}}
+	}})
+	for i := 0; i < 3; i++ {
+		d := tu.Decide(testPC, 500, 100)
+		switch {
+		case d.Arm.Serial:
+			if d.SerialCutoff < 500 {
+				t.Fatalf("serial arm: SerialCutoff %d < trip count", d.SerialCutoff)
+			}
+		case d.Arm.ChunkScale == 0.25:
+			if d.Chunk != 25 {
+				t.Fatalf("scale 0.25 of base 100: chunk %d", d.Chunk)
+			}
+		case d.Arm.ChunkScale == 4:
+			if d.Chunk != 400 {
+				t.Fatalf("scale 4 of base 100: chunk %d", d.Chunk)
+			}
+		}
+		tu.Report(tu.Decide(testPC, 500, 100), Observation{})
+	}
+}

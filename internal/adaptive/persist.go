@@ -1,0 +1,164 @@
+package adaptive
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ArmSnapshot is one arm's persisted statistics.
+type ArmSnapshot struct {
+	Arm
+	Plays        int64   `json:"plays"`
+	CostPerIter  float64 `json:"cost_per_iter_ns"`
+	ChunkCost    float64 `json:"chunk_cost_ns"`
+	Steals       float64 `json:"steals"`
+	FailedSteals float64 `json:"failed_steals"`
+	RangeSteals  float64 `json:"range_steals"`
+	Imbalance    float64 `json:"imbalance_frac"`
+}
+
+// SiteSnapshot is one site profile in exportable form. Site is the
+// call site's file:line (last two path components), the identity
+// snapshots are matched on when loaded into a fresh tuner.
+type SiteSnapshot struct {
+	Site       string        `json:"site"`
+	Bucket     uint8         `json:"bucket"`
+	TripCount  int           `json:"trip_count"`
+	State      string        `json:"state"` // "exploring" or "committed"
+	Committed  int           `json:"committed_arm"`
+	CommitCost float64       `json:"commit_cost_ns"`
+	EWMACost   float64       `json:"ewma_cost_ns"`
+	CostVar    float64       `json:"cost_variance"`
+	Imbalance  float64       `json:"imbalance_frac"`
+	Decisions  int64         `json:"decisions"`
+	Reexplores int64         `json:"reexplores"`
+	Arms       []ArmSnapshot `json:"arms"`
+}
+
+// snapshotFile is the JSON layout of a persisted tuner.
+type snapshotFile struct {
+	Version int            `json:"version"`
+	Sites   []SiteSnapshot `json:"sites"`
+}
+
+const snapshotVersion = 1
+
+func warmKey(name string, bucket uint8) string {
+	return fmt.Sprintf("%s#%d", name, bucket)
+}
+
+// snapshot exports a site's profile. Caller holds the tuner lock.
+func (s *site) snapshot() SiteSnapshot {
+	state := "exploring"
+	if s.state == stateCommitted {
+		state = "committed"
+	}
+	snap := SiteSnapshot{
+		Site:       s.name,
+		Bucket:     s.key.Bucket,
+		TripCount:  s.n,
+		State:      state,
+		Committed:  s.committed,
+		CommitCost: s.commitCost,
+		EWMACost:   s.ewmaCost,
+		CostVar:    s.ewmaVar,
+		Imbalance:  s.ewmaImb,
+		Decisions:  s.decisions,
+		Reexplores: s.reexplores,
+		Arms:       make([]ArmSnapshot, len(s.arms)),
+	}
+	if s.state != stateCommitted {
+		snap.Committed = -1
+	}
+	for i := range s.arms {
+		st := s.stats[i]
+		snap.Arms[i] = ArmSnapshot{
+			Arm:          s.arms[i],
+			Plays:        st.Plays,
+			CostPerIter:  st.CostPerIter,
+			ChunkCost:    st.ChunkCost,
+			Steals:       st.Steals,
+			FailedSteals: st.FailedSteals,
+			RangeSteals:  st.RangeSteals,
+			Imbalance:    st.Imbalance,
+		}
+	}
+	return snap
+}
+
+// adoptSnapshot warm-starts a freshly created site from a loaded
+// profile. Statistics transfer arm-by-arm (matched by the Arm value, so
+// an arm-set change between runs degrades gracefully); the committed
+// state transfers only if the committed arm still exists in the current
+// arm set.
+func (s *site) adoptSnapshot(snap *SiteSnapshot) {
+	for i := range s.arms {
+		for j := range snap.Arms {
+			if !s.arms[i].equal(snap.Arms[j].Arm) {
+				continue
+			}
+			as := snap.Arms[j]
+			s.stats[i] = armStats{
+				Plays:        as.Plays,
+				CostPerIter:  as.CostPerIter,
+				ChunkCost:    as.ChunkCost,
+				Steals:       as.Steals,
+				FailedSteals: as.FailedSteals,
+				RangeSteals:  as.RangeSteals,
+				Imbalance:    as.Imbalance,
+			}
+			break
+		}
+	}
+	if snap.State != "committed" || snap.Committed < 0 || snap.Committed >= len(snap.Arms) {
+		return
+	}
+	want := snap.Arms[snap.Committed].Arm
+	for i := range s.arms {
+		if s.arms[i].equal(want) && s.stats[i].Plays > 0 {
+			s.state = stateCommitted
+			s.committed = i
+			s.commitCost = snap.CommitCost
+			if s.commitCost <= 0 {
+				s.commitCost = s.stats[i].CostPerIter
+			}
+			s.ewmaCost = snap.EWMACost
+			if s.ewmaCost <= 0 {
+				s.ewmaCost = s.commitCost
+			}
+			s.ewmaVar = snap.CostVar
+			s.ewmaImb = snap.Imbalance
+			return
+		}
+	}
+}
+
+// SnapshotJSON serializes every site profile.
+func (t *Tuner) SnapshotJSON() ([]byte, error) {
+	return json.MarshalIndent(snapshotFile{Version: snapshotVersion, Sites: t.Sites()}, "", "  ")
+}
+
+// LoadJSON registers persisted profiles as warm-start material: a site
+// created after the load that matches a loaded profile's file:line and
+// trip-count bucket adopts its statistics (and committed choice, if its
+// arm still exists) instead of exploring from scratch. Sites already
+// live in the tuner are not rewritten.
+func (t *Tuner) LoadJSON(data []byte) error {
+	var f snapshotFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("adaptive: loading snapshot: %w", err)
+	}
+	if f.Version != snapshotVersion {
+		return fmt.Errorf("adaptive: snapshot version %d (want %d)", f.Version, snapshotVersion)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.warm == nil {
+		t.warm = map[string]*SiteSnapshot{}
+	}
+	for i := range f.Sites {
+		snap := f.Sites[i]
+		t.warm[warmKey(snap.Site, snap.Bucket)] = &snap
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package loop
+
+import (
+	"sync/atomic"
+	"time"
+
+	"hybridloop/internal/adaptive"
+	"hybridloop/internal/sched"
+	"hybridloop/internal/trace"
+)
+
+// AutoArms builds the candidate configurations the tuner explores for an
+// Auto loop of n iterations on workers workers — the Config.Arms
+// callback of the pool tuner. The set covers the strategy choice the
+// paper studies ({Hybrid, DynamicStealing, Static, Guided}; the shared-
+// counter DynamicSharing is dominated by Guided on every workload in the
+// ablation, so it is left out to keep exploration short), the serial
+// shortcut for small trip counts, and coarser/finer chunking around the
+// paper's default where the default chunk leaves room to scale.
+func AutoArms(n, workers int) []adaptive.Arm {
+	arms := []adaptive.Arm{
+		{Strategy: int(Hybrid), ChunkScale: 1},
+		{Strategy: int(DynamicStealing), ChunkScale: 1},
+		{Strategy: int(Static), ChunkScale: 1, NoBalance: true},
+		{Strategy: int(Guided), ChunkScale: 1},
+	}
+	if n <= 1<<14 {
+		// Small enough that running inline can beat any parallel schedule
+		// once per-loop overhead is counted.
+		arms = append(arms, adaptive.Arm{ChunkScale: 1, Serial: true, NoBalance: true})
+	}
+	if DefaultChunk(n, workers) >= 8 {
+		arms = append(arms,
+			adaptive.Arm{Strategy: int(Hybrid), ChunkScale: 0.25},
+			adaptive.Arm{Strategy: int(Hybrid), ChunkScale: 4},
+			adaptive.Arm{Strategy: int(DynamicStealing), ChunkScale: 0.25},
+			adaptive.Arm{Strategy: int(DynamicStealing), ChunkScale: 4},
+		)
+	}
+	return arms
+}
+
+// paddedNanos is an atomic nanosecond counter on its own cache line, so
+// concurrent workers timing chunks of one invocation do not false-share.
+type paddedNanos struct {
+	nanos atomic.Int64
+	_     [56]byte
+}
+
+// invObs collects one Auto invocation's feedback: executed chunks and
+// per-worker busy time, from which the finish closure derives the
+// imbalance signal (max − min busy time over participating workers).
+type invObs struct {
+	start  time.Time
+	chunks atomic.Int64
+	busy   []paddedNanos // indexed by worker ID
+}
+
+func (o *invObs) runTimed(w *sched.Worker, body BodyW, lo, hi int) {
+	t0 := time.Now()
+	body(w, lo, hi)
+	o.busy[w.ID()].nanos.Add(time.Since(t0).Nanoseconds())
+	o.chunks.Add(1)
+}
+
+// beginAuto consults the tuner and rewrites opts in place with the
+// decided concrete strategy, chunk, and serial cutoff. The returned
+// closure (deferred by WorkerForW, so it runs even when the body panics)
+// reports the invocation's outcome. Without a tuner — a nested free loop
+// on a bare sched.Pool — Auto degrades to Hybrid.
+func beginAuto(w *sched.Worker, begin, end int, opts *Options) func() {
+	if opts.Tuner == nil {
+		opts.Strategy = Hybrid
+		return nil
+	}
+	n := end - begin
+	pool := w.Pool()
+	tuner := opts.Tuner
+	d := tuner.Decide(opts.Site, n, opts.chunk(n, pool.P()))
+	opts.Strategy = Strategy(d.Arm.Strategy)
+	opts.Chunk = d.Chunk
+	if d.SerialCutoff > opts.SerialCutoff {
+		opts.SerialCutoff = d.SerialCutoff
+	}
+	if opts.Trace != nil {
+		strat := int64(d.Arm.Strategy)
+		if d.Arm.Serial {
+			strat = -1
+		}
+		opts.Trace.Add(w.ID(), trace.TuneDecision, strat, int64(d.Chunk))
+	}
+	o := &invObs{start: time.Now(), busy: make([]paddedNanos, pool.P())}
+	opts.obs = o
+	before := pool.Stats()
+	return func() {
+		after := pool.Stats()
+		elapsed := time.Since(o.start)
+		// Imbalance over participating workers only: a serial or
+		// single-worker run has nothing to balance, so it reports zero
+		// rather than penalizing itself against idle workers.
+		var minBusy, maxBusy int64
+		participants := 0
+		for i := range o.busy {
+			b := o.busy[i].nanos.Load()
+			if b <= 0 {
+				continue
+			}
+			participants++
+			if participants == 1 || b < minBusy {
+				minBusy = b
+			}
+			if b > maxBusy {
+				maxBusy = b
+			}
+		}
+		var imb time.Duration
+		if participants > 1 {
+			imb = time.Duration(maxBusy - minBusy)
+		}
+		tuner.Report(d, adaptive.Observation{
+			Elapsed:      elapsed,
+			Iterations:   n,
+			Chunks:       o.chunks.Load(),
+			Steals:       after.Steals - before.Steals,
+			FailedSteals: after.FailedSteals - before.FailedSteals,
+			RangeSteals:  after.RangeSteals - before.RangeSteals,
+			LoopEntries:  after.LoopEntries - before.LoopEntries,
+			Imbalance:    imb,
+		})
+	}
+}

@@ -1,0 +1,172 @@
+package loop
+
+import (
+	"bytes"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"hybridloop/internal/adaptive"
+	"hybridloop/internal/sched"
+	"hybridloop/internal/trace"
+)
+
+func autoTuner(seed uint64, workers int) *adaptive.Tuner {
+	return adaptive.NewTuner(adaptive.Config{
+		Seed:    seed,
+		Workers: workers,
+		Arms:    AutoArms,
+	})
+}
+
+func sitePC() uintptr {
+	var pcs [1]uintptr
+	runtime.Callers(1, pcs[:])
+	return pcs[0]
+}
+
+func TestAutoExecutesEveryIteration(t *testing.T) {
+	pool := sched.NewPool(4, 1)
+	defer pool.Close()
+	tu := autoTuner(1, 4)
+	pc := sitePC()
+
+	const n = 4096
+	// Enough invocations to run through exploration and well into the
+	// committed regime; every invocation must still execute each
+	// iteration exactly once, whatever arm the tuner picked.
+	for inv := 0; inv < 40; inv++ {
+		counts := make([]int32, n)
+		For(pool, 0, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		}, Options{Strategy: Auto, Tuner: tu, Site: pc})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("invocation %d: iteration %d executed %d times", inv, i, c)
+			}
+		}
+	}
+	sites := tu.Sites()
+	if len(sites) != 1 {
+		t.Fatalf("one call site produced %d profiles", len(sites))
+	}
+	if sites[0].Decisions != 40 {
+		t.Fatalf("40 invocations, %d decisions recorded", sites[0].Decisions)
+	}
+	if sites[0].State != "committed" {
+		t.Fatalf("site still %s after 40 invocations of <=9 arms x 2 plays", sites[0].State)
+	}
+}
+
+func TestAutoWithoutTunerFallsBackToHybrid(t *testing.T) {
+	pool := sched.NewPool(2, 1)
+	defer pool.Close()
+	var ran atomic.Int64
+	For(pool, 0, 1000, func(lo, hi int) {
+		ran.Add(int64(hi - lo))
+	}, Options{Strategy: Auto})
+	if ran.Load() != 1000 {
+		t.Fatalf("ran %d of 1000 iterations", ran.Load())
+	}
+}
+
+func TestAutoEmitsTuneDecision(t *testing.T) {
+	pool := sched.NewPool(2, 1)
+	defer pool.Close()
+	tu := autoTuner(3, 2)
+	tl := trace.New(0)
+	pc := sitePC()
+	for i := 0; i < 3; i++ {
+		For(pool, 0, 512, func(lo, hi int) {}, Options{
+			Strategy: Auto, Tuner: tu, Site: pc, Trace: tl,
+		})
+	}
+	tunes := 0
+	sawStart := false
+	for _, ev := range tl.Events() {
+		switch ev.Kind {
+		case trace.LoopStart:
+			sawStart = true
+		case trace.TuneDecision:
+			if !sawStart {
+				t.Fatal("TuneDecision before any LoopStart")
+			}
+			if ev.B < 1 && ev.A != -1 {
+				t.Fatalf("tune decision with chunk %d", ev.B)
+			}
+			tunes++
+		}
+	}
+	if tunes != 3 {
+		t.Fatalf("3 Auto invocations emitted %d TuneDecision events", tunes)
+	}
+	var buf bytes.Buffer
+	tl.Render(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("tunes")) {
+		t.Fatalf("Render lacks the tunes column:\n%s", buf.String())
+	}
+}
+
+func TestAutoDeterministicDecisionSequence(t *testing.T) {
+	// Same seed, same call sequence -> the tuner must hand out the same
+	// arm sequence (decision determinism; observations differ run to run
+	// but the exploration schedule may not).
+	run := func() []string {
+		pool := sched.NewPool(4, 42)
+		defer pool.Close()
+		tu := autoTuner(42, 4)
+		pc := sitePC()
+		for i := 0; i < 18; i++ {
+			For(pool, 0, 2048, func(lo, hi int) {}, Options{Strategy: Auto, Tuner: tu, Site: pc})
+		}
+		var names []string
+		for _, s := range tu.Sites() {
+			for _, a := range s.Arms {
+				if a.Plays > 0 {
+					names = append(names, Strategy(a.Strategy).String())
+				}
+			}
+		}
+		return names
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("played-arm sets differ in size: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("played arms differ: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestAutoArmsShape(t *testing.T) {
+	big := AutoArms(1<<20, 8)
+	for _, a := range big {
+		if a.Serial {
+			t.Fatal("serial arm offered for a 1M-iteration loop")
+		}
+	}
+	if len(big) < 5 {
+		t.Fatalf("large-n arm set too small: %d", len(big))
+	}
+	small := AutoArms(100, 8)
+	hasSerial := false
+	for _, a := range small {
+		if a.Serial {
+			hasSerial = true
+		}
+	}
+	if !hasSerial {
+		t.Fatal("no serial arm for a 100-iteration loop")
+	}
+	for _, arms := range [][]adaptive.Arm{big, small} {
+		for _, a := range arms {
+			if !a.Serial && (a.Strategy < int(Static) || a.Strategy > int(Hybrid)) {
+				t.Fatalf("arm with out-of-range strategy %d", a.Strategy)
+			}
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"hybridloop/internal/adaptive"
 	"hybridloop/internal/core"
 	"hybridloop/internal/sched"
 	"hybridloop/internal/trace"
@@ -49,6 +50,12 @@ const (
 	// Hybrid is the paper's hybrid scheme: static partitioning, the XOR
 	// claiming heuristic, and work stealing as fallback.
 	Hybrid
+	// Auto defers the choice to the per-pool adaptive tuner
+	// (internal/adaptive): each call site is profiled online and the
+	// tuner picks a concrete strategy, chunk size, and serial cutoff
+	// before the loop runs. Requires Options.Tuner; without one, Auto
+	// degrades to Hybrid with the default chunk.
+	Auto
 )
 
 // String returns the name used in the paper's figures.
@@ -64,6 +71,8 @@ func (s Strategy) String() string {
 		return "omp_guided"
 	case Hybrid:
 		return "hybrid"
+	case Auto:
+		return "auto"
 	}
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
@@ -113,6 +122,19 @@ type Options struct {
 	// Trace, if non-nil, records scheduling events (loop boundaries,
 	// claims, chunk executions) for this loop.
 	Trace *trace.Log
+	// Tuner drives the Auto strategy: the pool's adaptive autotuner,
+	// consulted per invocation for the concrete configuration and fed the
+	// invocation's outcome. Ignored unless Strategy == Auto.
+	Tuner *adaptive.Tuner
+	// Site identifies the loop's call site (caller PC) for the tuner.
+	// Zero means "unknown site": all unattributed Auto loops of the same
+	// trip-count bucket share one profile.
+	Site uintptr
+
+	// obs, when non-nil, collects this invocation's per-worker busy time
+	// and chunk count for the tuner. Internal: set by the Auto resolution
+	// in WorkerForW only.
+	obs *invObs
 }
 
 // split partitions [begin, end) into n ranges honoring the weight hint.
@@ -176,6 +198,14 @@ func WorkerForW(w *sched.Worker, begin, end int, body BodyW, opts Options) {
 		opts.Trace.Add(w.ID(), trace.LoopStart, int64(begin), int64(end))
 		defer opts.Trace.Add(w.ID(), trace.LoopEnd, int64(begin), int64(end))
 	}
+	if opts.Strategy == Auto {
+		// Resolve Auto into a concrete strategy/chunk/cutoff before
+		// dispatch; finish (run before the deferred LoopEnd) reports the
+		// invocation's outcome back to the tuner.
+		if finish := beginAuto(w, begin, end, &opts); finish != nil {
+			defer finish()
+		}
+	}
 	if end-begin <= opts.SerialCutoff {
 		runChunk(w, body, &opts, begin, end)
 		return
@@ -197,13 +227,19 @@ func WorkerForW(w *sched.Worker, begin, end int, body BodyW, opts Options) {
 }
 
 // runChunk executes one contiguous chunk with optional recording and
-// tracing.
+// tracing. For Auto invocations (opts.obs non-nil) the chunk is timed
+// into the executing worker's busy slot — two clock reads per chunk,
+// paid only by tuned loops.
 func runChunk(w *sched.Worker, body BodyW, opts *Options, lo, hi int) {
 	if opts.Recorder != nil {
 		opts.Recorder.Record(w.ID(), lo, hi)
 	}
 	if opts.Trace != nil {
 		opts.Trace.Add(w.ID(), trace.Chunk, int64(lo), int64(hi))
+	}
+	if o := opts.obs; o != nil {
+		o.runTimed(w, body, lo, hi)
+		return
 	}
 	body(w, lo, hi)
 }

@@ -144,6 +144,17 @@ type Stats struct {
 	// in Steals; each one corresponds to exactly one trace.RangeSplit
 	// event when the loop is traced.
 	RangeSteals int64
+	// BusyNanos / IdleNanos are the pool-wide sums of the per-worker
+	// busy/parked times below. Zero unless SetTimeAccounting(true).
+	BusyNanos int64
+	IdleNanos int64
+	// WorkerBusyNanos[i] is the time worker i spent executing work (bursts
+	// of consecutive successful task acquisitions; the clock is read at
+	// busy↔idle transitions, not per task, so the counters cost nothing on
+	// the per-task hot path). WorkerIdleNanos[i] is the time worker i
+	// spent parked. Both all-zero unless SetTimeAccounting(true).
+	WorkerBusyNanos []int64
+	WorkerIdleNanos []int64
 }
 
 // Pool is a work-stealing scheduler with a fixed set of workers.
@@ -157,6 +168,7 @@ type Pool struct {
 	nparked    atomic.Int64  // workers announced as parking or parked
 	wakeCursor atomic.Uint32 // round-robin start for targeted wakeups
 	demandFlag atomic.Uint32 // set by failed steal sweeps, cleared by MeetDemand
+	timeAcct   atomic.Bool   // busy/idle time accounting enabled
 	quit       chan struct{}
 	wg         sync.WaitGroup
 
@@ -233,15 +245,34 @@ func (p *Pool) Close() {
 	p.wg.Wait()
 }
 
+// SetTimeAccounting enables (or disables) per-worker busy/idle time
+// accounting. Off by default: with it off the scheduler reads no clocks
+// at all; with it on, the monotonic clock is read once per busy↔idle
+// transition — a burst of consecutive tasks costs two reads total, so
+// even fine-grained loops see no per-task overhead. Higher layers that
+// want the imbalance signal (the adaptive autotuner, Stats consumers)
+// turn it on at pool construction.
+func (p *Pool) SetTimeAccounting(on bool) { p.timeAcct.Store(on) }
+
+// TimeAccounting reports whether busy/idle time accounting is enabled.
+func (p *Pool) TimeAccounting() bool { return p.timeAcct.Load() }
+
 // Stats returns aggregate scheduler counters.
 func (p *Pool) Stats() Stats {
-	var s Stats
-	for _, w := range p.workers {
+	s := Stats{
+		WorkerBusyNanos: make([]int64, len(p.workers)),
+		WorkerIdleNanos: make([]int64, len(p.workers)),
+	}
+	for i, w := range p.workers {
 		s.Tasks += w.tasks.Load()
 		s.Steals += w.steals.Load()
 		s.FailedSteals += w.failedSteals.Load()
 		s.LoopEntries += w.loopEntries.Load()
 		s.RangeSteals += w.rangeSteals.Load()
+		s.WorkerBusyNanos[i] = w.busyNanos.Load()
+		s.WorkerIdleNanos[i] = w.idleNanos.Load()
+		s.BusyNanos += s.WorkerBusyNanos[i]
+		s.IdleNanos += s.WorkerIdleNanos[i]
 	}
 	return s
 }
@@ -254,6 +285,8 @@ func (p *Pool) ResetStats() {
 		w.failedSteals.Store(0)
 		w.loopEntries.Store(0)
 		w.rangeSteals.Store(0)
+		w.busyNanos.Store(0)
+		w.idleNanos.Store(0)
 	}
 }
 
@@ -489,6 +522,8 @@ type Worker struct {
 	failedSteals atomic.Int64
 	loopEntries  atomic.Int64
 	rangeSteals  atomic.Int64
+	busyNanos    atomic.Int64 // time in busy bursts (timeAcct only)
+	idleNanos    atomic.Int64 // time parked (timeAcct only)
 }
 
 // NoteRangeSteal records one successful steal-half of a published range
@@ -770,29 +805,53 @@ func (w *Worker) trySteal() (spawned, bool) {
 }
 
 // mainLoop is the top-level scheduling loop: run work while it exists,
-// park when the system is quiescent, exit on pool close.
+// park when the system is quiescent, exit on pool close. With time
+// accounting on, the clock is read only at burst boundaries: once when a
+// busy burst begins, once when the worker gives up and parks — never per
+// task.
 func (w *Worker) mainLoop() {
 	defer w.pool.wg.Done()
 	for {
-		if w.runOne() {
-			continue
+		acct := w.pool.timeAcct.Load()
+		var burstStart time.Time
+		if acct {
+			burstStart = time.Now()
 		}
-		// Announce intent to park, then sweep once more: any task made
-		// visible before the announce is found by this sweep, and any task
-		// published after it observes the announce and delivers (or
-		// credits) a wake token.
-		w.parked.Store(true)
-		w.pool.nparked.Add(1)
-		if w.runOne() {
-			w.unpark()
-			continue
+		worked := false
+		for {
+			if w.runOne() {
+				worked = true
+				continue
+			}
+			// Announce intent to park, then sweep once more: any task made
+			// visible before the announce is found by this sweep, and any
+			// task published after it observes the announce and delivers
+			// (or credits) a wake token.
+			w.parked.Store(true)
+			w.pool.nparked.Add(1)
+			if w.runOne() {
+				w.unpark()
+				worked = true
+				continue
+			}
+			break
+		}
+		if acct && worked {
+			w.busyNanos.Add(time.Since(burstStart).Nanoseconds())
 		}
 		// Going idle: release whatever consumed deque slots still pin.
 		// Pops and steals skip slot clearing on the hot path, so this is
 		// where the memory-hygiene debt is settled.
 		w.dq.Clean()
+		var idleStart time.Time
+		if acct {
+			idleStart = time.Now()
+		}
 		select {
 		case <-w.park:
+			if acct {
+				w.idleNanos.Add(time.Since(idleStart).Nanoseconds())
+			}
 			w.unpark()
 		case <-w.pool.quit:
 			w.unpark()

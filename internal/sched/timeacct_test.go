@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTimeAccountingOffByDefault(t *testing.T) {
+	p := NewPool(4, 1)
+	defer p.Close()
+	if p.TimeAccounting() {
+		t.Fatal("time accounting on by default")
+	}
+	p.Run(func(w *Worker) {
+		var g Group
+		for i := 0; i < 32; i++ {
+			w.Spawn(&g, func(w *Worker) { time.Sleep(100 * time.Microsecond) })
+		}
+		w.Wait(&g)
+	})
+	s := p.Stats()
+	if s.BusyNanos != 0 || s.IdleNanos != 0 {
+		t.Fatalf("accounting off but BusyNanos=%d IdleNanos=%d", s.BusyNanos, s.IdleNanos)
+	}
+}
+
+func TestTimeAccountingCounters(t *testing.T) {
+	p := NewPool(4, 1)
+	defer p.Close()
+	p.SetTimeAccounting(true)
+
+	var ran atomic.Int64
+	p.Run(func(w *Worker) {
+		var g Group
+		for i := 0; i < 64; i++ {
+			w.Spawn(&g, func(w *Worker) {
+				time.Sleep(200 * time.Microsecond)
+				ran.Add(1)
+			})
+		}
+		w.Wait(&g)
+	})
+	// Let the workers park so idle time starts accruing, then poke them
+	// awake so the parked span is folded into the counters.
+	time.Sleep(20 * time.Millisecond)
+	p.Run(func(w *Worker) {})
+
+	s := p.Stats()
+	if len(s.WorkerBusyNanos) != 4 || len(s.WorkerIdleNanos) != 4 {
+		t.Fatalf("per-worker slices sized %d/%d, want 4/4",
+			len(s.WorkerBusyNanos), len(s.WorkerIdleNanos))
+	}
+	if s.BusyNanos <= 0 {
+		t.Fatalf("64 sleeping tasks ran (%d) but BusyNanos = %d", ran.Load(), s.BusyNanos)
+	}
+	// 64 tasks x 200us spread over 4 workers is >= ~3ms of aggregate busy
+	// time; parking between the two Runs accrues idle time on at least
+	// the workers the second Run woke.
+	if s.BusyNanos < (3 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("BusyNanos = %v, implausibly small for 64x200us of work",
+			time.Duration(s.BusyNanos))
+	}
+	if s.IdleNanos <= 0 {
+		t.Fatalf("workers parked between runs but IdleNanos = %d", s.IdleNanos)
+	}
+	var sum int64
+	for _, b := range s.WorkerBusyNanos {
+		sum += b
+	}
+	if sum != s.BusyNanos {
+		t.Fatalf("BusyNanos %d != sum of WorkerBusyNanos %d", s.BusyNanos, sum)
+	}
+
+	p.ResetStats()
+	s = p.Stats()
+	if s.BusyNanos != 0 || s.IdleNanos != 0 {
+		t.Fatalf("ResetStats left BusyNanos=%d IdleNanos=%d", s.BusyNanos, s.IdleNanos)
+	}
+}

@@ -38,6 +38,11 @@ const (
 	// thief; one event per successful steal, so the per-log count equals
 	// the scheduler's Stats.RangeSteals delta when every loop is traced.
 	RangeSplit
+	// TuneDecision is the adaptive autotuner choosing a configuration for
+	// an Auto loop invocation: A = the chosen strategy (internal/loop's
+	// enum; -1 for the serial shortcut), B = the resolved chunk size.
+	// Emitted on the initiating worker right after LoopStart.
+	TuneDecision
 )
 
 // String returns a short label for the event kind.
@@ -57,6 +62,8 @@ func (k Kind) String() string {
 		return "chunk"
 	case RangeSplit:
 		return "range-split"
+	case TuneDecision:
+		return "tune"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -125,13 +132,14 @@ func (l *Log) Reset() {
 
 // WorkerSummary aggregates one worker's activity.
 type WorkerSummary struct {
-	Worker       int
-	Chunks       int
-	Iterations   int64
-	Claims       int
-	FailedClaims int
-	StealEntries int
-	RangeSplits  int
+	Worker        int
+	Chunks        int
+	Iterations    int64
+	Claims        int
+	FailedClaims  int
+	StealEntries  int
+	RangeSplits   int
+	TuneDecisions int
 }
 
 // Summary returns per-worker aggregates, sorted by worker ID.
@@ -155,6 +163,8 @@ func (l *Log) Summary() []WorkerSummary {
 			s.StealEntries++
 		case RangeSplit:
 			s.RangeSplits++
+		case TuneDecision:
+			s.TuneDecisions++
 		}
 	}
 	out := make([]WorkerSummary, 0, len(byWorker))
@@ -167,11 +177,11 @@ func (l *Log) Summary() []WorkerSummary {
 
 // Render writes the per-worker summary followed by the event count.
 func (l *Log) Render(w io.Writer) {
-	fmt.Fprintf(w, "%-7s %8s %12s %7s %11s %13s %12s\n",
-		"worker", "chunks", "iterations", "claims", "claim-fails", "steal-entries", "range-splits")
+	fmt.Fprintf(w, "%-7s %8s %12s %7s %11s %13s %12s %6s\n",
+		"worker", "chunks", "iterations", "claims", "claim-fails", "steal-entries", "range-splits", "tunes")
 	for _, s := range l.Summary() {
-		fmt.Fprintf(w, "%-7d %8d %12d %7d %11d %13d %12d\n",
-			s.Worker, s.Chunks, s.Iterations, s.Claims, s.FailedClaims, s.StealEntries, s.RangeSplits)
+		fmt.Fprintf(w, "%-7d %8d %12d %7d %11d %13d %12d %6d\n",
+			s.Worker, s.Chunks, s.Iterations, s.Claims, s.FailedClaims, s.StealEntries, s.RangeSplits, s.TuneDecisions)
 	}
 	l.mu.Lock()
 	n, dropped := len(l.events), l.dropped

@@ -82,6 +82,7 @@ func TestKindStrings(t *testing.T) {
 	for k, want := range map[Kind]string{
 		LoopStart: "loop-start", LoopEnd: "loop-end", ClaimOK: "claim",
 		ClaimFail: "claim-fail", StealEntry: "steal-entry", Chunk: "chunk",
+		RangeSplit: "range-split", TuneDecision: "tune",
 	} {
 		if k.String() != want {
 			t.Errorf("%d.String() = %q", k, k.String())

@@ -32,6 +32,10 @@ func Reduce[T any](p *Pool, begin, end, blockSize int, identity T,
 	n := end - begin
 	nb := (n + blockSize - 1) / blockSize
 	partials := make([]T, nb)
+	// Attribute the inner loop to Reduce's caller (prepended, so an
+	// explicit site from a wrapper like Sum wins): under Auto, the tuning
+	// profile belongs to the user's reduction, not to this line.
+	opts = append([]ForOption{withSite(callerPC(1))}, opts...)
 	p.For(0, nb, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			lo := begin + b*blockSize
@@ -52,6 +56,7 @@ func Reduce[T any](p *Pool, begin, end, blockSize int, identity T,
 // Sum is Reduce specialized to float64 addition over a per-index value
 // function — the common dot-product/norm shape.
 func Sum(p *Pool, begin, end int, f func(i int) float64, opts ...ForOption) float64 {
+	opts = append(opts, withSite(callerPC(1)))
 	return Reduce(p, begin, end, 0, 0.0,
 		func(lo, hi int) float64 {
 			var s float64
@@ -105,20 +110,23 @@ func (p *Pool) For2D(r0, r1, c0, c1, tileR, tileC int,
 			}
 			body(rlo, rhi, clo, chi)
 		}
-	}, append([]ForOption{WithChunk(1)}, opts...)...)
+	}, append([]ForOption{WithChunk(1), withSite(callerPC(1))}, opts...)...)
 }
 
-// defaultTile picks a square-ish tile size giving ~8 tiles per worker in
-// the larger dimension product.
+// defaultTile picks a square-ish power-of-two tile size giving about 8
+// tiles per worker: the largest power of two t with t² ≤ area/(8·workers),
+// at least 1. The doubling condition divides instead of multiplying, so it
+// cannot overflow — degenerate inputs (a tiny grid, a worker count
+// exceeding the grid, an area near the int limit) all land on a valid
+// tile size instead of looping forever or returning zero.
 func defaultTile(rows, cols, workers int) int {
-	area := rows * cols
-	tiles := 8 * workers
-	t := 1
-	for t*t*tiles < area {
-		t *= 2
+	if workers < 1 {
+		workers = 1
 	}
-	if t < 1 {
-		t = 1
+	target := rows * cols / (8 * workers)
+	t := 1
+	for 2*t <= target/(2*t) {
+		t *= 2
 	}
 	return t
 }

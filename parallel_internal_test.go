@@ -1,0 +1,49 @@
+package hybridloop
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDefaultTileDegenerate pins the degenerate cases of the automatic
+// tile-size rule: tiny grids, worker counts exceeding the grid, and areas
+// near the int limit. The pre-fix doubling condition multiplied the tile
+// count back in (t*t*tiles < area) and overflowed for large areas — t
+// then wrapped to zero and the loop never terminated.
+func TestDefaultTileDegenerate(t *testing.T) {
+	cases := []struct {
+		rows, cols, workers int
+	}{
+		{1, 1, 1},
+		{1, 1, 64},            // workers far exceed the grid
+		{2, 3, 64},            // tiny grid, many workers
+		{1, 1000, 8},          // degenerate aspect ratio
+		{1000, 1, 8},
+		{100, 100, 4},
+		{1 << 20, 1 << 20, 8}, // 1T iterations
+		{math.MaxInt, 1, 1},   // area at the int limit: used to loop forever
+		{3037000499, 3037000499 / 8, 4},
+		{5, 5, 0}, // workers clamped to >= 1
+	}
+	for _, c := range cases {
+		tile := defaultTile(c.rows, c.cols, c.workers)
+		if tile < 1 {
+			t.Errorf("defaultTile(%d, %d, %d) = %d, want >= 1", c.rows, c.cols, c.workers, tile)
+		}
+		if tile&(tile-1) != 0 {
+			t.Errorf("defaultTile(%d, %d, %d) = %d, not a power of two", c.rows, c.cols, c.workers, tile)
+		}
+		// The tile must not exceed the target area per tile: t^2 <=
+		// max(1, area/(8*workers)), checked divide-first to stay
+		// overflow-free like the implementation.
+		w := c.workers
+		if w < 1 {
+			w = 1
+		}
+		target := c.rows * c.cols / (8 * w)
+		if tile > 1 && tile > target/tile {
+			t.Errorf("defaultTile(%d, %d, %d) = %d: tile^2 exceeds area/(8*workers) = %d",
+				c.rows, c.cols, c.workers, tile, target)
+		}
+	}
+}
