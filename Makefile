@@ -4,7 +4,9 @@ SCHED_PKGS := ./internal/sched/... ./internal/deque/... ./internal/loop/...
 
 BENCH_PATTERN := BenchmarkSpawn|BenchmarkSpawnBatch|BenchmarkStealThroughput|BenchmarkWakeToFirstTask|BenchmarkForFine
 
-.PHONY: check race bench benchdiff
+STRESS_PATTERN := TestCancel|TestPanickingOwner|TestNoStaleDemand|TestForErr|TestForEachErr|TestForCtx|TestPanicPropagation|TestStealHalf|TestRangeSlotAbandon
+
+.PHONY: check race bench benchdiff stress
 
 ## check: vet, build and test everything (tier-1 gate)
 check:
@@ -15,6 +17,11 @@ check:
 ## race: race-detect the scheduler hot path (includes the stress test)
 race:
 	$(GO) test -race -count=1 $(SCHED_PKGS)
+
+## stress: race-detect the cancellation, error-propagation and
+## steal-path stress tests (public API package included)
+stress:
+	$(GO) test -race -count=1 -run '$(STRESS_PATTERN)' . $(SCHED_PKGS)
 
 ## bench: run the scheduler benchmarks and regenerate BENCH_sched.json
 bench:

@@ -220,6 +220,7 @@ type site struct {
 
 	decisions  int64
 	reexplores int64
+	discards   int64 // cancelled/truncated plays dropped without a Report
 
 	rng rng.SplitMix64
 }
@@ -299,9 +300,10 @@ func (s *site) next(cfg *Config) (arm int, exploring bool) {
 type Tuner struct {
 	cfg Config
 
-	mu    sync.Mutex
-	sites map[SiteKey]*site
-	warm  map[string]*SiteSnapshot // loaded profiles keyed by name#bucket
+	mu     sync.Mutex
+	sites  map[SiteKey]*site
+	byName map[string]*site         // canonical site per name#bucket (PC aliasing)
+	warm   map[string]*SiteSnapshot // loaded profiles keyed by name#bucket
 }
 
 // NewTuner creates a tuner. cfg.Arms is required.
@@ -310,7 +312,7 @@ func NewTuner(cfg Config) *Tuner {
 		panic("adaptive: Config.Arms is required")
 	}
 	cfg.fill()
-	return &Tuner{cfg: cfg, sites: map[SiteKey]*site{}}
+	return &Tuner{cfg: cfg, sites: map[SiteKey]*site{}, byName: map[string]*site{}}
 }
 
 // siteName resolves a call-site PC to "file:line" with the file reduced
@@ -355,6 +357,17 @@ func (t *Tuner) lookup(pc uintptr, n int) *site {
 		return s
 	}
 	name := siteName(pc)
+	// The compiler can clone one source call site into several PCs (a
+	// closure inlined at each of its call sites); letting every clone
+	// start its own profile splits the sample stream and none of the
+	// fragments ever converges. Alias any PC whose file:line and bucket
+	// already have a profile onto that profile — the PC-keyed map stays
+	// the fast path, the name merge happens only on first sight of a PC.
+	nk := warmKey(name, key.Bucket)
+	if s, ok := t.byName[nk]; ok {
+		t.sites[key] = s
+		return s
+	}
 	s := &site{
 		key:       key,
 		name:      name,
@@ -371,6 +384,7 @@ func (t *Tuner) lookup(pc uintptr, n int) *site {
 		s.startExplore(t.cfg.ExplorePlays)
 	}
 	t.sites[key] = s
+	t.byName[nk] = s
 	return s
 }
 
@@ -398,6 +412,23 @@ func (t *Tuner) Decide(pc uintptr, n, baseChunk int) Decision {
 		d.SerialCutoff = n
 	}
 	return d
+}
+
+// Discard drops the invocation the Decision was issued for without
+// folding any statistics: used for cancelled or panicked runs, whose
+// elapsed time measures where the cancel landed rather than what the
+// configuration costs. The play is simply not observed — a site whose
+// exploration plays are all discarded extends exploration instead of
+// committing on nothing (see site.next), so discards can never wedge the
+// bandit. The per-site discard count is kept for observability.
+func (t *Tuner) Discard(d Decision) {
+	s := d.site
+	if s == nil {
+		return
+	}
+	t.mu.Lock()
+	s.discards++
+	t.mu.Unlock()
 }
 
 // Report feeds an invocation's outcome back into the profile the
@@ -458,8 +489,10 @@ func (t *Tuner) Report(d Decision, o Observation) {
 func (t *Tuner) Sites() []SiteSnapshot {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]SiteSnapshot, 0, len(t.sites))
-	for _, s := range t.sites {
+	// Iterate byName, not sites: several PCs may alias one profile and
+	// each profile must appear once.
+	out := make([]SiteSnapshot, 0, len(t.byName))
+	for _, s := range t.byName {
 		out = append(out, s.snapshot())
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -32,6 +32,7 @@ type SiteSnapshot struct {
 	Imbalance  float64       `json:"imbalance_frac"`
 	Decisions  int64         `json:"decisions"`
 	Reexplores int64         `json:"reexplores"`
+	Discards   int64         `json:"discards,omitempty"` // cancelled plays dropped un-reported
 	Arms       []ArmSnapshot `json:"arms"`
 }
 
@@ -65,6 +66,7 @@ func (s *site) snapshot() SiteSnapshot {
 		Imbalance:  s.ewmaImb,
 		Decisions:  s.decisions,
 		Reexplores: s.reexplores,
+		Discards:   s.discards,
 		Arms:       make([]ArmSnapshot, len(s.arms)),
 	}
 	if s.state != stateCommitted {

@@ -128,3 +128,19 @@ func (s *RangeSlot) Remaining() int {
 // first (and owns its half) or fails it (the word changed) — no interval
 // is ever handed out twice.
 func (s *RangeSlot) Reset() { s.v.Store(0) }
+
+// Abandon atomically empties the slot and returns the range it held, or
+// ok == false if it was already empty. Owner only. The cancellation path
+// uses it to poison a published descriptor: after the swap a thief's
+// StealHalf observes the canonical empty word and returns ok == false,
+// while a StealHalf whose CAS completed before the swap owns its half
+// exactly as usual — the returned range then reflects the post-steal
+// remainder, so no iteration is reported abandoned and stolen at once.
+func (s *RangeSlot) Abandon() (lo, hi int, ok bool) {
+	w := s.v.Swap(0)
+	if w == 0 {
+		return 0, 0, false
+	}
+	l, h := unpackSlotRange(w)
+	return l, h, true
+}

@@ -150,3 +150,90 @@ func TestRangeSlotConcurrentExactlyOnce(t *testing.T) {
 		}
 	}
 }
+
+// TestRangeSlotAbandon: Abandon atomically takes the whole remainder out
+// of circulation — it returns the abandoned range exactly once, leaves
+// the slot empty for thieves and owner alike, and reports nothing on an
+// already-empty slot.
+func TestRangeSlotAbandon(t *testing.T) {
+	var s RangeSlot
+	if _, _, ok := s.Abandon(); ok {
+		t.Fatal("Abandon on empty slot reported a range")
+	}
+	if !s.Publish(100, 500) {
+		t.Fatal("Publish failed")
+	}
+	lo, hi, ok := s.Abandon()
+	if !ok || lo != 100 || hi != 500 {
+		t.Fatalf("Abandon = [%d, %d) ok=%v, want [100, 500) true", lo, hi, ok)
+	}
+	if _, _, ok := s.Abandon(); ok {
+		t.Fatal("second Abandon reported a range")
+	}
+	if s.Remaining() != 0 {
+		t.Fatal("Abandon left content in the slot")
+	}
+	if _, _, ok := s.StealHalf(1); ok {
+		t.Fatal("StealHalf succeeded on an abandoned slot")
+	}
+	if _, _, ok := s.TakeFront(1); ok {
+		t.Fatal("TakeFront succeeded on an abandoned slot")
+	}
+	// The slot is reusable after abandonment.
+	if !s.Publish(0, 10) {
+		t.Fatal("Publish failed after Abandon")
+	}
+}
+
+// TestRangeSlotAbandonStealRace races Abandon against thieves: every
+// iteration of the published range must end up either stolen or
+// abandoned, exactly once — the poisoning guarantee cancellation relies
+// on (a steal CAS that completed first owns its half; later thieves see
+// the empty word).
+func TestRangeSlotAbandonStealRace(t *testing.T) {
+	const n, chunk, thieves, rounds = 1 << 12, 5, 4, 200
+	for round := 0; round < rounds; round++ {
+		var s RangeSlot
+		counts := make([]atomic.Int32, n)
+		claim := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				counts[i].Add(1)
+			}
+		}
+		if !s.Publish(0, n) {
+			t.Fatal("Publish failed")
+		}
+		var wg sync.WaitGroup
+		var start sync.WaitGroup
+		start.Add(1)
+		for i := 0; i < thieves; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				start.Wait()
+				for {
+					lo, hi, ok := s.StealHalf(chunk)
+					if !ok {
+						return
+					}
+					claim(lo, hi)
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start.Wait()
+			if lo, hi, ok := s.Abandon(); ok {
+				claim(lo, hi)
+			}
+		}()
+		start.Done()
+		wg.Wait()
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("round %d: iteration %d claimed %d times", round, i, c)
+			}
+		}
+	}
+}

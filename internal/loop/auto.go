@@ -93,6 +93,13 @@ func beginAuto(w *sched.Worker, begin, end int, opts *Options) func() {
 	opts.obs = o
 	before := pool.Stats()
 	return func() {
+		if opts.Cancel.Cancelled() {
+			// A cancelled (or panicked) run measures where the cancel
+			// landed, not what the configuration costs: discard the
+			// sample so the tuner is never trained on truncated loops.
+			tuner.Discard(d)
+			return
+		}
 		after := pool.Stats()
 		elapsed := time.Since(o.start)
 		// Imbalance over participating workers only: a serial or

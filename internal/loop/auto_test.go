@@ -55,8 +55,15 @@ func TestAutoExecutesEveryIteration(t *testing.T) {
 	if sites[0].Decisions != 40 {
 		t.Fatalf("40 invocations, %d decisions recorded", sites[0].Decisions)
 	}
+	// A cost-drift re-exploration can be in flight at any fixed
+	// invocation count on a noisy machine; keep invoking until the site
+	// commits (mirrors the warm-start test in the public package).
+	for tries := 0; sites[0].State != "committed" && tries < 50; tries++ {
+		For(pool, 0, n, func(lo, hi int) {}, Options{Strategy: Auto, Tuner: tu, Site: pc})
+		sites = tu.Sites()
+	}
 	if sites[0].State != "committed" {
-		t.Fatalf("site still %s after 40 invocations of <=9 arms x 2 plays", sites[0].State)
+		t.Fatalf("site still %s after 40+ invocations of <=9 arms x 2 plays", sites[0].State)
 	}
 }
 

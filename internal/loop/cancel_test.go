@@ -1,0 +1,246 @@
+package loop
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hybridloop/internal/sched"
+	"hybridloop/internal/trace"
+)
+
+var errStop = errors.New("stop")
+
+// TestCancelStopsEveryStrategy trips the token early in a fine-grained
+// loop and asserts, for every strategy, that the join still completes,
+// the token surfaces the cause, every executed iteration ran exactly
+// once, and — for the dynamically scheduled strategies, whose chunk is
+// the check granularity — most of the iteration space was abandoned.
+// Static is exempt from the abandonment bound: its "chunks" are whole
+// partitions, all typically started before the token trips, so
+// cancellation can only skip partitions that have not begun.
+func TestCancelStopsEveryStrategy(t *testing.T) {
+	pool := sched.NewPool(4, 99)
+	defer pool.Close()
+	const n, chunk, cancelAt = 1 << 15, 16, 100
+	for _, s := range allStrategies {
+		c := new(sched.Canceller)
+		counts := make([]atomic.Int32, n)
+		var executed atomic.Int64
+		For(pool, 0, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				counts[i].Add(1)
+			}
+			if executed.Add(int64(hi-lo)) >= cancelAt {
+				c.Cancel(errStop)
+			}
+		}, Options{Strategy: s, Chunk: chunk, Cancel: c})
+		if !errors.Is(c.Err(), errStop) {
+			t.Fatalf("%v: token cause = %v, want errStop", s, c.Err())
+		}
+		for i := range counts {
+			if cnt := counts[i].Load(); cnt > 1 {
+				t.Fatalf("%v: iteration %d executed %d times", s, i, cnt)
+			}
+		}
+		if s != Static {
+			if got := executed.Load(); got > n/2 {
+				t.Fatalf("%v: %d of %d iterations ran after an early cancel", s, got, n)
+			}
+		}
+		// The pool must be fully functional for the next strategy.
+		var after atomic.Int64
+		For(pool, 0, 1000, func(lo, hi int) { after.Add(int64(hi - lo)) },
+			Options{Strategy: s})
+		if after.Load() != 1000 {
+			t.Fatalf("%v: pool degraded after cancellation — %d iterations", s, after.Load())
+		}
+	}
+}
+
+// TestCancelAlreadyTrippedRunsNothing: a token tripped before the loop
+// starts (an expired context, a dead outer loop) must prevent every body
+// call.
+func TestCancelAlreadyTrippedRunsNothing(t *testing.T) {
+	pool := sched.NewPool(4, 98)
+	defer pool.Close()
+	for _, s := range allStrategies {
+		c := new(sched.Canceller)
+		c.Cancel(errStop)
+		var ran atomic.Int64
+		For(pool, 0, 10000, func(lo, hi int) { ran.Add(1) },
+			Options{Strategy: s, Chunk: 64, Cancel: c})
+		if ran.Load() != 0 {
+			t.Fatalf("%v: %d chunks ran under a pre-tripped token", s, ran.Load())
+		}
+	}
+}
+
+// TestCancelStressChunkBound is the acceptance stress test: 8 workers on
+// a 1M-iteration fine-grained hybrid loop, cancelled after a fixed
+// number of chunks. The trace must show the loop stopped within about
+// one chunk per worker — bounded by the chunks completed before the trip
+// plus one in-flight chunk per worker (doubled for the race window
+// between the triggering body returning and the token store landing) —
+// out of the ~16384 chunks a full run would execute. Also asserts the
+// run leaks no goroutines.
+func TestCancelStressChunkBound(t *testing.T) {
+	const p, n, chunk, cancelAfter = 8, 1 << 20, 64, 100
+	pool := sched.NewPool(p, 0xCA)
+	defer pool.Close()
+
+	// Settle, then baseline the goroutine count with the pool running.
+	time.Sleep(10 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	for round := 0; round < 5; round++ {
+		tl := trace.New(1 << 16)
+		c := new(sched.Canceller)
+		var chunks atomic.Int64
+		ForW(pool, 0, n, func(w *sched.Worker, lo, hi int) {
+			if chunks.Add(1) >= cancelAfter {
+				c.Cancel(errStop)
+			}
+		}, Options{Strategy: Hybrid, Chunk: chunk, Cancel: c, Trace: tl})
+
+		var chunkEvents, cancelEvents int
+		for _, ev := range tl.Events() {
+			switch ev.Kind {
+			case trace.Chunk:
+				chunkEvents++
+			case trace.Cancel:
+				cancelEvents++
+			}
+		}
+		if chunkEvents > cancelAfter+2*p {
+			t.Fatalf("round %d: %d chunks executed after cancel at %d — workers did not stop within a chunk",
+				round, chunkEvents, cancelAfter)
+		}
+		if cancelEvents == 0 {
+			t.Fatalf("round %d: cancellation abandoned no work on a 1M-iteration loop", round)
+		}
+		if !errors.Is(c.Err(), errStop) {
+			t.Fatalf("round %d: token cause = %v", round, c.Err())
+		}
+	}
+
+	// No goroutine may outlive the cancelled loops: poll because worker
+	// wakeups from the final round can still be settling.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= baseline {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d live, baseline %d", g, baseline)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// And the pool still executes a full loop exactly once per iteration.
+	counts := make([]atomic.Int32, 1<<16)
+	For(pool, 0, len(counts), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			counts[i].Add(1)
+		}
+	}, Options{Strategy: Hybrid, Chunk: chunk})
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("post-stress loop executed iteration %d %d times", i, c)
+		}
+	}
+}
+
+// TestPanickingOwnerWithThief is the satellite-1 regression test: a thief
+// steals half of an owner's published range, then the owner panics
+// mid-partition. The unwind must reset the owner's slot and release the
+// partition claim state so (a) the panic surfaces as *TaskPanicError at
+// the initiating Wait rather than hanging the join, (b) no iteration runs
+// twice, and (c) the pool stays fully usable. The first chunk is gated on
+// the pool's RangeSteals counter so the steal provably happens before the
+// panic, even on a single-CPU runner.
+func TestPanickingOwnerWithThief(t *testing.T) {
+	for _, s := range []Strategy{Hybrid, DynamicStealing} {
+		pool := sched.NewPool(4, 0xBAD)
+		counts := make([]atomic.Int32, 1<<14)
+		rec := func() (r any) {
+			defer func() { r = recover() }()
+			ForW(pool, 0, len(counts), gateFirstChunk(pool, func(w *sched.Worker, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					counts[i].Add(1)
+				}
+				if lo == 0 {
+					panic("owner boom")
+				}
+			}), Options{Strategy: s, Chunk: 8})
+			return nil
+		}()
+		if rec == nil {
+			t.Fatalf("%v: panic did not surface", s)
+		}
+		if _, ok := rec.(*sched.TaskPanicError); !ok {
+			t.Fatalf("%v: recovered %T, want *sched.TaskPanicError", s, rec)
+		}
+		if pool.Stats().RangeSteals == 0 {
+			t.Fatalf("%v: no range steal happened; the owner/thief race was not exercised", s)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c > 1 {
+				t.Fatalf("%v: iteration %d executed %d times across the panic", s, i, c)
+			}
+		}
+		var after atomic.Int64
+		For(pool, 0, 4096, func(lo, hi int) { after.Add(int64(hi - lo)) },
+			Options{Strategy: s, Chunk: 8})
+		if after.Load() != 4096 {
+			t.Fatalf("%v: pool degraded after owner panic — %d iterations", s, after.Load())
+		}
+		pool.Close()
+	}
+}
+
+// TestNoStaleDemandSplits is the satellite-2 behavioral test: loop A runs
+// wide open so failing thieves raise the pool's demand flag; loop B then
+// runs with every other worker pinned busy (nobody parked, nobody
+// probing). A stale flag surviving loop A would make loop B's owner see
+// phantom demand on its very first chunk; with the flag retired at park
+// and at loop completion the follow-up loop must run without a single
+// RangeSplit.
+func TestNoStaleDemandSplits(t *testing.T) {
+	pool := sched.NewPool(4, 0xDF)
+	defer pool.Close()
+
+	// Loop A: fine chunks over a wide pool to drive steal traffic and
+	// failed sweeps (which raise the demand flag).
+	for r := 0; r < 8; r++ {
+		For(pool, 0, 1<<14, func(lo, hi int) {}, Options{Strategy: DynamicStealing, Chunk: 4})
+	}
+	// Quiesce: every worker parks, retiring any raised flag.
+	time.Sleep(20 * time.Millisecond)
+
+	tl := trace.New(1 << 14)
+	pool.Run(func(w *sched.Worker) {
+		var g sched.Group
+		var release atomic.Bool
+		for i := 0; i < pool.P(); i++ {
+			if i == w.ID() {
+				continue
+			}
+			pool.SpawnOn(i, &g, func(cw *sched.Worker) {
+				for !release.Load() {
+					runtime.Gosched() // busy: never parks, never probes
+				}
+			})
+		}
+		WorkerForW(w, 0, 1<<14, func(cw *sched.Worker, lo, hi int) {},
+			Options{Strategy: DynamicStealing, Chunk: 8, Trace: tl})
+		release.Store(true)
+		w.Wait(&g)
+	})
+	for _, ev := range tl.Events() {
+		if ev.Kind == trace.RangeSplit {
+			t.Fatal("uncontended follow-up loop split its range — stale demand signal")
+		}
+	}
+}

@@ -42,6 +42,7 @@ func hybridFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
 		opts:  opts,
 		chunk: opts.chunk(end-begin, p),
 	}
+	h.g.BindCancel(opts.Cancel)
 	h.initRanges(p)
 	// Every partition must be executed before the loop completes; the
 	// group counts partition completions (Theorem 3: exactly R of them)
@@ -76,10 +77,35 @@ func (h *hybridLoop) Live() bool {
 // Stats.LoopEntries counter (which counts TrySteal returning true)
 // always agree.
 func (h *hybridLoop) TrySteal(w *sched.Worker) bool {
+	if h.opts.Cancel.Cancelled() {
+		// A cancelled loop is drained, not entered: claim whatever is
+		// left so the join's partition holds are released, execute
+		// nothing. Returns false — the worker did no loop work.
+		h.drain(w)
+		return false
+	}
 	if !h.ps.PeekClaimed(w.ID()) && h.doHybridLoop(w, true) {
 		return true
 	}
 	return h.rs.trySteal(w)
+}
+
+// drain claims every remaining partition without executing its body and
+// releases the corresponding group holds, so the initiating Wait of a
+// cancelled loop completes instead of blocking on partitions no worker
+// will ever claim. Any worker may drain; the claim flags make each
+// partition's release happen exactly once.
+func (h *hybridLoop) drain(w *sched.Worker) {
+	for r := 0; r < h.ps.R(); r++ {
+		if h.ps.Claimed(r) || !h.ps.ClaimPartition(r) {
+			continue
+		}
+		if h.opts.Trace != nil {
+			part := h.ps.Partition(r)
+			h.opts.Trace.Add(w.ID(), trace.Cancel, int64(part.Begin), int64(part.End))
+		}
+		h.g.Done()
+	}
 }
 
 // doHybridLoop is Algorithm 3 for worker w: walk the claim sequence,
@@ -92,9 +118,17 @@ func (h *hybridLoop) TrySteal(w *sched.Worker) bool {
 // Returns whether any partition was claimed.
 func (h *hybridLoop) doHybridLoop(w *sched.Worker, viaSteal bool) bool {
 	c := core.NewClaimer(h.ps, w.ID())
+	cc := h.opts.Cancel
 	any := false
 	failedBefore := 0
 	for {
+		if cc.Cancelled() {
+			// The loop died mid-claim-sequence (a body error, panic, or
+			// context cancellation): stop executing and drain whatever
+			// the claim phase has not handed out yet.
+			h.drain(w)
+			return any
+		}
 		r, ok := c.Next()
 		if ok && !any {
 			// First successful claim: this worker has definitely entered

@@ -69,6 +69,16 @@ func (rs *rangeSet) init(p int, g *sched.Group, body BodyW, opts *Options, chunk
 // not pack (int32 overflow) or the slot is occupied (re-entrant nested
 // entry).
 func (rs *rangeSet) runOwned(w *sched.Worker, lo, hi int) {
+	cc := rs.opts.Cancel
+	if cc.Cancelled() {
+		// A range handed to a dead loop (an eager-fallback spawn or a
+		// stolen half dequeued after the token tripped) is abandoned
+		// before it is ever published.
+		if rs.opts.Trace != nil {
+			rs.opts.Trace.Add(w.ID(), trace.Cancel, int64(lo), int64(hi))
+		}
+		return
+	}
 	if hi-lo <= rs.chunk {
 		runChunk(w, rs.body, rs.opts, lo, hi)
 		return
@@ -83,13 +93,24 @@ func (rs *rangeSet) runOwned(w *sched.Worker, lo, hi int) {
 	defer func() {
 		// On the normal path the slot is already empty and Reset is a
 		// no-op; on a panic unwind it abandons the remainder so a dying
-		// loop stops advertising stealable work.
+		// loop stops advertising stealable work and a thief mid-probe
+		// finds nothing to steal from the unwinding owner.
 		s.Reset()
 		rs.active.Add(-1)
 		rs.g.Done()
 	}()
 	pool := w.Pool()
 	for {
+		if cc.Cancelled() {
+			// Poison the published descriptor: the remainder is taken out
+			// of circulation atomically, so a concurrent StealHalf either
+			// completed first (its half is drained by the thief's own
+			// runOwned entry check) or observes an empty slot.
+			if alo, ahi, ok := s.Abandon(); ok && rs.opts.Trace != nil {
+				rs.opts.Trace.Add(w.ID(), trace.Cancel, int64(alo), int64(ahi))
+			}
+			return
+		}
 		clo, chi, ok := s.TakeFront(rs.chunk)
 		if !ok {
 			return
@@ -123,7 +144,9 @@ func (rs *rangeSet) runEager(w *sched.Worker, lo, hi int) {
 // rather than killing the worker) and returns true.
 func (rs *rangeSet) trySteal(w *sched.Worker) bool {
 	n := len(rs.slots)
-	if n == 0 || rs.active.Load() == 0 {
+	if n == 0 || rs.active.Load() == 0 || rs.opts.Cancel.Cancelled() {
+		// A cancelled loop feeds no thieves: whatever its slots still
+		// hold is being abandoned by their owners.
 		return false
 	}
 	self := w.ID()

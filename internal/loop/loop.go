@@ -122,6 +122,16 @@ type Options struct {
 	// Trace, if non-nil, records scheduling events (loop boundaries,
 	// claims, chunk executions) for this loop.
 	Trace *trace.Log
+	// Cancel is the loop's cooperative cancellation token. Every strategy
+	// polls it once per scheduling chunk: a tripped token makes workers
+	// skip the remaining chunks, abandon published range descriptors, and
+	// drain unclaimed hybrid partitions without executing their bodies, so
+	// the loop's join completes within about one chunk per worker. Nil
+	// selects a loop-private token, which a captured body panic still
+	// trips (so a panicking loop halts its surviving workers); callers
+	// that want external cancellation (errors, context deadlines) supply
+	// their own and trip it themselves.
+	Cancel *sched.Canceller
 	// Tuner drives the Auto strategy: the pool's adaptive autotuner,
 	// consulted per invocation for the concrete configuration and fed the
 	// invocation's outcome. Ignored unless Strategy == Auto.
@@ -206,8 +216,35 @@ func WorkerForW(w *sched.Worker, begin, end int, body BodyW, opts Options) {
 			defer finish()
 		}
 	}
+	// A panic unwinding out of the strategy dispatch inline on this worker
+	// (as opposed to one captured into the loop's group on another worker,
+	// which the group's BindCancel hook covers) must also trip the token:
+	// otherwise spawned partitions and stolen halves still in flight would
+	// execute to completion with nobody waiting for them. Registered after
+	// beginAuto so it runs before the finish closure, which discards the
+	// truncated sample when it observes the tripped token.
+	defer func() {
+		if r := recover(); r != nil {
+			opts.Cancel.Cancel(sched.ErrPanicked)
+			panic(r)
+		}
+	}()
 	if end-begin <= opts.SerialCutoff {
 		runChunk(w, body, &opts, begin, end)
+		return
+	}
+	if opts.Cancel == nil {
+		// Every parallel loop gets a token, even without external
+		// cancellation: the Group hook and the recover above route body
+		// panics through it so the other workers stop within one chunk
+		// instead of grinding through the remaining iterations. Allocated
+		// after the serial shortcut, which involves no other workers and
+		// stays allocation-free.
+		opts.Cancel = new(sched.Canceller)
+	} else if opts.Cancel.Cancelled() {
+		// Already cancelled (a context that expired before the loop
+		// started, or a nested loop under a tripped outer token): run
+		// nothing.
 		return
 	}
 	switch opts.Strategy {
@@ -229,8 +266,17 @@ func WorkerForW(w *sched.Worker, begin, end int, body BodyW, opts Options) {
 // runChunk executes one contiguous chunk with optional recording and
 // tracing. For Auto invocations (opts.obs non-nil) the chunk is timed
 // into the executing worker's busy slot — two clock reads per chunk,
-// paid only by tuned loops.
+// paid only by tuned loops. A tripped cancellation token skips the chunk
+// entirely — no body call, no Chunk trace event — which is the per-chunk
+// check granularity of the cancellation protocol: a worker mid-body
+// finishes its current chunk, then stops here.
 func runChunk(w *sched.Worker, body BodyW, opts *Options, lo, hi int) {
+	if opts.Cancel.Cancelled() {
+		if opts.Trace != nil {
+			opts.Trace.Add(w.ID(), trace.Cancel, int64(lo), int64(hi))
+		}
+		return
+	}
 	if opts.Recorder != nil {
 		opts.Recorder.Record(w.ID(), lo, hi)
 	}
@@ -251,6 +297,7 @@ func staticFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
 	p := w.Pool().P()
 	parts := opts.split(begin, end, p)
 	var g sched.Group
+	g.BindCancel(opts.Cancel)
 	for i := 0; i < p; i++ {
 		if i == w.ID() || parts[i].Empty() {
 			continue
@@ -282,6 +329,7 @@ func stealingFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
 		return
 	}
 	l := &lazyLoop{}
+	l.g.BindCancel(opts.Cancel)
 	l.rs.init(pool.P(), &l.g, body, opts, chunk)
 	pool.RegisterLoop(l)
 	// Unregister even if the body panics mid-range (the slot itself is
@@ -300,6 +348,15 @@ func sharingFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
 	next.Store(int64(begin))
 	grab := func(cw *sched.Worker) {
 		for {
+			if opts.Cancel.Cancelled() {
+				// Poison the shared counter so teammates between polls
+				// observe an exhausted loop on their next grab; the first
+				// worker through records the abandoned tail.
+				if old := next.Swap(int64(end)); int(old) < end && opts.Trace != nil {
+					opts.Trace.Add(cw.ID(), trace.Cancel, old, int64(end))
+				}
+				return
+			}
 			lo := int(next.Add(int64(chunk))) - chunk
 			if lo >= end {
 				return
@@ -311,7 +368,7 @@ func sharingFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
 			runChunk(cw, body, opts, lo, hi)
 		}
 	}
-	teamRun(w, grab)
+	teamRun(w, opts, grab)
 }
 
 // guidedFor is OpenMP schedule(guided, chunk): chunks shrink in proportion
@@ -325,6 +382,12 @@ func guidedFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
 	next.Store(int64(begin))
 	grab := func(cw *sched.Worker) {
 		for {
+			if opts.Cancel.Cancelled() {
+				if old := next.Swap(int64(end)); int(old) < end && opts.Trace != nil {
+					opts.Trace.Add(cw.ID(), trace.Cancel, old, int64(end))
+				}
+				return
+			}
 			lo64 := next.Load()
 			lo := int(lo64)
 			if lo >= end {
@@ -345,14 +408,15 @@ func guidedFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
 			runChunk(cw, body, opts, lo, hi)
 		}
 	}
-	teamRun(w, grab)
+	teamRun(w, opts, grab)
 }
 
 // teamRun executes fn on every worker in the pool (pinned), with the
 // calling worker participating inline — the OpenMP "parallel region"
 // model where each team thread runs the scheduling loop itself.
-func teamRun(w *sched.Worker, fn func(cw *sched.Worker)) {
+func teamRun(w *sched.Worker, opts *Options, fn func(cw *sched.Worker)) {
 	var g sched.Group
+	g.BindCancel(opts.Cancel)
 	p := w.Pool().P()
 	for i := 0; i < p; i++ {
 		if i == w.ID() {

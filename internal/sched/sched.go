@@ -63,7 +63,18 @@ type Task func(w *Worker)
 type Group struct {
 	pending atomic.Int64
 	panics  atomic.Pointer[taskPanic]
+	// cancel, when bound, is tripped by the first panic captured into the
+	// group, so the loop the group joins halts its surviving workers
+	// instead of letting them grind to the Wait that re-raises the panic.
+	cancel *Canceller
 }
+
+// BindCancel attaches a cancellation token to the group: the first panic
+// captured into the group cancels the token (with ErrPanicked as cause).
+// Must be called before any task bound to the group is spawned — the
+// field is plain, published to workers by the spawn that hands them the
+// group.
+func (g *Group) BindCancel(c *Canceller) { g.cancel = c }
 
 // taskPanic carries a panic from the worker that caught it to the task
 // that joins on the group.
@@ -95,9 +106,13 @@ func (g *Group) Finished() bool { return g.pending.Load() <= 0 }
 func (g *Group) capture(r any) {
 	if tpe, ok := r.(*TaskPanicError); ok {
 		g.panics.CompareAndSwap(nil, &taskPanic{value: tpe.Value, stack: tpe.Stack})
-		return
+	} else {
+		g.panics.CompareAndSwap(nil, &taskPanic{value: r, stack: debug.Stack()})
 	}
-	g.panics.CompareAndSwap(nil, &taskPanic{value: r, stack: debug.Stack()})
+	// A panicking body halts the rest of the loop, not just the worker it
+	// ran on: trip the bound token so every other participant stops at its
+	// next per-chunk poll instead of executing the remaining iterations.
+	g.cancel.Cancel(ErrPanicked)
 }
 
 // Protect runs fn, capturing any panic into the group so that the Wait
@@ -418,6 +433,28 @@ func (p *Pool) notify() {
 // successful claim with partitions still unclaimed) chain wakeups with it.
 func (p *Pool) Notify() { p.notify() }
 
+// WakeAll delivers a wake token to every parked worker. Cancellation uses
+// it: tripping a loop's token is not "new work" in the sense the
+// round-robin notify distributes, but a pool-wide event every parked
+// worker should observe promptly — a woken worker's sweep finds the dying
+// loop through the registry and helps drain its remaining claims instead
+// of leaving the whole drain to the worker blocked in Wait. Workers that
+// find nothing simply re-park; a spurious WakeAll costs one sweep each.
+func (p *Pool) WakeAll() {
+	if p.nparked.Load() == 0 {
+		return
+	}
+	for _, w := range p.workers {
+		if !w.parked.Load() {
+			continue
+		}
+		select {
+		case w.park <- struct{}{}:
+		default: // pending token: already committed to a re-sweep
+		}
+	}
+}
+
 // Demand reports whether there is evidence of thief demand: a worker is
 // parked (idle capacity with nothing to run) or some worker recently swept
 // every victim without finding work. It costs one or two uncontended
@@ -475,6 +512,10 @@ func (p *Pool) RegisterLoop(l HybridLoop) {
 }
 
 // UnregisterLoop removes a hybrid loop from the steal protocol registry.
+// When the registry empties, the thief-demand flag is cleared: the flag
+// is only ever consumed by owners of registered loops, so with none left
+// a raised flag is pure staleness — it would otherwise survive into the
+// next loop and trigger a spurious first-chunk MeetDemand there.
 func (p *Pool) UnregisterLoop(l HybridLoop) {
 	p.loopsMu.Lock()
 	defer p.loopsMu.Unlock()
@@ -489,6 +530,9 @@ func (p *Pool) UnregisterLoop(l HybridLoop) {
 		}
 	}
 	p.loops.Store(&ls)
+	if len(ls) == 0 && p.demandFlag.Load() != 0 {
+		p.demandFlag.Store(0)
+	}
 }
 
 // loopList returns the current registered-loop snapshot without copying:
@@ -843,6 +887,15 @@ func (w *Worker) mainLoop() {
 		// Pops and steals skip slot clearing on the hot path, so this is
 		// where the memory-hygiene debt is settled.
 		w.dq.Clean()
+		// A parking worker retires its failed-sweep demand signal: from
+		// here its idleness is represented by nparked (which Demand()
+		// checks first), so leaving the flag raised would only go stale.
+		// Another thief still actively sweeping re-raises the flag on its
+		// next failed sweep, so clearing cannot lose live demand for more
+		// than one sweep round.
+		if w.pool.demandFlag.Load() != 0 {
+			w.pool.demandFlag.Store(0)
+		}
 		var idleStart time.Time
 		if acct {
 			idleStart = time.Now()

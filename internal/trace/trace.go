@@ -43,6 +43,13 @@ const (
 	// enum; -1 for the serial shortcut), B = the resolved chunk size.
 	// Emitted on the initiating worker right after LoopStart.
 	TuneDecision
+	// Cancel records work abandoned because the loop's cancellation token
+	// tripped: [A, B) is the iteration range the recording worker gave up
+	// without executing — a poisoned range descriptor's remainder, a
+	// drained unclaimed partition, or the untouched tail of a shared
+	// counter. One loop cancellation typically produces several Cancel
+	// events, one per abandoning worker or drained partition.
+	Cancel
 )
 
 // String returns a short label for the event kind.
@@ -64,6 +71,8 @@ func (k Kind) String() string {
 		return "range-split"
 	case TuneDecision:
 		return "tune"
+	case Cancel:
+		return "cancel"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -140,6 +149,11 @@ type WorkerSummary struct {
 	StealEntries  int
 	RangeSplits   int
 	TuneDecisions int
+	// Cancels counts Cancel events; AbandonedIters sums their ranges —
+	// iterations this worker gave up unexecuted after its loop's token
+	// tripped.
+	Cancels        int
+	AbandonedIters int64
 }
 
 // Summary returns per-worker aggregates, sorted by worker ID.
@@ -165,6 +179,9 @@ func (l *Log) Summary() []WorkerSummary {
 			s.RangeSplits++
 		case TuneDecision:
 			s.TuneDecisions++
+		case Cancel:
+			s.Cancels++
+			s.AbandonedIters += ev.B - ev.A
 		}
 	}
 	out := make([]WorkerSummary, 0, len(byWorker))
@@ -177,11 +194,11 @@ func (l *Log) Summary() []WorkerSummary {
 
 // Render writes the per-worker summary followed by the event count.
 func (l *Log) Render(w io.Writer) {
-	fmt.Fprintf(w, "%-7s %8s %12s %7s %11s %13s %12s %6s\n",
-		"worker", "chunks", "iterations", "claims", "claim-fails", "steal-entries", "range-splits", "tunes")
+	fmt.Fprintf(w, "%-7s %8s %12s %7s %11s %13s %12s %6s %8s\n",
+		"worker", "chunks", "iterations", "claims", "claim-fails", "steal-entries", "range-splits", "tunes", "cancels")
 	for _, s := range l.Summary() {
-		fmt.Fprintf(w, "%-7d %8d %12d %7d %11d %13d %12d %6d\n",
-			s.Worker, s.Chunks, s.Iterations, s.Claims, s.FailedClaims, s.StealEntries, s.RangeSplits, s.TuneDecisions)
+		fmt.Fprintf(w, "%-7d %8d %12d %7d %11d %13d %12d %6d %8d\n",
+			s.Worker, s.Chunks, s.Iterations, s.Claims, s.FailedClaims, s.StealEntries, s.RangeSplits, s.TuneDecisions, s.Cancels)
 	}
 	l.mu.Lock()
 	n, dropped := len(l.events), l.dropped
