@@ -6,13 +6,19 @@ BENCH_PATTERN := BenchmarkSpawn|BenchmarkSpawnBatch|BenchmarkStealThroughput|Ben
 
 STRESS_PATTERN := TestCancel|TestPanickingOwner|TestNoStaleDemand|TestForErr|TestForEachErr|TestForCtx|TestPanicPropagation|TestStealHalf|TestRangeSlotAbandon
 
-.PHONY: check race bench benchdiff stress
+.PHONY: check race bench benchdiff stress lint
 
 ## check: vet, build and test everything (tier-1 gate)
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
+
+## lint: vet plus the module's own concurrency-invariant analyzers
+## (atomicmix, cacheline, loopcapture, looperr — see cmd/schedlint)
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/schedlint ./...
 
 ## race: race-detect the scheduler hot path (includes the stress test)
 race:

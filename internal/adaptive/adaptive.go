@@ -165,7 +165,14 @@ const (
 	stateCommitted
 )
 
-// armStats is the per-arm slice of a site profile.
+// armStats is the per-arm slice of a site profile. The stats slices are
+// read and folded under the tuner mutex off the loop hot path, but
+// Decide on one site can run concurrently with Report on another whose
+// stats share the backing array's cache lines, so each entry is padded
+// to a full line — the slices are tiny (one entry per candidate arm)
+// and the padding keeps neighboring arms' EWMAs from bouncing.
+//
+//sched:cacheline
 type armStats struct {
 	Plays        int64
 	CostPerIter  float64 // ns per iteration: mean over the first plays, EWMA after
@@ -174,6 +181,8 @@ type armStats struct {
 	FailedSteals float64 // EWMA failed steal sweeps per invocation
 	RangeSteals  float64 // EWMA steal-half range splits per invocation
 	Imbalance    float64 // EWMA busy-time imbalance fraction of wall time
+
+	_ [8]byte // pad to one cache line (//sched:cacheline)
 }
 
 // observe folds one cost sample into the arm estimate: a plain running

@@ -71,17 +71,30 @@ func (r Range) Split(n int) []Range {
 	return out
 }
 
+// ClaimFlag is one partition's claim word, padded to a full cache line:
+// the claim phase has every worker Swap-ing flags of distinct partitions
+// concurrently, and the steal protocol's PeekClaimed re-reads them on
+// every idle probe, so packing sixteen 4-byte flags into one line would
+// make each claim CAS invalidate fifteen unrelated probes. R is at most
+// 2·P, so the padding costs under 8 KiB even on a 64-worker pool.
+//
+//sched:cacheline
+type ClaimFlag struct {
+	v atomic.Uint32 // 0 = unclaimed, 1 = claimed
+	_ [60]byte
+}
+
 // PartitionSet is the partition data structure A of Algorithm 1: the
 // iteration space divided into R = 2^k partitions with one atomic claim
 // flag per partition. A PartitionSet is created once per dynamic execution
 // of a hybrid loop and shared by every worker that participates.
 type PartitionSet struct {
 	iters   Range
-	parts   []Range         // partition r covers parts[r]
-	flags   []atomic.Uint32 // 0 = unclaimed, 1 = claimed
-	logR    int             // lg R
-	failed  atomic.Int64    // total failed claims (instrumentation)
-	claimed atomic.Int64    // successful claims so far
+	parts   []Range      // partition r covers parts[r]
+	flags   []ClaimFlag  // one padded claim word per partition
+	logR    int          // lg R
+	failed  atomic.Int64 // total failed claims (instrumentation)
+	claimed atomic.Int64 // successful claims so far
 }
 
 // NewPartitionSet divides [begin, end) into R partitions, where R is the
@@ -104,7 +117,7 @@ func NewPartitionSetR(begin, end, r int) *PartitionSet {
 	return &PartitionSet{
 		iters: Range{begin, end},
 		parts: (Range{begin, end}).Split(r),
-		flags: make([]atomic.Uint32, r),
+		flags: make([]ClaimFlag, r),
 		logR:  bits.TrailingZeros(uint(r)),
 	}
 }
@@ -122,12 +135,12 @@ func (ps *PartitionSet) Iterations() Range { return ps.iters }
 func (ps *PartitionSet) Partition(r int) Range { return ps.parts[r] }
 
 // Claimed reports whether partition r has been claimed.
-func (ps *PartitionSet) Claimed(r int) bool { return ps.flags[r].Load() != 0 }
+func (ps *PartitionSet) Claimed(r int) bool { return ps.flags[r].v.Load() != 0 }
 
 // AllClaimed reports whether every partition has been claimed.
 func (ps *PartitionSet) AllClaimed() bool {
 	for i := range ps.flags {
-		if ps.flags[i].Load() == 0 {
+		if ps.flags[i].v.Load() == 0 {
 			return false
 		}
 	}
@@ -145,7 +158,7 @@ func (ps *PartitionSet) FailedClaims() int64 { return ps.failed.Load() }
 // atomic swap, which has the identical owns-the-transition property.
 func (ps *PartitionSet) Claim(i, w int) (r int, ok bool) {
 	r = (i ^ w) & (len(ps.parts) - 1)
-	if ps.flags[r].Swap(1) != 0 {
+	if ps.flags[r].v.Swap(1) != 0 {
 		ps.failed.Add(1)
 		return r, false
 	}
@@ -162,7 +175,7 @@ func (ps *PartitionSet) Unclaimed() int {
 // ClaimPartition attempts to claim partition r directly (used by the steal
 // protocol, which probes a thief's designated partition r = w XOR 0 = w).
 func (ps *PartitionSet) ClaimPartition(r int) bool {
-	if ps.flags[r].Swap(1) != 0 {
+	if ps.flags[r].v.Swap(1) != 0 {
 		ps.failed.Add(1)
 		return false
 	}
@@ -175,7 +188,7 @@ func (ps *PartitionSet) ClaimPartition(r int) bool {
 // of Section III uses this read to decide whether a thief enters the loop
 // with its own worker ID or performs an ordinary random steal.
 func (ps *PartitionSet) PeekClaimed(w int) bool {
-	return ps.flags[w&(len(ps.parts)-1)].Load() != 0
+	return ps.flags[w&(len(ps.parts)-1)].v.Load() != 0
 }
 
 // NextIndex returns the index visited after i in worker order when the

@@ -112,8 +112,18 @@ func (r *ring) grow(top, bottom int64) *ring {
 // Deque is a Chase–Lev work-stealing deque. The zero value is not usable;
 // call New. PushBottom and PopBottom may be called only by the owning
 // worker; Steal may be called by any goroutine.
+//
+// Layout: top is the word thieves CAS, so it sits on its own cache line
+// away from bottom and the owner-private bookkeeping — otherwise every
+// steal attempt would invalidate the line the owner's push/pop hot path
+// reads. The struct as a whole is padded to a multiple of the line so
+// adjacently allocated deques (one per worker, same size class) never
+// share a boundary line.
+//
+//sched:cacheline
 type Deque struct {
-	top    atomic.Int64 // next slot to steal from
+	top    atomic.Int64 // next slot to steal from; CASed by thieves
+	_      [56]byte     // keep thief traffic off the owner's line
 	bottom atomic.Int64 // next slot to push to (owner-private except for reads)
 	active atomic.Pointer[ring]
 
@@ -131,6 +141,8 @@ type Deque struct {
 	// is virgin. Plain fields — only the owner reads or writes them.
 	cleanedTo int64
 	hw        int64 // high-water bottom since the ring was last clean
+
+	_ [48]byte // tail padding to a cache-line multiple (see type comment)
 }
 
 // New returns an empty deque. zeroFn, zeroAlt and zeroArg are the values

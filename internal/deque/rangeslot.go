@@ -25,8 +25,18 @@ import "sync/atomic"
 // RangeSlot holds one published iteration range [lo, hi), shrinkable from
 // the front by its owner and from the back by thieves. The zero value is
 // an empty slot, ready for use.
+//
+// RangeSlots live in per-worker arrays (rangeSet.slots, indexed by
+// worker ID) where the owner CASes its own slot once per chunk while
+// thieves CAS their victims', so each slot is padded to a full cache
+// line: eight unpadded 8-byte slots would share one line and every
+// TakeFront would invalidate seven other workers' hot word — exactly
+// the false sharing the paper's static partitioning is meant to avoid.
+//
+//sched:cacheline
 type RangeSlot struct {
 	v atomic.Uint64
+	_ [56]byte
 }
 
 // packRange packs lo and hi into one word, or ok == false if either bound

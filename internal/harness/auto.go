@@ -69,7 +69,7 @@ type AutoResult struct {
 type AutoAblation struct {
 	Workers   int // pool size; <= 0 selects GOMAXPROCS
 	Seed      uint64
-	Reps      int // invocations per cell; <= 0 selects 80
+	Reps      int            // invocations per cell; <= 0 selects 80
 	Workloads []AutoWorkload // nil selects AutoMicroWorkloads
 }
 

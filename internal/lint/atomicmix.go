@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix enforces the runtime's single-discipline rule for shared
+// words: a struct field or package-level variable whose address is
+// passed to a sync/atomic function anywhere in the module is an atomic
+// word, and every other access to it must go through sync/atomic too.
+// A plain read of such a word is a data race the race detector only
+// catches on the schedules that happen to exercise it, and a plain
+// write can tear against a concurrent CAS — exactly the failure mode
+// that breaks the claim-exactly-once and steal-half protocols.
+//
+// Initialization before publication is exempt: accesses inside
+// functions named New*/new*/init and composite-literal keys are
+// ignored, because a value not yet shared cannot race. Everything else
+// needs a //lint:ignore atomicmix <reason> annotation.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flags plain accesses to fields touched by sync/atomic elsewhere in the module",
+	Run:  runAtomicMix,
+}
+
+// atomicUse records where a variable was used atomically, for the
+// diagnostic message.
+type atomicUse struct {
+	name string // display name, e.g. sched.Worker.tasks
+	pos  token.Position
+}
+
+func runAtomicMix(ctx *Context) {
+	// Phase 1: collect every variable (struct field or package-level
+	// var) whose address flows into a sync/atomic call, across the whole
+	// module. Identity is the declaration's file:line:col — stable across
+	// packages even when the same field is reached through the source
+	// importer's independently type-checked copy of its package.
+	atomicVars := map[string]atomicUse{}
+	// skip marks the identifiers that *are* the atomic accesses, so
+	// phase 2 does not flag the legitimate uses.
+	skip := map[*ast.Ident]bool{}
+	for _, pkg := range ctx.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pkg, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					id, obj := addressedVar(pkg, un.X)
+					if id == nil || !trackable(pkg, obj) {
+						continue
+					}
+					skip[id] = true
+					key := ctx.Fset.Position(obj.Pos()).String()
+					if _, seen := atomicVars[key]; !seen {
+						atomicVars[key] = atomicUse{
+							name: displayName(pkg, un.X, obj),
+							pos:  ctx.Fset.Position(un.Pos()),
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+	// Phase 2: flag every remaining plain use of those variables.
+	for _, pkg := range ctx.Pkgs {
+		for _, f := range pkg.Files {
+			walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || skip[id] {
+					return true
+				}
+				obj, ok := pkg.Info.Uses[id].(*types.Var)
+				if !ok || !trackable(pkg, obj) {
+					return true
+				}
+				use, tracked := atomicVars[ctx.Fset.Position(obj.Pos()).String()]
+				if !tracked || exemptAtomicAccess(id, stack) {
+					return true
+				}
+				ctx.Reportf(id.Pos(), "plain %s of %s, which is accessed with sync/atomic (e.g. at %s); use sync/atomic here too",
+					accessKind(id, stack), use.name, use.pos)
+				return true
+			})
+		}
+	}
+}
+
+// isAtomicCall reports whether call invokes a function of sync/atomic.
+func isAtomicCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// addressedVar resolves the &-operand x to the identifier naming the
+// variable and its object: the Sel of a field selection, or a bare
+// (possibly package-qualified) identifier.
+func addressedVar(pkg *Package, x ast.Expr) (*ast.Ident, *types.Var) {
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok {
+			return x.Sel, v
+		}
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[x].(*types.Var); ok {
+			return x, v
+		}
+	}
+	return nil, nil
+}
+
+// trackable limits the analysis to variables whose accesses are
+// meaningfully cross-referenced module-wide: struct fields and
+// package-level variables. Function-local words synchronized by a
+// surrounding join are the caller's business.
+func trackable(pkg *Package, v *types.Var) bool {
+	if v == nil {
+		return false
+	}
+	if v.IsField() {
+		return true
+	}
+	return v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// displayName renders a readable identity for the variable: the
+// receiver type for a field selection, or the qualified name.
+func displayName(pkg *Package, x ast.Expr, v *types.Var) string {
+	if sel, ok := x.(*ast.SelectorExpr); ok {
+		if s, ok := pkg.Info.Selections[sel]; ok {
+			t := s.Recv()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			return types.TypeString(t, shortPkg) + "." + v.Name()
+		}
+	}
+	if v.Pkg() != nil {
+		return v.Pkg().Name() + "." + v.Name()
+	}
+	return v.Name()
+}
+
+// shortPkg qualifies type names with the package name rather than the
+// full import path — diagnostics read better and stay stable when the
+// module moves.
+func shortPkg(p *types.Package) string { return p.Name() }
+
+// exemptAtomicAccess reports whether the plain access at id is one of
+// the sanctioned pre-publication forms: a composite-literal key or any
+// access inside a constructor (New*/new*) or init function.
+func exemptAtomicAccess(id *ast.Ident, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.KeyValueExpr:
+			if n.Key == ast.Expr(id) {
+				if i > 0 {
+					if _, ok := stack[i-1].(*ast.CompositeLit); ok {
+						return true
+					}
+				}
+			}
+		case *ast.FuncDecl:
+			name := strings.ToLower(n.Name.Name)
+			if strings.HasPrefix(name, "new") || name == "init" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// accessKind classifies the plain access for the message: write, read,
+// or address-taken (an escaping pointer that may be dereferenced
+// plainly anywhere).
+func accessKind(id *ast.Ident, stack []ast.Node) string {
+	// The effective expression is the field selection containing id, if
+	// any; otherwise id itself.
+	top := ast.Node(id)
+	i := len(stack) - 1
+	if i >= 0 {
+		if sel, ok := stack[i].(*ast.SelectorExpr); ok && sel.Sel == id {
+			top = sel
+			i--
+		}
+	}
+	if i < 0 {
+		return "read"
+	}
+	switch parent := stack[i].(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range parent.Lhs {
+			if lhs == top {
+				return "write"
+			}
+		}
+	case *ast.IncDecStmt:
+		if parent.X == top {
+			return "write"
+		}
+	case *ast.UnaryExpr:
+		if parent.Op == token.AND && parent.X == top {
+			return "address-taking"
+		}
+	}
+	return "read"
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// cacheLineSize is the unit the runtime pads hot shared structs to.
+// 64 bytes covers every amd64/arm64 part this repository targets (the
+// M-series' 128-byte lines are handled by the padding being a multiple
+// of 64 — annotated structs that need full 128-byte isolation can pad
+// to 128, which is still a multiple of 64 and passes).
+const cacheLineSize = 64
+
+// CacheLine enforces the padding contract behind the //sched:cacheline
+// annotation: a struct so marked participates in a per-worker array or
+// adjacent hot allocation (RangeSlot descriptors, per-worker deques,
+// tuner arm slices) where neighboring elements are written by different
+// workers. Unless sizeof(T) is a multiple of the cache line, two
+// workers' elements share a line and every CAS invalidates the
+// neighbor's cache — reintroducing precisely the false sharing the
+// paper's static partitioning exists to avoid. The check uses the real
+// types.Sizes for the build platform, so a field added without
+// re-padding fails the lint run instead of silently costing 10x on the
+// steal path.
+var CacheLine = &Analyzer{
+	Name: "cacheline",
+	Doc:  "checks that //sched:cacheline structs are padded to a 64-byte multiple",
+	Run:  runCacheLine,
+}
+
+func runCacheLine(ctx *Context) {
+	for _, pkg := range ctx.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if !hasCachelineAnnotation(gd, ts) {
+						continue
+					}
+					checkCacheline(ctx, pkg, ts)
+				}
+			}
+		}
+	}
+}
+
+// hasCachelineAnnotation reports whether the declaration carries a
+// //sched:cacheline directive in its doc comment (on the type spec or,
+// for single-spec declarations, the surrounding GenDecl).
+func hasCachelineAnnotation(gd *ast.GenDecl, ts *ast.TypeSpec) bool {
+	for _, cg := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if text == "sched:cacheline" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func checkCacheline(ctx *Context, pkg *Package, ts *ast.TypeSpec) {
+	obj, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	if _, ok := ts.Type.(*ast.StructType); !ok {
+		ctx.Reportf(ts.Pos(), "//sched:cacheline annotation on %s, which is not a struct", ts.Name.Name)
+		return
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return
+	}
+	if named.TypeParams().Len() > 0 {
+		ctx.Reportf(ts.Pos(), "//sched:cacheline cannot check generic struct %s: sizes depend on the instantiation", ts.Name.Name)
+		return
+	}
+	size := pkg.Sizes.Sizeof(named.Underlying())
+	if size%cacheLineSize == 0 && size > 0 {
+		return
+	}
+	pad := (cacheLineSize - size%cacheLineSize) % cacheLineSize
+	if pad == 0 { // size 0: an empty annotated struct still needs a line
+		pad = cacheLineSize
+	}
+	ctx.Reportf(ts.Pos(), "//sched:cacheline struct %s is %d bytes on %s; add %d bytes of padding (e.g. _ [%d]byte) to reach a multiple of %d",
+		ts.Name.Name, size, buildArch(pkg), pad, pad, cacheLineSize)
+}
+
+// buildArch names the architecture the sizes were computed for.
+func buildArch(pkg *Package) string {
+	if s, ok := pkg.Sizes.(*types.StdSizes); ok && s.WordSize == 4 {
+		return "a 32-bit target"
+	}
+	return "this target"
+}

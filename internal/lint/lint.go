@@ -1,0 +1,203 @@
+// Package lint is the analysis engine behind cmd/schedlint: a small,
+// stdlib-only static-analysis framework (go/ast + go/types, packages
+// located with `go list -json`) hosting the concurrency-invariant
+// analyzers this runtime depends on.
+//
+// The paper's hybrid scheme is correct only because of delicate
+// invariants — every partition claimed exactly once via the XOR walk,
+// the steal-half CAS protocol on RangeSlot, a single-atomic-word
+// cancellation token — and those invariants are invisible to the type
+// system: one plain read of an atomically-written field, or one hot
+// struct that silently loses its cache-line padding, reintroduces
+// exactly the races and false sharing the design exists to avoid.
+// Ordinary tests miss these failures (they are probabilistic and
+// machine-dependent), so the invariants are enforced statically:
+//
+//   - atomicmix: a struct field or package-level variable whose address
+//     is passed to sync/atomic anywhere in the module must never be
+//     plainly read or written elsewhere.
+//   - cacheline: structs annotated //sched:cacheline must have a size
+//     that is a multiple of the 64-byte cache line per types.Sizes.
+//   - loopcapture: closures passed as parallel loop bodies
+//     (For/ForEach/ForErr/Reduce/...) must not plainly write variables
+//     captured from outside the closure.
+//   - looperr: the error results of ForErr/ForEachErr/ForCtx must not
+//     be discarded.
+//
+// Deliberate violations are annotated in the source with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the offending line or the line directly above it; the reason is
+// mandatory, so every suppression documents why the code is safe.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: which analyzer fired, where, and why.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named invariant check. Run receives the full set of
+// loaded packages (analyses like atomicmix are module-wide: the atomic
+// and the plain access of one field may live in different packages) and
+// reports findings through the Context.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(ctx *Context)
+}
+
+// Analyzers lists every check cmd/schedlint runs, in output order.
+var Analyzers = []*Analyzer{
+	AtomicMix,
+	CacheLine,
+	LoopCapture,
+	LoopErr,
+}
+
+// Context carries the loaded module through the analyzers and collects
+// their findings. All packages share one token.FileSet, so positions
+// are comparable across packages.
+type Context struct {
+	Fset  *token.FileSet
+	Pkgs  []*Package
+	diags []Diagnostic
+
+	current *Analyzer
+}
+
+// Reportf records a finding of the current analyzer at pos.
+func (c *Context) Reportf(pos token.Pos, format string, args ...any) {
+	c.diags = append(c.diags, Diagnostic{
+		Analyzer: c.current.Name,
+		Pos:      c.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the given analyzers over the loaded packages and returns
+// the surviving findings, suppressions applied, sorted by position.
+func Run(ctx *Context, analyzers []*Analyzer) []Diagnostic {
+	for _, a := range analyzers {
+		ctx.current = a
+		a.Run(ctx)
+	}
+	ctx.current = nil
+	sup := collectSuppressions(ctx)
+	kept := ctx.diags[:0]
+	for _, d := range ctx.diags {
+		if !sup.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	ctx.diags = kept
+	return kept
+}
+
+// suppressions maps (file, line) to the analyzer names ignored there.
+type suppressions map[string]map[int][]string
+
+// collectSuppressions scans every file's comments for
+// //lint:ignore <analyzer> <reason> directives. A directive with no
+// reason is itself a finding: an undocumented suppression defeats the
+// point of requiring one.
+func collectSuppressions(ctx *Context) suppressions {
+	sup := suppressions{}
+	for _, pkg := range ctx.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "lint:ignore") {
+						continue
+					}
+					fields := strings.Fields(text)
+					pos := ctx.Fset.Position(c.Pos())
+					if len(fields) < 3 {
+						ctx.diags = append(ctx.diags, Diagnostic{
+							Analyzer: "lint",
+							Pos:      pos,
+							Message:  "malformed directive: want //lint:ignore <analyzer> <reason>",
+						})
+						continue
+					}
+					byLine := sup[pos.Filename]
+					if byLine == nil {
+						byLine = map[int][]string{}
+						sup[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], fields[1])
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// suppressed reports whether a matching ignore directive sits on the
+// diagnostic's line or the line directly above it.
+func (s suppressions) suppressed(d Diagnostic) bool {
+	byLine := s[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, name := range byLine[line] {
+			if name == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// walkStack traverses the AST below root, calling fn with each node and
+// the stack of its ancestors (outermost first, not including n itself).
+// fn returning false prunes the subtree. Analyzers use the stack to
+// answer contextual questions plain ast.Inspect cannot, such as "is
+// this selector a composite-literal key" or "which function declaration
+// encloses this access".
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			// Pruned: Inspect sends no closing nil for a node whose visit
+			// returned false, so nothing is pushed either.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// TestGolden runs every analyzer over each fixture package under
+// testdata/src and compares the surviving diagnostics against the
+// committed golden file. Each fixture mixes positive cases (must be
+// reported), negative cases (must not be), and suppressed cases
+// (reported by the analyzer, removed by a //lint:ignore directive) —
+// the golden file pins all three behaviors at once, since a suppressed
+// or negative case leaking through changes the output.
+//
+// Regenerate with: go test ./internal/lint -run TestGolden -update
+func TestGolden(t *testing.T) {
+	fixtures := []string{"atomicmix", "cacheline", "loopcapture", "looperr", "suppress"}
+	for _, name := range fixtures {
+		t.Run(name, func(t *testing.T) {
+			root := moduleRoot(t)
+			ctx, err := Load(root, []string{"./internal/lint/testdata/src/" + name}, false)
+			if err != nil {
+				t.Fatalf("loading fixture %s: %v", name, err)
+			}
+			diags := Run(ctx, Analyzers)
+			var b strings.Builder
+			for _, d := range diags {
+				fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n",
+					filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+			}
+			// Messages may embed positions (atomicmix points at an example
+			// atomic access); strip the machine-dependent module root so the
+			// golden files are stable across checkouts.
+			got := strings.ReplaceAll(b.String(), root+string(filepath.Separator), "")
+
+			golden := filepath.Join("testdata", "golden", name+".txt")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading golden file (run with -update to create it): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch for %s\n--- got ---\n%s--- want ---\n%s", name, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenHasFindings guards the guard: a golden file that becomes
+// empty means the fixture's positive cases stopped firing — the
+// analyzer went blind, which a pure golden comparison would happily
+// pin as the new expected output via -update.
+func TestGoldenHasFindings(t *testing.T) {
+	for _, name := range []string{"atomicmix", "cacheline", "loopcapture", "looperr", "suppress"} {
+		data, err := os.ReadFile(filepath.Join("testdata", "golden", name+".txt"))
+		if err != nil {
+			t.Fatalf("reading golden for %s: %v", name, err)
+		}
+		if len(strings.TrimSpace(string(data))) == 0 {
+			t.Errorf("golden file for %s is empty: the fixture's positive cases no longer fire", name)
+		}
+		if name == "suppress" {
+			continue // exercises the engine, not one analyzer
+		}
+		if !strings.Contains(string(data), ": "+name+": ") {
+			t.Errorf("golden file for %s contains no %s findings", name, name)
+		}
+	}
+}
+
+// TestRepoIsClean asserts that schedlint finds nothing in the module
+// itself: every true positive is fixed and every deliberate exception
+// carries an annotated suppression. go list's ./... wildcard skips
+// testdata directories, so the deliberately broken fixtures above do
+// not trip this.
+func TestRepoIsClean(t *testing.T) {
+	ctx, err := Load(moduleRoot(t), []string{"./..."}, false)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags := Run(ctx, Analyzers)
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}

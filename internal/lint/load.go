@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	Sizes   types.Sizes
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	Dir         string
+	ImportPath  string
+	Name        string
+	GoFiles     []string
+	CgoFiles    []string
+	TestGoFiles []string
+	Error       *struct{ Err string }
+}
+
+// Load locates the packages matching patterns with `go list -json`
+// (run in dir), parses them, and type-checks them against a shared
+// FileSet. Dependencies — including the module's own internal packages
+// when imported across package boundaries — are resolved by the
+// stdlib source importer, so the loader needs nothing outside the
+// standard library and the go tool already on PATH. includeTests adds
+// each package's in-package _test.go files to the check.
+func Load(dir string, patterns []string, includeTests bool) (*Context, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	// One source importer for the whole run: it caches every dependency
+	// package it type-checks, so shared deps are checked once.
+	imp := importer.ForCompiler(fset, "source", nil)
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	ctx := &Context{Fset: fset}
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		names := append([]string{}, lp.GoFiles...)
+		names = append(names, lp.CgoFiles...)
+		if includeTests {
+			names = append(names, lp.TestGoFiles...)
+		}
+		if len(names) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		var typeErrs []error
+		conf := types.Config{
+			Importer: imp,
+			Sizes:    sizes,
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
+		if len(typeErrs) > 0 {
+			return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, typeErrs[0])
+		}
+		ctx.Pkgs = append(ctx.Pkgs, &Package{
+			PkgPath: lp.ImportPath,
+			Dir:     lp.Dir,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+			Sizes:   sizes,
+		})
+	}
+	return ctx, nil
+}
+
+// goList expands patterns into package metadata via the go tool.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+	dec := json.NewDecoder(&stdout)
+	var out []*listedPackage
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}

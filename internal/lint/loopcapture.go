@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LoopCapture flags the classic parallel-loop data race: a closure
+// passed as a loop body to For/ForEach/ForErr/Reduce/... that plainly
+// assigns to a variable captured from outside the closure. Chunks of
+// one loop run concurrently on different workers, so
+//
+//	sum := 0.0
+//	pool.ForEach(0, n, func(i int) { sum += f(i) })
+//
+// is a lost-update race on sum even though it reads naturally. The fix
+// is Reduce/Sum (deterministic block-ordered combination), a sync/atomic
+// accumulator, or per-worker slots combined after the join; genuinely
+// synchronized writes (a mutex inside the body) carry a
+// //lint:ignore loopcapture <reason> annotation.
+//
+// Writes through index or field expressions (out[i] = ..., s.f = ...)
+// are not flagged: indexing disjoint elements per iteration is the
+// intended output pattern, and the analyzer cannot prove disjointness
+// either way. Only the captured variable word itself is protected.
+var LoopCapture = &Analyzer{
+	Name: "loopcapture",
+	Doc:  "flags parallel loop bodies that plainly write variables captured from outside the closure",
+	Run:  runLoopCapture,
+}
+
+// parallelBodyParams maps the module's loop entry points — by the full
+// name go/types reports for the callee — to the parameter names whose
+// closure argument executes concurrently on multiple workers. Reduce's
+// combine and the option funcs run sequentially on the caller and are
+// deliberately absent.
+var parallelBodyParams = map[string][]string{
+	"(*hybridloop.Pool).For":        {"body"},
+	"(*hybridloop.Pool).ForEach":    {"body"},
+	"(*hybridloop.Pool).ForErr":     {"body"},
+	"(*hybridloop.Pool).ForEachErr": {"body"},
+	"(*hybridloop.Pool).ForCtx":     {"body"},
+	"(*hybridloop.Pool).ForWorker":  {"body"},
+	"(*hybridloop.Pool).For2D":      {"body"},
+	"hybridloop.For":                {"body"},
+	"hybridloop.ForWorkerNested":    {"body"},
+	"hybridloop.Reduce":             {"chunk"},
+	"hybridloop.Sum":                {"f"},
+
+	"hybridloop/internal/loop.For":        {"body"},
+	"hybridloop/internal/loop.ForW":       {"body"},
+	"hybridloop/internal/loop.WorkerFor":  {"body"},
+	"hybridloop/internal/loop.WorkerForW": {"body"},
+}
+
+func runLoopCapture(ctx *Context) {
+	for _, pkg := range ctx.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg, call)
+				if fn == nil {
+					return true
+				}
+				params, ok := parallelBodyParams[fn.FullName()]
+				if !ok {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok {
+					return true
+				}
+				for i, arg := range call.Args {
+					lit, ok := arg.(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					if !isParallelParam(sig, i, params) {
+						continue
+					}
+					checkBodyCaptures(ctx, pkg, fn, lit)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// calleeFunc resolves the called function object, unwrapping parens and
+// generic instantiation expressions. Returns nil for calls the analyzer
+// cannot name (function values, method expressions through interfaces).
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch fx := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(fx.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(fx.X)
+	}
+	var id *ast.Ident
+	switch fx := fun.(type) {
+	case *ast.Ident:
+		id = fx
+	case *ast.SelectorExpr:
+		id = fx.Sel
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isParallelParam reports whether argument index i of a call binds to a
+// parameter named in params (the variadic tail maps to the last one).
+func isParallelParam(sig *types.Signature, i int, params []string) bool {
+	tuple := sig.Params()
+	if tuple.Len() == 0 {
+		return false
+	}
+	idx := i
+	if idx >= tuple.Len() {
+		if !sig.Variadic() {
+			return false
+		}
+		idx = tuple.Len() - 1
+	}
+	name := tuple.At(idx).Name()
+	for _, p := range params {
+		if name == p {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBodyCaptures reports every plain write inside lit to a variable
+// declared outside it. Variables declared inside the closure (including
+// its parameters and any nested closures' locals) are chunk-local and
+// safe; everything with a declaration position outside [lit.Pos(),
+// lit.End()) is shared across the loop's workers.
+func checkBodyCaptures(ctx *Context, pkg *Package, fn *types.Func, lit *ast.FuncLit) {
+	flag := func(id *ast.Ident) {
+		obj, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return // declared inside the closure: chunk-local
+		}
+		ctx.Reportf(id.Pos(),
+			"parallel loop body passed to %s writes captured variable %s: chunks run concurrently on multiple workers, so this is a data race; use Reduce/Sum, a sync/atomic accumulator, or per-worker slots",
+			fn.Name(), id.Name)
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					flag(id)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(st.X).(*ast.Ident); ok {
+				flag(id)
+			}
+		case *ast.RangeStmt:
+			if st.Tok == token.ASSIGN {
+				for _, e := range []ast.Expr{st.Key, st.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						flag(id)
+					}
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// LoopErr flags discarded results of the fallible loop entry points.
+// ForErr/ForEachErr/ForCtx exist to deliver the first body error (or
+// the context's cancellation cause) to the caller; a call statement
+// that drops the result silently converts "the loop stopped after an
+// error, an unspecified subset of iterations never ran" into "the loop
+// completed" — a correctness bug invisible at the call site. Explicit
+// discards (_ = p.ForErr(...)) are permitted: they survive code review,
+// an ignored ExprStmt does not. defer and go statements of these calls
+// discard the result by construction and are flagged too.
+var LoopErr = &Analyzer{
+	Name: "looperr",
+	Doc:  "flags ignored error results of ForErr/ForEachErr/ForCtx",
+	Run:  runLoopErr,
+}
+
+// fallibleLoops are the loop entry points whose error result must be
+// consumed, by full callee name.
+var fallibleLoops = map[string]bool{
+	"(*hybridloop.Pool).ForErr":     true,
+	"(*hybridloop.Pool).ForEachErr": true,
+	"(*hybridloop.Pool).ForCtx":     true,
+}
+
+func runLoopErr(ctx *Context) {
+	for _, pkg := range ctx.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				var how string
+				switch st := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = ast.Unparen(st.X).(*ast.CallExpr)
+					how = "ignored"
+				case *ast.DeferStmt:
+					call, how = st.Call, "discarded by defer"
+				case *ast.GoStmt:
+					call, how = st.Call, "discarded by go"
+				default:
+					return true
+				}
+				if call == nil {
+					return true
+				}
+				fn := calleeFunc(pkg, call)
+				if fn == nil || !fallibleLoops[fn.FullName()] {
+					return true
+				}
+				ctx.Reportf(call.Pos(),
+					"error result of %s %s: the first body error (or cancellation cause) is lost and the loop's truncation goes unnoticed",
+					fn.Name(), how)
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Package atomicmix is the golden-file fixture for the atomicmix
+// analyzer: counters mixes atomic and plain access to the same field
+// (positive cases), cleanCounters keeps the disciplines separate
+// (negative cases), and the suppressed section shows an annotated
+// deliberate violation.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64 // accessed via sync/atomic in bump; plain access is a race
+	misses int64
+	plain  int64 // never touched atomically; plain access is fine
+}
+
+// globalHits is a package-level atomic word.
+var globalHits int64
+
+// bump establishes hits, misses and globalHits as atomic words.
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&globalHits, 1)
+	if atomic.LoadInt64(&c.misses) > 0 {
+		atomic.StoreInt64(&c.misses, 0)
+	}
+}
+
+// broken performs the plain accesses the analyzer must flag.
+func broken(c *counters) int64 {
+	c.hits++       // want: plain write
+	c.misses = 3   // want: plain write
+	globalHits = 0 // want: plain write of the package-level word
+	p := &c.hits   // want: plain address-taking
+	_ = p
+	return c.hits + globalHits // want: two plain reads
+}
+
+// clean shows the accesses that must NOT be flagged.
+func clean(c *counters) int64 {
+	c.plain++ // never atomic: fine
+	return atomic.LoadInt64(&c.hits) + c.plain
+}
+
+// newCounters is constructor scope: plain initialization before the
+// value is published cannot race and is exempt.
+func newCounters() *counters {
+	c := &counters{hits: 1} // composite-literal key: exempt
+	c.misses = 0            // constructor scope: exempt
+	return c
+}
+
+// suppressed shows a documented deliberate violation.
+func suppressed(c *counters) int64 {
+	//lint:ignore atomicmix read under the stop-the-world lock in tests
+	return c.hits
+}

@@ -1,0 +1,53 @@
+// Package cacheline is the golden-file fixture for the cacheline
+// analyzer: unpadded is annotated but 16 bytes (positive), padded and
+// exact are correctly sized (negative), unannotated is never checked,
+// and the suppressed case shows an annotated deliberate violation.
+package cacheline
+
+import "sync/atomic"
+
+// unpadded is a hot per-worker slot missing its padding.
+//
+//sched:cacheline
+type unpadded struct { // want: 16 bytes, add 48
+	v     atomic.Uint64
+	owner int32
+}
+
+// padded is the corrected form.
+//
+//sched:cacheline
+type padded struct {
+	v     atomic.Uint64
+	owner int32
+	_     [52]byte
+}
+
+// exact is 64 bytes with no explicit padding field.
+//
+//sched:cacheline
+type exact struct {
+	a, b, c, d, e, f, g, h int64
+}
+
+// unannotated is small and unpadded, but carries no annotation, so the
+// analyzer must not touch it.
+type unannotated struct {
+	v atomic.Uint32
+}
+
+// notAStruct is annotated but not a struct: the annotation itself is
+// the defect.
+//
+//sched:cacheline
+type notAStruct int64 // want: not a struct
+
+// tiny is a deliberate violation kept for the suppression case.
+//
+//sched:cacheline
+//lint:ignore cacheline single instance, never in an array
+type tiny struct {
+	v atomic.Uint32
+}
+
+var _ = []any{unpadded{}, padded{}, exact{}, unannotated{}, notAStruct(0), tiny{}}

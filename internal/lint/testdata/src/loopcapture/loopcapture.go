@@ -1,0 +1,85 @@
+// Package loopcapture is the golden-file fixture for the loopcapture
+// analyzer: racy sums into captured variables (positive cases),
+// disjoint-element writes and closure-local accumulators (negative
+// cases), and a mutex-guarded write with a suppression annotation.
+package loopcapture
+
+import (
+	"sync"
+
+	"hybridloop"
+)
+
+func racy(p *hybridloop.Pool, data []float64) float64 {
+	sum := 0.0
+	count := 0
+	p.ForEach(0, len(data), func(i int) {
+		sum += data[i] // want: captured write
+		count++        // want: captured write
+	})
+	p.For(0, len(data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum = sum + data[i] // want: captured write
+		}
+	})
+	hybridloop.Sum(p, 0, len(data), func(i int) float64 {
+		count-- // want: captured write even inside Sum's value func
+		return data[i]
+	})
+	return sum + float64(count)
+}
+
+func racyNested(p *hybridloop.Pool, data []float64) int {
+	worst := 0
+	p.ForWorker(0, len(data), func(w *hybridloop.Worker, lo, hi int) {
+		helper := func() {
+			worst = hi // want: captured write through a nested closure
+		}
+		helper()
+	})
+	return worst
+}
+
+func clean(p *hybridloop.Pool, in, out []float64) float64 {
+	p.ForEach(0, len(in), func(i int) {
+		out[i] = in[i] * 2 // disjoint element write: fine
+	})
+	p.For(0, len(in), func(lo, hi int) {
+		local := 0.0 // closure-local accumulator: fine
+		for i := lo; i < hi; i++ {
+			local += in[i]
+		}
+		out[lo] = local
+	})
+	// Reduce's combine runs sequentially on the caller; writes there
+	// are not parallel.
+	acc := 0.0
+	return hybridloop.Reduce(p, 0, len(in), 0, 0.0,
+		func(lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += in[i]
+			}
+			return s
+		},
+		func(a, b float64) float64 {
+			acc = a + b // sequential combine: fine
+			return acc
+		})
+}
+
+func suppressedWrite(p *hybridloop.Pool, data []float64) float64 {
+	var mu sync.Mutex
+	sum := 0.0
+	p.For(0, len(data), func(lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += data[i]
+		}
+		mu.Lock()
+		//lint:ignore loopcapture guarded by mu
+		sum += s
+		mu.Unlock()
+	})
+	return sum
+}

@@ -1,0 +1,38 @@
+// Package looperr is the golden-file fixture for the looperr analyzer:
+// dropped ForErr/ForEachErr/ForCtx results (positive cases), consumed
+// and explicitly discarded results (negative cases), and a suppressed
+// deliberate drop.
+package looperr
+
+import (
+	"context"
+
+	"hybridloop"
+)
+
+func fail(i int) error { return nil }
+
+func ignored(p *hybridloop.Pool, ctx context.Context, n int) {
+	p.ForErr(0, n, func(lo, hi int) error { return nil })       // want: ignored
+	p.ForEachErr(0, n, fail)                                    // want: ignored
+	p.ForCtx(ctx, 0, n, func(lo, hi int) {})                    // want: ignored
+	defer p.ForErr(0, n, func(lo, hi int) error { return nil }) // want: discarded by defer
+	go p.ForEachErr(0, n, fail)                                 // want: discarded by go
+}
+
+func consumed(p *hybridloop.Pool, ctx context.Context, n int) error {
+	if err := p.ForErr(0, n, func(lo, hi int) error { return nil }); err != nil {
+		return err
+	}
+	err := p.ForEachErr(0, n, fail)
+	// An explicit blank assignment is a reviewable, deliberate discard.
+	_ = p.ForCtx(ctx, 0, n, func(lo, hi int) {})
+	// For has no error result; nothing to check.
+	p.For(0, n, func(lo, hi int) {})
+	return err
+}
+
+func suppressed(p *hybridloop.Pool, n int) {
+	//lint:ignore looperr error path exercised separately in tests
+	p.ForErr(0, n, func(lo, hi int) error { return nil })
+}

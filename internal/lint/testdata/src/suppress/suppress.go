@@ -1,0 +1,20 @@
+// Package suppress exercises the suppression engine itself: a
+// malformed directive (missing the mandatory reason) is reported as a
+// finding, and a directive naming the wrong analyzer does not suppress
+// anything.
+package suppress
+
+import "sync/atomic"
+
+//lint:ignore cacheline
+// ^ malformed: no reason given; want a "lint" diagnostic.
+
+// mismatch stays flagged: the directive below names the wrong analyzer.
+//
+//sched:cacheline
+//lint:ignore atomicmix wrong analyzer name, must not suppress
+type mismatch struct { // want: cacheline finding survives
+	v atomic.Uint32
+}
+
+var _ = mismatch{}

@@ -548,6 +548,14 @@ func (p *Pool) loopList() []HybridLoop {
 
 // Worker is a surrogate of a processing core (Section II): a goroutine
 // with its own deque participating in randomized work stealing.
+//
+// Workers are allocated individually but land in the same heap size
+// class, so the struct is padded to a cache-line multiple (checked by
+// schedlint's cacheline analyzer) to keep one worker's hot counters —
+// tasks/steals are bumped on every executed task — from sharing a
+// boundary line with a neighbor's.
+//
+//sched:cacheline
 type Worker struct {
 	id     int
 	pool   *Pool
@@ -568,6 +576,8 @@ type Worker struct {
 	rangeSteals  atomic.Int64
 	busyNanos    atomic.Int64 // time in busy bursts (timeAcct only)
 	idleNanos    atomic.Int64 // time parked (timeAcct only)
+
+	_ [40]byte // pad to a cache-line multiple (//sched:cacheline)
 }
 
 // NoteRangeSteal records one successful steal-half of a published range

@@ -15,9 +15,9 @@ func TestDefaultTileDegenerate(t *testing.T) {
 		rows, cols, workers int
 	}{
 		{1, 1, 1},
-		{1, 1, 64},            // workers far exceed the grid
-		{2, 3, 64},            // tiny grid, many workers
-		{1, 1000, 8},          // degenerate aspect ratio
+		{1, 1, 64},   // workers far exceed the grid
+		{2, 3, 64},   // tiny grid, many workers
+		{1, 1000, 8}, // degenerate aspect ratio
 		{1000, 1, 8},
 		{100, 100, 4},
 		{1 << 20, 1 << 20, 8}, // 1T iterations
