@@ -4,9 +4,9 @@ SCHED_PKGS := ./internal/sched/... ./internal/deque/... ./internal/loop/...
 
 BENCH_PATTERN := BenchmarkSpawn|BenchmarkSpawnBatch|BenchmarkStealThroughput|BenchmarkWakeToFirstTask|BenchmarkForFine
 
-STRESS_PATTERN := TestCancel|TestPanickingOwner|TestNoStaleDemand|TestForErr|TestForEachErr|TestForCtx|TestPanicPropagation|TestStealHalf|TestRangeSlotAbandon
+STRESS_PATTERN := TestCancel|TestPanickingOwner|TestDemandRetiredOnPark|TestDemandQuiesces|TestMeetDemand|TestParkingRetains|TestForErr|TestForEachErr|TestForCtx|TestPanicPropagation|TestStealHalf|TestRangeSlotAbandon|TestGate|TestConcurrentIndependentLoops|TestCrossLoopCancelStress|TestTryForBackpressure|TestForDegradesInline
 
-.PHONY: check race bench benchdiff stress lint
+.PHONY: check race bench benchdiff stress lint servertest
 
 ## check: vet, build and test everything (tier-1 gate)
 check:
@@ -34,6 +34,12 @@ bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' \
 		-benchtime 0.5s -count=1 ./internal/sched/ | tee /tmp/bench_sched.txt
 	$(GO) run ./cmd/benchjson -in /tmp/bench_sched.txt -out BENCH_sched.json
+
+## servertest: smoke-test the multi-tenant serving example — self-driving
+## load run with a concurrent giant batch loop; exits non-zero if the
+## service collapses (zero throughput, unbounded P99, goroutine blow-up)
+servertest:
+	$(GO) run ./examples/server -bench -duration 3s -clients 8 -giant
 
 ## benchdiff: rerun the benchmarks and fail on a >10% ns/op regression
 ## against the committed BENCH_sched.json (writes nothing)

@@ -46,10 +46,18 @@ func (p *Pool) ForEachErr(begin, end int, body func(i int) error, opts ...ForOpt
 }
 
 // forErr is the shared lowering of ForErr/ForEachErr. skip is the frame
-// distance to the user's call site for Auto-loop attribution.
+// distance to the user's call site for Auto-loop attribution. Under
+// admission control a rejected submission degrades to a serial inline
+// run, exactly as For does: body is called once with the whole range on
+// the calling goroutine and its error (if any) returned.
 func (p *Pool) forErr(begin, end int, body func(lo, hi int) error, opts []ForOption, skip int) error {
 	if end <= begin {
 		return nil
+	}
+	if release, inline := p.admitOrInline(); inline {
+		return body(begin, end)
+	} else if release != nil {
+		defer release()
 	}
 	c := new(sched.Canceller)
 	o := p.options(opts, skip)
@@ -84,8 +92,19 @@ func (p *Pool) ForCtx(ctx context.Context, begin, end int, body Body, opts ...Fo
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	// ForCtx is the blocking-with-ctx admission variant: a submission the
+	// gate cannot admit immediately waits for an in-flight slot (and a
+	// rate token) under ctx, so callers get bounded queueing with a
+	// deadline instead of an inline fallback — the natural shape for an
+	// HTTP handler holding a request context.
+	if p.gate != nil {
+		if err := p.gate.Acquire(ctx); err != nil {
+			return err
+		}
+		defer p.gate.Release()
+	}
 	if ctx.Done() == nil {
-		p.For(begin, end, body, opts...)
+		p.forUngated(begin, end, body, opts)
 		return nil
 	}
 	c := new(sched.Canceller)

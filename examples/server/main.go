@@ -1,0 +1,316 @@
+// Multi-tenant loop serving: an HTTP service that runs a data-parallel
+// computation per request on ONE shared hybridloop pool, beside a giant
+// low-priority batch loop — the serving regime the admission gate and
+// cross-loop fairness machinery exist for.
+//
+// Endpoints:
+//
+//	GET /score?n=N  — parallel scoring over N items via TryFor at
+//	                  priority 8; answers 503 when the admission gate
+//	                  sheds the request (ErrBackpressure).
+//	GET /stats      — JSON: scheduler counters, admission gate counters,
+//	                  per-loop fairness attribution, latency digest.
+//
+// Run it as a server:
+//
+//	go run ./examples/server -addr :8080 -maxloops 8 -giant
+//
+// Or as a self-driving load test (starts the server on a loopback port,
+// hammers it with concurrent clients while the giant loop runs, prints a
+// latency report, exits non-zero if the service collapsed):
+//
+//	go run ./examples/server -bench -duration 5s -clients 16 -giant
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridloop"
+	"hybridloop/internal/latency"
+)
+
+var (
+	addr     = flag.String("addr", ":8080", "listen address (server mode)")
+	workers  = flag.Int("workers", 0, "pool workers (0 = GOMAXPROCS)")
+	maxloops = flag.Int("maxloops", 8, "in-flight loop budget (0 = unlimited)")
+	rate     = flag.Float64("rate", 0, "submit rate limit, loops/sec (0 = unlimited)")
+	burst    = flag.Int("burst", 32, "submit rate burst capacity")
+	giant    = flag.Bool("giant", false, "run a giant priority-1 batch loop in the background")
+	bench    = flag.Bool("bench", false, "self-driving load test instead of serving")
+	duration = flag.Duration("duration", 5*time.Second, "bench: load duration")
+	clients  = flag.Int("clients", 16, "bench: concurrent client goroutines")
+	reqN     = flag.Int("n", 1<<14, "bench: items scored per request")
+)
+
+// server holds the shared pool and the per-endpoint latency samplers.
+type server struct {
+	pool    *hybridloop.Pool
+	lat     *latency.Sampler
+	shed    atomic.Int64 // requests answered 503
+	served  atomic.Int64 // requests answered 200
+	stopBkg chan struct{}
+	bkgDone chan struct{}
+}
+
+func newServer() *server {
+	opts := []hybridloop.Option{}
+	if *maxloops > 0 {
+		opts = append(opts, hybridloop.WithMaxInFlightLoops(*maxloops))
+	}
+	if *rate > 0 {
+		opts = append(opts, hybridloop.WithSubmitRate(*rate, *burst))
+	}
+	s := &server{
+		pool:    hybridloop.NewPool(*workers, opts...),
+		lat:     latency.NewSampler(0),
+		stopBkg: make(chan struct{}),
+		bkgDone: make(chan struct{}),
+	}
+	if *giant {
+		go s.runGiantLoop()
+	} else {
+		close(s.bkgDone)
+	}
+	return s
+}
+
+// runGiantLoop is the batch tenant: an endless sequence of large
+// priority-1 loops. Under the fairness protocol it soaks up every idle
+// worker yet cannot starve the priority-8 request loops.
+func (s *server) runGiantLoop() {
+	defer close(s.bkgDone)
+	sink := 0.0
+	for {
+		select {
+		case <-s.stopBkg:
+			return
+		default:
+		}
+		s.pool.For(0, 1<<22, func(lo, hi int) {
+			acc := 0.0
+			for i := lo; i < hi; i++ {
+				acc += math.Sqrt(float64(i%4096) + 1)
+			}
+			if acc < 0 {
+				panic("unreachable")
+			}
+		}, hybridloop.WithPriority(1))
+		sink++
+	}
+}
+
+// score is the per-request data-parallel computation: a toy feature
+// scoring over n items, reduced to one float64.
+func (s *server) score(n int) (float64, error) {
+	var mu sync.Mutex
+	total := 0.0
+	err := s.pool.TryFor(0, n, func(lo, hi int) {
+		acc := 0.0
+		for i := lo; i < hi; i++ {
+			x := float64(i)
+			acc += math.Sqrt(x+1) * math.Log1p(x)
+		}
+		mu.Lock()
+		total += acc
+		mu.Unlock()
+	}, hybridloop.WithPriority(8), hybridloop.WithChunk(1024))
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+func (s *server) handleScore(w http.ResponseWriter, r *http.Request) {
+	n := *reqN
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 || v > 1<<24 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	start := time.Now()
+	total, err := s.score(n)
+	if errors.Is(err, hybridloop.ErrBackpressure) {
+		s.shed.Add(1)
+		http.Error(w, "overloaded, retry later", http.StatusServiceUnavailable)
+		return
+	}
+	s.lat.Observe(time.Since(start))
+	s.served.Add(1)
+	fmt.Fprintf(w, "%.6g\n", total)
+}
+
+// statsPayload is the /stats JSON shape: pool counters, admission gate
+// counters, per-loop fairness attribution, and the latency digest.
+type statsPayload struct {
+	Sched      hybridloop.Stats      `json:"sched"`
+	Admission  *hybridloop.GateStats `json:"admission,omitempty"`
+	LiveLoops  []hybridloop.LoopInfo `json:"live_loops"`
+	Served     int64                 `json:"served"`
+	Shed       int64                 `json:"shed"`
+	LatencyP50 string                `json:"latency_p50"`
+	LatencyP99 string                `json:"latency_p99"`
+	Goroutines int                   `json:"goroutines"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	sum := s.lat.Summary()
+	p := statsPayload{
+		Sched:      s.pool.Stats(),
+		LiveLoops:  s.pool.LiveLoops(),
+		Served:     s.served.Load(),
+		Shed:       s.shed.Load(),
+		LatencyP50: sum.P50.String(),
+		LatencyP99: sum.P99.String(),
+		Goroutines: runtime.NumGoroutine(),
+	}
+	if g, ok := s.pool.AdmissionStats(); ok {
+		p.Admission = &g
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(p)
+}
+
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/score", s.handleScore)
+	m.HandleFunc("/stats", s.handleStats)
+	return m
+}
+
+func (s *server) close() {
+	close(s.stopBkg)
+	<-s.bkgDone
+	s.pool.Close()
+}
+
+func main() {
+	flag.Parse()
+	if *bench {
+		os.Exit(runBench())
+	}
+	s := newServer()
+	defer s.close()
+	fmt.Printf("serving on %s  (workers=%d maxloops=%d rate=%g giant=%v)\n",
+		*addr, s.pool.Workers(), *maxloops, *rate, *giant)
+	if err := http.ListenAndServe(*addr, s.mux()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// runBench starts the server on a loopback port and drives it with
+// concurrent clients for the configured duration, reporting throughput,
+// shed rate, and latency percentiles. Returns the process exit code:
+// non-zero when the service collapsed (zero throughput, an unbounded
+// P99, or an unbounded goroutine count).
+func runBench() int {
+	s := newServer()
+	defer s.close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	hs := &http.Server{Handler: s.mux()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	fmt.Printf("bench: %d clients × %s against %s (workers=%d maxloops=%d giant=%v, n=%d/request)\n",
+		*clients, *duration, base, s.pool.Workers(), *maxloops, *giant, *reqN)
+
+	var (
+		ok503, okResp, fails atomic.Int64
+		maxGoroutines        atomic.Int64
+		wg                   sync.WaitGroup
+	)
+	clientLat := latency.NewSampler(0)
+	stop := time.Now().Add(*duration)
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := &http.Client{Timeout: 10 * time.Second}
+			url := base + "/score"
+			for time.Now().Before(stop) {
+				t0 := time.Now()
+				resp, err := cl.Get(url)
+				if err != nil {
+					fails.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					clientLat.Observe(time.Since(t0))
+					okResp.Add(1)
+				case http.StatusServiceUnavailable:
+					ok503.Add(1)
+				default:
+					fails.Add(1)
+				}
+				if g := int64(runtime.NumGoroutine()); g > maxGoroutines.Load() {
+					maxGoroutines.Store(g)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	sum := clientLat.Summary()
+	total := okResp.Load() + ok503.Load()
+	fmt.Printf("done: %d requests (%d ok, %d shed, %d failed), %.0f req/s\n",
+		total, okResp.Load(), ok503.Load(), fails.Load(),
+		float64(total)/duration.Seconds())
+	fmt.Printf("latency (ok responses): %s\n", sum)
+	if g, ok := s.pool.AdmissionStats(); ok {
+		fmt.Printf("admission: admitted=%d rejected=%d waited=%d inline=%d in-flight=%d\n",
+			g.Admitted, g.Rejected, g.Waited, g.Inline, g.InFlight)
+	}
+	fmt.Printf("loops registered over run: %d; peak goroutines: %d\n",
+		s.pool.LoopsRegistered(), maxGoroutines.Load())
+
+	// Collapse criteria. The P99 bound is generous — the point is
+	// "bounded beside a giant loop", not a hard SLO: pre-fairness the
+	// small loops waited for whole giant-loop partitions to drain.
+	exit := 0
+	if okResp.Load() == 0 {
+		fmt.Println("FAIL: zero successful requests")
+		exit = 1
+	}
+	if sum.P99 > 2*time.Second {
+		fmt.Printf("FAIL: P99 %s exceeds 2s — small loops starved\n", sum.P99)
+		exit = 1
+	}
+	// Bounded degradation: goroutines ≈ clients + workers + HTTP
+	// plumbing; a leak per request would blow far past this.
+	bound := int64(*clients*4 + s.pool.Workers() + 64)
+	if maxGoroutines.Load() > bound {
+		fmt.Printf("FAIL: peak goroutines %d exceeds bound %d\n", maxGoroutines.Load(), bound)
+		exit = 1
+	}
+	if exit == 0 {
+		fmt.Println("PASS")
+	}
+	return exit
+}

@@ -35,6 +35,7 @@
 package hybridloop
 
 import (
+	"context"
 	"runtime"
 
 	"hybridloop/internal/adaptive"
@@ -98,10 +99,14 @@ type Body = loop.Body
 type Pool struct {
 	s           *sched.Pool
 	tuner       *adaptive.Tuner
+	gate        *sched.Gate // admission control; nil = ungated
 	strategy    Strategy
 	chunk       int
 	seed        uint64
 	lockThreads bool
+	maxInFlight int
+	submitRate  float64
+	submitBurst int
 }
 
 // Option configures a Pool.
@@ -158,6 +163,9 @@ func NewPool(workers int, opts ...Option) *Pool {
 		Workers: p.s.P(),
 		Arms:    loop.AutoArms,
 	})
+	if p.maxInFlight > 0 || p.submitRate > 0 {
+		p.gate = sched.NewGate(p.maxInFlight, p.submitRate, p.submitBurst)
+	}
 	return p
 }
 
@@ -253,7 +261,23 @@ func (p *Pool) options(opts []ForOption, skip int) loop.Options {
 // returns when every iteration has completed. It must be called from
 // outside the pool's workers; inside a running task, use the free
 // function For with the current Worker.
+//
+// On a pool with admission control (WithMaxInFlightLoops/WithSubmitRate),
+// a submission the gate rejects degrades to a serial inline run: body is
+// invoked once with the whole range on the calling goroutine, bypassing
+// the scheduler (and therefore trace, recorder, and tuner) entirely.
+// Every iteration still executes exactly once; the pool's concurrency
+// stays bounded. Use TryFor to observe the rejection instead.
 func (p *Pool) For(begin, end int, body Body, opts ...ForOption) {
+	if end <= begin {
+		return
+	}
+	if release, inline := p.admitOrInline(); inline {
+		body(begin, end)
+		return
+	} else if release != nil {
+		defer release()
+	}
 	loop.For(p.s, begin, end, body, p.options(opts, 1))
 }
 
@@ -261,8 +285,20 @@ func (p *Pool) For(begin, end int, body Body, opts ...ForOption) {
 // for very fine-grained loops. The per-index adapter is built once, in
 // the worker-aware form the loop core consumes directly, so ForEach costs
 // at most one more allocation per loop than For (it used to wrap body in
-// two closure layers re-boxed on every call).
+// two closure layers re-boxed on every call). Under admission control it
+// degrades to a serial inline run exactly as For does.
 func (p *Pool) ForEach(begin, end int, body func(i int), opts ...ForOption) {
+	if end <= begin {
+		return
+	}
+	if release, inline := p.admitOrInline(); inline {
+		for i := begin; i < end; i++ {
+			body(i)
+		}
+		return
+	} else if release != nil {
+		defer release()
+	}
 	loop.ForW(p.s, begin, end, eachBody(body), p.options(opts, 1))
 }
 
@@ -284,8 +320,21 @@ func eachBody(body func(i int)) loop.BodyW {
 type BodyW = loop.BodyW
 
 // ForWorker is For with a worker-aware body, for bodies containing nested
-// parallelism.
+// parallelism. A worker-aware body cannot run without a worker, so under
+// admission control a rejected ForWorker waits for admission instead of
+// degrading to an inline run (the gate's in-flight slots turn over as
+// loops complete, so the wait is bounded by the backlog, like a
+// semaphore).
 func (p *Pool) ForWorker(begin, end int, body BodyW, opts ...ForOption) {
+	if end <= begin {
+		return
+	}
+	if p.gate != nil {
+		if err := p.gate.Acquire(context.Background()); err != nil {
+			return // unreachable: Background is never done
+		}
+		defer p.gate.Release()
+	}
 	loop.ForW(p.s, begin, end, body, p.options(opts, 1))
 }
 

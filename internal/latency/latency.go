@@ -1,0 +1,118 @@
+// Package latency is a small concurrency-safe latency sampler with
+// percentile extraction — the measurement side of the multi-tenant
+// serving example (examples/server) and its load generator. It stores
+// exact samples (bounded by a configurable cap with uniform reservoir
+// replacement past it), so percentiles are exact until the cap and an
+// unbiased estimate after.
+package latency
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultCap bounds the number of retained samples when NewSampler is
+// given cap <= 0. At 16 bytes a sample this is ~4 MiB.
+const DefaultCap = 1 << 18
+
+// Sampler accumulates duration samples. The zero value is NOT ready to
+// use; construct with NewSampler.
+type Sampler struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	seen    int64 // total Observe calls, including replaced ones
+	max     time.Duration
+	cap     int
+	rng     uint64
+}
+
+// NewSampler returns a sampler retaining at most cap samples
+// (DefaultCap if cap <= 0).
+func NewSampler(cap int) *Sampler {
+	if cap <= 0 {
+		cap = DefaultCap
+	}
+	return &Sampler{samples: make([]time.Duration, 0, min(cap, 4096)), cap: cap, rng: 0x9e3779b97f4a7c15}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Observe records one sample.
+func (s *Sampler) Observe(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen++
+	if d > s.max {
+		s.max = d
+	}
+	if len(s.samples) < s.cap {
+		s.samples = append(s.samples, d)
+		return
+	}
+	// Reservoir replacement: keep each of the seen samples with equal
+	// probability. xorshift is plenty for load-test statistics.
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	if k := int64(s.rng % uint64(s.seen)); k < int64(s.cap) {
+		s.samples[k] = d
+	}
+}
+
+// Count returns how many samples have been observed (not retained).
+func (s *Sampler) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seen
+}
+
+// Summary is a fixed percentile digest of the observed samples.
+type Summary struct {
+	Count         int64
+	P50, P95, P99 time.Duration
+	Max           time.Duration
+}
+
+// Summary extracts the digest. With no samples all fields are zero.
+func (s *Sampler) Summary() Summary {
+	s.mu.Lock()
+	retained := make([]time.Duration, len(s.samples))
+	copy(retained, s.samples)
+	out := Summary{Count: s.seen, Max: s.max}
+	s.mu.Unlock()
+	if len(retained) == 0 {
+		return out
+	}
+	sort.Slice(retained, func(i, j int) bool { return retained[i] < retained[j] })
+	out.P50 = quantile(retained, 0.50)
+	out.P95 = quantile(retained, 0.95)
+	out.P99 = quantile(retained, 0.99)
+	return out
+}
+
+// quantile reads the q-th quantile from an ascending slice using the
+// nearest-rank method.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)) + 0.5)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// String formats the summary for load-test reports.
+func (sm Summary) String() string {
+	return fmt.Sprintf("n=%d p50=%s p95=%s p99=%s max=%s",
+		sm.Count, sm.P50.Round(time.Microsecond), sm.P95.Round(time.Microsecond),
+		sm.P99.Round(time.Microsecond), sm.Max.Round(time.Microsecond))
+}

@@ -1,0 +1,74 @@
+package latency
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPercentilesExact(t *testing.T) {
+	s := NewSampler(0)
+	// 1ms..100ms: p50 ≈ 50ms, p95 ≈ 95ms, p99 ≈ 99ms, max = 100ms.
+	for i := 1; i <= 100; i++ {
+		s.Observe(time.Duration(i) * time.Millisecond)
+	}
+	sum := s.Summary()
+	if sum.Count != 100 {
+		t.Fatalf("Count = %d, want 100", sum.Count)
+	}
+	check := func(name string, got, want time.Duration) {
+		if got < want-time.Millisecond || got > want+time.Millisecond {
+			t.Errorf("%s = %v, want ~%v", name, got, want)
+		}
+	}
+	check("P50", sum.P50, 50*time.Millisecond)
+	check("P95", sum.P95, 95*time.Millisecond)
+	check("P99", sum.P99, 99*time.Millisecond)
+	if sum.Max != 100*time.Millisecond {
+		t.Errorf("Max = %v, want 100ms", sum.Max)
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	if sum := NewSampler(0).Summary(); sum != (Summary{}) {
+		t.Fatalf("empty sampler summary = %+v, want zero", sum)
+	}
+}
+
+func TestReservoirCapAndMax(t *testing.T) {
+	s := NewSampler(64)
+	for i := 1; i <= 10000; i++ {
+		s.Observe(time.Duration(i) * time.Microsecond)
+	}
+	sum := s.Summary()
+	if sum.Count != 10000 {
+		t.Fatalf("Count = %d, want 10000", sum.Count)
+	}
+	// Max is tracked exactly even when the sample was not retained.
+	if sum.Max != 10000*time.Microsecond {
+		t.Fatalf("Max = %v, want 10ms", sum.Max)
+	}
+	// Retained set is uniform over 1..10000µs: p50 must land in the
+	// broad middle, not be pinned to the first or last 64 values.
+	if sum.P50 < 1*time.Millisecond || sum.P50 > 9*time.Millisecond {
+		t.Fatalf("P50 = %v, want within (1ms, 9ms) for a uniform stream", sum.P50)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	s := NewSampler(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Count(); got != 8000 {
+		t.Fatalf("Count = %d, want 8000", got)
+	}
+}

@@ -49,7 +49,7 @@ func hybridFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
 	// plus, transiently, the published ranges and stolen halves of the
 	// lazy doWork inside each partition.
 	h.g.Add(ps.R())
-	w.Pool().RegisterLoop(h)
+	w.Pool().RegisterLoopWeighted(h, opts.Priority)
 	// Deferred so a body panic re-raised by Wait still removes the loop
 	// from the registry.
 	defer w.Pool().UnregisterLoop(h)

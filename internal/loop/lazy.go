@@ -122,6 +122,16 @@ func (rs *rangeSet) runOwned(w *sched.Worker, lo, hi int) {
 		if s.Remaining() > rs.chunk && pool.Demand() {
 			pool.MeetDemand()
 		}
+		// Cross-loop latency fairness: a newly submitted loop's root sits
+		// in the injection queue, and with every worker mid-partition
+		// nobody would return to runOne for a long time — so owners
+		// service one pending submission per chunk boundary. The detour
+		// leaves this loop's published range stealable, so its load
+		// balancing continues underneath the helper. One uncontended
+		// atomic load when the queue is empty.
+		if pool.InjectPending() {
+			pool.HelpOneInjected(w)
+		}
 	}
 }
 

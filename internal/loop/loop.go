@@ -119,6 +119,15 @@ type Options struct {
 	// tiny-workload shortcut of adaptive schedulers (cf. Thoman et al. in
 	// the paper's related work). Zero disables the shortcut.
 	SerialCutoff int
+	// Priority is the loop's cross-loop fairness weight: when several
+	// loops are live on the pool at once, idle workers are steered to the
+	// live loop with the smallest served/priority ratio, so a loop with
+	// priority 2 is entitled to roughly twice the steal-protocol service
+	// of a priority-1 loop under contention. Zero or negative selects the
+	// default weight 1. Meaningful only for the registry-probing
+	// strategies (Hybrid, DynamicStealing); the team-based strategies pin
+	// their whole team up front.
+	Priority int
 	// Trace, if non-nil, records scheduling events (loop boundaries,
 	// claims, chunk executions) for this loop.
 	Trace *trace.Log
@@ -331,7 +340,7 @@ func stealingFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
 	l := &lazyLoop{}
 	l.g.BindCancel(opts.Cancel)
 	l.rs.init(pool.P(), &l.g, body, opts, chunk)
-	pool.RegisterLoop(l)
+	pool.RegisterLoopWeighted(l, opts.Priority)
 	// Unregister even if the body panics mid-range (the slot itself is
 	// drained by runOwned's unwind path) so the registry never holds a
 	// dead loop.
@@ -366,6 +375,12 @@ func sharingFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
 				hi = end
 			}
 			runChunk(cw, body, opts, lo, hi)
+			// Cross-loop latency fairness at chunk granularity, as in
+			// rangeSet.runOwned: a team worker grinding a long shared
+			// counter services one pending submission between grabs.
+			if cw.Pool().InjectPending() {
+				cw.Pool().HelpOneInjected(cw)
+			}
 		}
 	}
 	teamRun(w, opts, grab)
@@ -406,6 +421,9 @@ func guidedFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
 				continue
 			}
 			runChunk(cw, body, opts, lo, hi)
+			if cw.Pool().InjectPending() {
+				cw.Pool().HelpOneInjected(cw)
+			}
 		}
 	}
 	teamRun(w, opts, grab)

@@ -1,0 +1,221 @@
+// Admission control for multi-tenant loop serving: a Gate bounds how many
+// loops may be in flight on a pool at once (an in-flight budget) and how
+// fast new loops may be submitted (a token bucket), so a flood of
+// submissions from request goroutines degrades gracefully — callers
+// observe backpressure (ErrBackpressure, or a ctx-bounded wait) instead of
+// oversubscribing the fixed worker set until every loop's latency
+// collapses. The policy shapes follow the standard serving control plane:
+// token-bucket rate limiting for the submit edge and a semaphore for the
+// concurrency budget (cf. the GoSim policy sandbox referenced in
+// ROADMAP.md).
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrBackpressure is returned by non-blocking admission (Gate.TryAcquire
+// consumers such as the public TryFor) when the gate rejects a submission:
+// the in-flight budget is exhausted or the token bucket is empty. Callers
+// shed, queue, or degrade — the signal exists precisely so overload is
+// the caller's decision rather than a silent pile-up on the pool.
+var ErrBackpressure = errors.New("sched: loop admission rejected (backpressure)")
+
+// GateStats are the admission gate's counters, for observability.
+type GateStats struct {
+	Admitted int64 // submissions admitted (including after a wait)
+	Rejected int64 // non-blocking rejections + ctx-expired waits
+	Waited   int64 // admissions that had to block first
+	Inline   int64 // submissions the caller degraded to serial-inline
+	InFlight int   // currently admitted, not-yet-released loops
+}
+
+// Gate is the admission controller for loop submissions: an optional
+// bounded in-flight budget plus an optional token bucket on the submit
+// rate. The zero Gate must not be used; construct with NewGate. All
+// methods are safe for concurrent use.
+type Gate struct {
+	slots chan struct{} // in-flight budget; nil = unlimited
+	rate  float64       // tokens per second; <= 0 disables the bucket
+	burst float64
+
+	mu     sync.Mutex // guards tokens/last
+	tokens float64
+	last   time.Time
+
+	admitted atomic.Int64
+	rejected atomic.Int64
+	waited   atomic.Int64
+	inline   atomic.Int64
+}
+
+// NewGate builds a gate admitting at most maxInFlight concurrent loops
+// (<= 0 means unlimited) and at most rate submissions per second with the
+// given burst capacity (rate <= 0 disables the token bucket; burst is
+// clamped to >= 1 when the bucket is enabled). The bucket starts full.
+func NewGate(maxInFlight int, rate float64, burst int) *Gate {
+	g := &Gate{rate: rate}
+	if maxInFlight > 0 {
+		g.slots = make(chan struct{}, maxInFlight)
+	}
+	if rate > 0 {
+		if burst < 1 {
+			burst = 1
+		}
+		g.burst = float64(burst)
+		g.tokens = g.burst
+		g.last = time.Now()
+	}
+	return g
+}
+
+// refillLocked accrues tokens for the time elapsed since the last refill.
+func (g *Gate) refillLocked(now time.Time) {
+	if dt := now.Sub(g.last); dt > 0 {
+		g.tokens += dt.Seconds() * g.rate
+		if g.tokens > g.burst {
+			g.tokens = g.burst
+		}
+	}
+	g.last = now
+}
+
+// takeToken consumes one bucket token if available (true when the bucket
+// is disabled).
+func (g *Gate) takeToken() bool {
+	if g.rate <= 0 {
+		return true
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.refillLocked(time.Now())
+	if g.tokens >= 1 {
+		g.tokens--
+		return true
+	}
+	return false
+}
+
+// tokenDelay consumes a token if one is available (taken == true), or
+// returns how long until one accrues.
+func (g *Gate) tokenDelay() (d time.Duration, taken bool) {
+	if g.rate <= 0 {
+		return 0, true
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.refillLocked(time.Now())
+	if g.tokens >= 1 {
+		g.tokens--
+		return 0, true
+	}
+	d = time.Duration((1 - g.tokens) / g.rate * float64(time.Second))
+	if d < 100*time.Microsecond {
+		d = 100 * time.Microsecond
+	}
+	return d, false
+}
+
+// TryAcquire attempts a non-blocking admission. On success the caller
+// holds one in-flight slot and must Release it when the loop completes.
+// On failure nothing is held and the caller observes backpressure.
+func (g *Gate) TryAcquire() bool {
+	if g.slots != nil {
+		select {
+		case g.slots <- struct{}{}:
+		default:
+			g.rejected.Add(1)
+			return false
+		}
+	}
+	if !g.takeToken() {
+		if g.slots != nil {
+			<-g.slots
+		}
+		g.rejected.Add(1)
+		return false
+	}
+	g.admitted.Add(1)
+	return true
+}
+
+// Acquire blocks until the submission is admitted or ctx is done. On
+// success the caller holds one in-flight slot and must Release it; on
+// ctx expiry nothing is held and ctx.Err() is returned. Waiters for the
+// in-flight budget are served approximately FIFO (blocked channel sends).
+func (g *Gate) Acquire(ctx context.Context) error {
+	waited := false
+	if g.slots != nil {
+		select {
+		case g.slots <- struct{}{}:
+		default:
+			waited = true
+			select {
+			case g.slots <- struct{}{}:
+			case <-ctx.Done():
+				g.rejected.Add(1)
+				return ctx.Err()
+			}
+		}
+	}
+	for {
+		d, ok := g.tokenDelay()
+		if ok {
+			break
+		}
+		waited = true
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			if g.slots != nil {
+				<-g.slots
+			}
+			g.rejected.Add(1)
+			return ctx.Err()
+		}
+	}
+	if waited {
+		g.waited.Add(1)
+	}
+	g.admitted.Add(1)
+	return nil
+}
+
+// Release returns an in-flight slot acquired by TryAcquire or a
+// successful Acquire. Exactly one Release per successful acquisition.
+func (g *Gate) Release() {
+	if g.slots != nil {
+		<-g.slots
+	}
+}
+
+// NoteInline records one submission that the caller, upon rejection,
+// degraded to a serial inline run instead of entering the pool — the
+// "run it yourself rather than oversubscribe" fallback of the public For.
+func (g *Gate) NoteInline() { g.inline.Add(1) }
+
+// InFlight returns the number of currently admitted loops (0 when the
+// in-flight budget is unlimited and therefore untracked).
+func (g *Gate) InFlight() int {
+	if g.slots == nil {
+		return 0
+	}
+	return len(g.slots)
+}
+
+// Stats snapshots the gate's counters.
+func (g *Gate) Stats() GateStats {
+	return GateStats{
+		Admitted: g.admitted.Load(),
+		Rejected: g.rejected.Load(),
+		Waited:   g.waited.Load(),
+		Inline:   g.inline.Load(),
+		InFlight: g.InFlight(),
+	}
+}

@@ -1,0 +1,207 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateTryAcquireInFlightBudget(t *testing.T) {
+	g := NewGate(2, 0, 0) // two slots, no rate limit
+	if !g.TryAcquire() || !g.TryAcquire() {
+		t.Fatal("TryAcquire failed with free slots")
+	}
+	if g.TryAcquire() {
+		t.Fatal("TryAcquire succeeded past the in-flight budget")
+	}
+	if got := g.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	g.Release()
+	if !g.TryAcquire() {
+		t.Fatal("TryAcquire failed after Release freed a slot")
+	}
+	g.Release()
+	g.Release()
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d after full release, want 0", got)
+	}
+}
+
+func TestGateTokenBucket(t *testing.T) {
+	// 10 tokens/sec, burst 3: three immediate admits, then rejection until
+	// the bucket refills (~100ms per token).
+	g := NewGate(0, 10, 3)
+	for i := 0; i < 3; i++ {
+		if !g.TryAcquire() {
+			t.Fatalf("TryAcquire %d rejected within burst capacity", i)
+		}
+		g.Release()
+	}
+	if g.TryAcquire() {
+		t.Fatal("TryAcquire succeeded with an empty token bucket")
+	}
+	// After enough refill time one token must be back. Generous deadline
+	// to stay robust on loaded CI machines.
+	deadline := time.Now().Add(2 * time.Second)
+	for !g.TryAcquire() {
+		if time.Now().After(deadline) {
+			t.Fatal("token bucket never refilled")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	g.Release()
+}
+
+func TestGateTokenFailureRollsBackSlot(t *testing.T) {
+	// One slot, empty bucket after the first admit: the second TryAcquire
+	// fails on the token and must give its slot back, or the gate wedges.
+	g := NewGate(1, 0.001, 1)
+	if !g.TryAcquire() {
+		t.Fatal("first TryAcquire rejected")
+	}
+	g.Release()
+	if g.TryAcquire() {
+		t.Fatal("TryAcquire succeeded with an empty bucket")
+	}
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("token rejection leaked an in-flight slot: InFlight = %d", got)
+	}
+}
+
+func TestGateAcquireBlocksUntilRelease(t *testing.T) {
+	g := NewGate(1, 0, 0)
+	if !g.TryAcquire() {
+		t.Fatal("TryAcquire rejected with a free slot")
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.Acquire(context.Background()) }()
+	select {
+	case err := <-done:
+		t.Fatalf("Acquire returned %v with the budget exhausted", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Release()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Acquire = %v after a slot freed, want nil", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Acquire never unblocked after Release")
+	}
+	g.Release()
+	if s := g.Stats(); s.Waited != 1 {
+		t.Fatalf("Waited = %d, want 1", s.Waited)
+	}
+}
+
+func TestGateAcquireCtxCancelDoesNotLeakSlot(t *testing.T) {
+	g := NewGate(1, 0, 0)
+	if !g.TryAcquire() {
+		t.Fatal("TryAcquire rejected with a free slot")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := g.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Acquire = %v, want DeadlineExceeded", err)
+	}
+	g.Release()
+	// The cancelled waiter must not have consumed the slot it never got.
+	if !g.TryAcquire() {
+		t.Fatal("cancelled Acquire leaked the in-flight slot")
+	}
+	g.Release()
+}
+
+func TestGateAcquireCtxCancelDuringTokenWaitReleasesSlot(t *testing.T) {
+	// Free slot but a drained, near-frozen bucket: Acquire gets the slot,
+	// then times out waiting for a token — the slot must be returned.
+	g := NewGate(1, 0.001, 1)
+	if !g.TryAcquire() {
+		t.Fatal("burst token unavailable")
+	}
+	g.Release()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := g.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Acquire = %v, want DeadlineExceeded", err)
+	}
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("token-wait cancellation leaked a slot: InFlight = %d", got)
+	}
+}
+
+func TestGateStatsCounters(t *testing.T) {
+	g := NewGate(1, 0, 0)
+	g.TryAcquire() // admitted
+	g.TryAcquire() // rejected
+	g.NoteInline()
+	g.Release()
+	s := g.Stats()
+	if s.Admitted != 1 || s.Rejected != 1 || s.Inline != 1 || s.InFlight != 0 {
+		t.Fatalf("Stats = %+v, want Admitted=1 Rejected=1 Inline=1 InFlight=0", s)
+	}
+}
+
+// TestGateConcurrentAcquireRelease hammers the gate from many goroutines
+// and checks the invariant the whole design exists for: the number of
+// holders never exceeds the budget. Run with -race.
+func TestGateConcurrentAcquireRelease(t *testing.T) {
+	const budget = 4
+	g := NewGate(budget, 0, 0)
+	var cur, peak atomicMax
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if err := g.Acquire(context.Background()); err != nil {
+					t.Errorf("Acquire: %v", err)
+					return
+				}
+				peak.observe(cur.add(1))
+				cur.add(-1)
+				g.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.load(); p > budget {
+		t.Fatalf("observed %d concurrent holders, budget %d", p, budget)
+	}
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d after all released, want 0", got)
+	}
+}
+
+// atomicMax is a tiny helper tracking a running value and its maximum.
+type atomicMax struct {
+	mu  sync.Mutex
+	v   int
+	max int
+}
+
+func (a *atomicMax) add(d int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.v += d
+	return a.v
+}
+
+func (a *atomicMax) observe(v int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if v > a.max {
+		a.max = v
+	}
+}
+
+func (a *atomicMax) load() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.max
+}

@@ -145,13 +145,13 @@ func TestGroupPanicTripsBoundCanceller(t *testing.T) {
 	}
 }
 
-// waitFlagClear polls the pool's demand flag until it reads clear or the
-// deadline passes. The clears under test happen on worker park, which is
-// asynchronous with the test goroutine.
-func waitFlagClear(p *Pool) bool {
+// waitDemandZero polls the pool's demand count until it reads zero or the
+// deadline passes. The retirements under test happen on worker park,
+// which is asynchronous with the test goroutine.
+func waitDemandZero(p *Pool) bool {
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if p.demandFlag.Load() == 0 {
+		if p.demand.Load() == 0 {
 			return true
 		}
 		time.Sleep(time.Millisecond)
@@ -159,20 +159,21 @@ func waitFlagClear(p *Pool) bool {
 	return false
 }
 
-// TestDemandFlagClearedOnPark: a raised thief-demand flag must not
-// outlive the thieves — a worker that gives up and parks retires the
-// signal (its idleness is represented by nparked from then on).
-func TestDemandFlagClearedOnPark(t *testing.T) {
+// TestDemandRetiredOnPark: the demand count must not outlive the hungry
+// thieves — a worker that gives up and parks retires its own unit (its
+// idleness is represented by nparked from then on), so a quiescent pool
+// always converges to a zero count and no staleness survives into the
+// next loop.
+func TestDemandRetiredOnPark(t *testing.T) {
 	p := NewPool(2, 2)
 	defer p.Close()
-	// Let the pool go quiescent, then raise the flag as a failed sweep
-	// would and wake a worker: it sweeps, finds nothing, re-parks, and
-	// must clear the flag on the way down.
-	time.Sleep(10 * time.Millisecond)
-	p.demandFlag.Store(1)
+	// Wake every worker: each sweeps, finds nothing (transiently marking
+	// itself hungry after the failed sweep), re-parks, and must retire
+	// its demand unit on the way down.
+	p.WakeAll()
 	p.Notify()
-	if !waitFlagClear(p) {
-		t.Fatal("demand flag still raised after the woken worker re-parked")
+	if !waitDemandZero(p) {
+		t.Fatal("demand count still nonzero after every worker re-parked")
 	}
 }
 
@@ -183,22 +184,19 @@ type idleLoop struct{}
 func (idleLoop) Live() bool            { return false }
 func (idleLoop) TrySteal(*Worker) bool { return false }
 
-// TestDemandFlagClearedOnLastUnregister: when the last registered loop
-// leaves the registry, a raised demand flag is pure staleness (only loop
-// owners consume it) and must be dropped so it cannot trigger a spurious
-// first-chunk MeetDemand in the next loop.
-func TestDemandFlagClearedOnLastUnregister(t *testing.T) {
+// TestDemandQuiescesAfterLastUnregister: registering and unregistering a
+// loop (waking workers into failed sweeps along the way) must leave no
+// stale demand behind once the pool quiesces — the per-worker accounting
+// that replaced the old sticky flag retires itself without the unregister
+// path having to clean anything up.
+func TestDemandQuiescesAfterLastUnregister(t *testing.T) {
 	p := NewPool(2, 3)
 	defer p.Close()
 	var l idleLoop
 	p.RegisterLoop(l)
-	p.demandFlag.Store(1)
 	p.UnregisterLoop(l)
-	// The unregister clear is synchronous, but a worker woken by
-	// RegisterLoop can still be mid-sweep and transiently re-raise the
-	// flag before parking (which clears it again); poll.
-	if !waitFlagClear(p) {
-		t.Fatal("demand flag still raised after the last loop unregistered")
+	if !waitDemandZero(p) {
+		t.Fatal("demand count still nonzero after the last loop unregistered and the pool quiesced")
 	}
 }
 

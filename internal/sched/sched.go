@@ -182,13 +182,46 @@ type Pool struct {
 
 	nparked    atomic.Int64  // workers announced as parking or parked
 	wakeCursor atomic.Uint32 // round-robin start for targeted wakeups
-	demandFlag atomic.Uint32 // set by failed steal sweeps, cleared by MeetDemand
-	timeAcct   atomic.Bool   // busy/idle time accounting enabled
-	quit       chan struct{}
-	wg         sync.WaitGroup
+	// demand is the exact count of hungry workers: workers whose last
+	// steal sweep covered every victim and found nothing, and which have
+	// not yet acquired work or parked. Each worker contributes at most
+	// one unit (Worker.hungry); the count retires autonomously as hungry
+	// workers find work, so there is no clear operation — and none of the
+	// check-then-act races the old pool-wide 0/1 flag had, where a
+	// MeetDemand (or a parking worker) could erase a signal raised
+	// concurrently by another thief's failed sweep.
+	demand    atomic.Int32
+	injectedN atomic.Int64 // pending external submissions (for HelpOneInjected)
+	timeAcct  atomic.Bool  // busy/idle time accounting enabled
+	quit      chan struct{}
+	wg        sync.WaitGroup
 
-	loopsMu sync.Mutex                   // serializes Register/Unregister
-	loops   atomic.Pointer[[]HybridLoop] // immutable snapshot, lock-free probes
+	loopsMu    sync.Mutex                   // serializes Register/Unregister
+	loops      atomic.Pointer[[]*loopEntry] // immutable snapshot, lock-free probes
+	nextLoopID atomic.Uint64                // per-pool loop IDs for attribution
+}
+
+// loopEntry is one registered loop plus the fairness metadata the steal
+// protocol keys on: a pool-unique ID (registration order, the tiebreak),
+// a relative weight, and the count of successful steal-protocol entries
+// served to the loop so far. Idle workers probe live entries in ascending
+// served/weight order, so a freshly registered small loop (served = 0)
+// outranks a giant loop that has already absorbed many workers — the
+// deficit-weighted round-robin that keeps one loop from starving the rest.
+type loopEntry struct {
+	l      HybridLoop
+	id     uint64
+	weight int32
+	served atomic.Int64
+}
+
+// LoopInfo is a snapshot of one registered loop's fairness state, for
+// observability (per-loop attribution in stats endpoints).
+type LoopInfo struct {
+	ID     uint64 // registration order, unique per pool
+	Weight int    // relative service share
+	Served int64  // successful steal-protocol entries routed to the loop
+	Live   bool   // whether the loop still advertises stealable work
 }
 
 // NewPool creates a pool with p workers (p >= 1) and starts them. seed
@@ -342,8 +375,52 @@ func (p *Pool) submit(t Task) {
 		panic("sched: Run on closed pool")
 	}
 	p.inject.push(t)
+	p.injectedN.Add(1)
 	p.injectMu.Unlock()
 	p.notify()
+}
+
+// InjectPending reports whether external submissions are queued. One
+// uncontended atomic load; loop strategies poll it at chunk boundaries to
+// decide whether to detour into HelpOneInjected.
+func (p *Pool) InjectPending() bool { return p.injectedN.Load() != 0 }
+
+// maxInjectHelpDepth bounds the recursion of loops helping loops: a
+// worker that picks up an injected loop root mid-chunk may, inside that
+// loop, pick up another. The bound keeps a flood of submissions from
+// growing one worker's stack without limit; submissions beyond it simply
+// wait for a worker at lower depth (or a parked one).
+const maxInjectHelpDepth = 8
+
+// HelpOneInjected lets a worker that is mid-loop service the external
+// submission queue: it pops one injected task (typically a newly
+// submitted loop's root) and runs it inline on w, then returns to the
+// caller's loop. Loop strategies call it at chunk boundaries so a freshly
+// submitted small loop starts within about one chunk even when every
+// worker is grinding a giant loop — without it, a new loop's root waits
+// until some worker drains its entire partition and returns to runOne,
+// which is the cross-loop starvation the multi-tenant serving mode must
+// avoid. The caller's own published range descriptor remains stealable
+// during the detour, so no work is lost and the interrupted loop keeps
+// load balancing underneath the helper.
+//
+// Returns false when nothing is pending or the worker is already at the
+// help-depth bound.
+func (p *Pool) HelpOneInjected(w *Worker) bool {
+	if w.injectDepth >= maxInjectHelpDepth || p.injectedN.Load() == 0 {
+		return false
+	}
+	t, ok, more := p.takeInjected()
+	if !ok {
+		return false
+	}
+	if more {
+		p.notify()
+	}
+	w.injectDepth++
+	defer func() { w.injectDepth-- }()
+	w.run(t)
+	return true
 }
 
 // takeInjected removes one externally submitted task, FIFO. more reports
@@ -351,6 +428,9 @@ func (p *Pool) submit(t Task) {
 func (p *Pool) takeInjected() (t Task, ok, more bool) {
 	p.injectMu.Lock()
 	t, ok = p.inject.pop()
+	if ok {
+		p.injectedN.Add(-1)
+	}
 	more = p.inject.len() > 0
 	p.injectMu.Unlock()
 	return t, ok, more
@@ -456,28 +536,36 @@ func (p *Pool) WakeAll() {
 }
 
 // Demand reports whether there is evidence of thief demand: a worker is
-// parked (idle capacity with nothing to run) or some worker recently swept
-// every victim without finding work. It costs one or two uncontended
-// atomic loads, cheap enough for a loop owner to poll once per executed
-// chunk — the demand signal that drives lazy range splitting: with no
-// demand the owner keeps consuming its published range in large sequential
-// grains and the loop pays zero splitting overhead.
+// parked (idle capacity with nothing to run) or some worker's last steal
+// sweep covered every victim without finding work and it is still hungry.
+// It costs one or two uncontended atomic loads, cheap enough for a loop
+// owner to poll once per executed chunk — the demand signal that drives
+// lazy range splitting: with no demand the owner keeps consuming its
+// published range in large sequential grains and the loop pays zero
+// splitting overhead.
 func (p *Pool) Demand() bool {
-	return p.nparked.Load() > 0 || p.demandFlag.Load() != 0
+	return p.nparked.Load() > 0 || p.demand.Load() > 0
 }
 
-// MeetDemand acknowledges a Demand observation: it clears the failed-steal
-// flag and wakes one parked worker so the surplus the caller is
-// advertising (a published range descriptor with more than a chunk left)
-// gets a thief routed to it. Recruitment then spreads by the usual wake
-// chaining — a thief that steals half and observes the victim still has
-// surplus wakes the next parked worker.
+// MeetDemand responds to a Demand observation by waking one parked worker
+// so the surplus the caller is advertising (a published range descriptor
+// with more than a chunk left) gets a thief routed to it. Recruitment then
+// spreads by the usual wake chaining — a thief that steals half and
+// observes the victim still has surplus wakes the next parked worker.
+//
+// Unlike the old pool-wide demand flag, there is nothing to clear here:
+// the demand count is exact per-worker accounting that retires on its own
+// when a hungry worker acquires work or parks. The old Load()!=0 →
+// Store(0) clear was check-then-act — a hint raised by a concurrent
+// failed-steal sweep between the load and the store was silently erased
+// before any owner advertised surplus (see TestMeetDemandKeepsConcurrentDemand).
 func (p *Pool) MeetDemand() {
-	if p.demandFlag.Load() != 0 {
-		p.demandFlag.Store(0)
-	}
 	p.notify()
 }
+
+// DemandCount returns the number of currently hungry workers (exact
+// accounting; see Demand). Exposed for observability and tests.
+func (p *Pool) DemandCount() int { return int(p.demand.Load()) }
 
 // notifyWorker wakes one specific worker — required for pinned tasks,
 // which only their target worker may execute, so a round-robin wake of
@@ -495,27 +583,40 @@ func (p *Pool) notifyWorker(w *Worker) {
 	}
 }
 
-// RegisterLoop enrolls a live hybrid loop in the steal protocol and wakes
-// one parked worker; further participants are recruited by wake chaining
-// as claims observe unclaimed partitions.
+// RegisterLoop enrolls a live hybrid loop in the steal protocol with the
+// default weight 1 and wakes one parked worker; further participants are
+// recruited by wake chaining as claims observe unclaimed partitions.
 func (p *Pool) RegisterLoop(l HybridLoop) {
+	p.RegisterLoopWeighted(l, 1)
+}
+
+// RegisterLoopWeighted is RegisterLoop with an explicit fairness weight:
+// idle workers probe live loops in ascending served/weight order, so a
+// loop with weight 2 is entitled to roughly twice the steal-protocol
+// entries of a weight-1 loop under contention. Weights below 1 are
+// clamped to 1.
+func (p *Pool) RegisterLoopWeighted(l HybridLoop, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	e := &loopEntry{l: l, id: p.nextLoopID.Add(1), weight: int32(weight)}
 	p.loopsMu.Lock()
 	old := p.loops.Load()
-	var ls []HybridLoop
+	var ls []*loopEntry
 	if old != nil {
 		ls = append(ls, *old...)
 	}
-	ls = append(ls, l)
+	ls = append(ls, e)
 	p.loops.Store(&ls)
 	p.loopsMu.Unlock()
 	p.notify()
 }
 
 // UnregisterLoop removes a hybrid loop from the steal protocol registry.
-// When the registry empties, the thief-demand flag is cleared: the flag
-// is only ever consumed by owners of registered loops, so with none left
-// a raised flag is pure staleness — it would otherwise survive into the
-// next loop and trigger a spurious first-chunk MeetDemand there.
+// No demand cleanup is needed on the last unregister anymore: the demand
+// count is exact per-worker accounting that a hungry worker retires
+// itself when it finds work or parks, so it cannot go stale across loops
+// the way the old sticky flag could.
 func (p *Pool) UnregisterLoop(l HybridLoop) {
 	p.loopsMu.Lock()
 	defer p.loopsMu.Unlock()
@@ -523,28 +624,46 @@ func (p *Pool) UnregisterLoop(l HybridLoop) {
 	if old == nil {
 		return
 	}
-	ls := make([]HybridLoop, 0, len(*old))
-	for _, x := range *old {
-		if x != l {
-			ls = append(ls, x)
+	ls := make([]*loopEntry, 0, len(*old))
+	for _, e := range *old {
+		if e.l != l {
+			ls = append(ls, e)
 		}
 	}
 	p.loops.Store(&ls)
-	if len(ls) == 0 && p.demandFlag.Load() != 0 {
-		p.demandFlag.Store(0)
-	}
 }
 
 // loopList returns the current registered-loop snapshot without copying:
 // Register/Unregister publish fresh immutable slices, so the per-probe
 // copy the old mutex+snapshot scheme made on every idle probe is gone.
-func (p *Pool) loopList() []HybridLoop {
+func (p *Pool) loopList() []*loopEntry {
 	ls := p.loops.Load()
 	if ls == nil {
 		return nil
 	}
 	return *ls
 }
+
+// LiveLoops snapshots the fairness state of every registered loop, for
+// per-loop attribution in stats/trace consumers (the examples/server
+// /stats endpoint renders it). Ordered by registration.
+func (p *Pool) LiveLoops() []LoopInfo {
+	ls := p.loopList()
+	out := make([]LoopInfo, len(ls))
+	for i, e := range ls {
+		out[i] = LoopInfo{
+			ID:     e.id,
+			Weight: int(e.weight),
+			Served: e.served.Load(),
+			Live:   e.l.Live(),
+		}
+	}
+	return out
+}
+
+// LoopsRegistered returns the number of loops ever registered with this
+// pool (the current value of the per-pool loop ID counter).
+func (p *Pool) LoopsRegistered() int64 { return int64(p.nextLoopID.Load()) }
 
 // Worker is a surrogate of a processing core (Section II): a goroutine
 // with its own deque participating in randomized work stealing.
@@ -563,6 +682,14 @@ type Worker struct {
 	rng    *rng.Xoshiro256
 	park   chan struct{} // capacity-1 wake token channel
 	parked atomic.Bool   // set before the final pre-park sweep
+	// hungry marks a worker whose last steal sweep found nothing and that
+	// has not yet acquired work or parked; it mirrors one unit of the
+	// pool's demand count. Worker-private: only the owning goroutine reads
+	// or writes it (the shared signal is Pool.demand).
+	hungry bool
+	// injectDepth is the worker's current nesting depth of inline
+	// HelpOneInjected detours. Worker-private.
+	injectDepth int32
 
 	pinnedMu   sync.Mutex
 	pinned     []spawned    // worker-targeted tasks; FIFO, not stealable
@@ -577,7 +704,7 @@ type Worker struct {
 	busyNanos    atomic.Int64 // time in busy bursts (timeAcct only)
 	idleNanos    atomic.Int64 // time parked (timeAcct only)
 
-	_ [40]byte // pad to a cache-line multiple (//sched:cacheline)
+	_ [32]byte // pad to a cache-line multiple (//sched:cacheline)
 }
 
 // NoteRangeSteal records one successful steal-half of a published range
@@ -585,6 +712,30 @@ type Worker struct {
 // the steal-half protocol; the counter lives here so Stats aggregates it
 // with the other scheduling counters.
 func (w *Worker) NoteRangeSteal() { w.rangeSteals.Add(1) }
+
+// noteHungry registers this worker's unmet demand after a failed full
+// steal sweep. Idempotent per worker: repeated failed sweeps contribute
+// one unit until the worker is fed or parks, so the demand count is an
+// exact census of hungry workers, never a sticky flag.
+func (w *Worker) noteHungry() {
+	if !w.hungry {
+		w.hungry = true
+		w.pool.demand.Add(1)
+	}
+}
+
+// noteFed retires this worker's demand contribution: called when the
+// worker acquires work, and when it parks (from then on its idleness is
+// represented by nparked, which Demand() checks first — the park-time
+// retirement only ever removes this worker's own unit, so other live
+// loops' hungry thieves keep the demand signal raised; the old pool-wide
+// flag clear wiped theirs too).
+func (w *Worker) noteFed() {
+	if w.hungry {
+		w.hungry = false
+		w.pool.demand.Add(-1)
+	}
+}
 
 // spawned is the deque/pinned-queue element: the task function plus its
 // join group. Panic capture and the group Done happen in runSpawned, so
@@ -745,6 +896,11 @@ func (w *Worker) Wait(g *Group) {
 			time.Sleep(20 * time.Microsecond)
 		}
 	}
+	// A worker can leave a join hungry (its final sweeps found nothing
+	// because the group finished under it); it is about to resume the
+	// task that called Wait, so its demand unit would be stale — retire
+	// it here rather than waiting for the next runOne success or park.
+	w.noteFed()
 	if tp := g.panics.Load(); tp != nil {
 		panic(&TaskPanicError{Value: tp.value, Stack: tp.stack})
 	}
@@ -777,8 +933,17 @@ func (w *Worker) runSpawned(s spawned) {
 
 // runOne executes one unit of work if any can be found: own deque first,
 // then the hybrid-loop steal protocol, then a random steal, then the
-// injection queue. Returns false if nothing was found.
+// injection queue. Returns false if nothing was found. A success feeds
+// the worker — its demand contribution (if any) is retired.
 func (w *Worker) runOne() bool {
+	ok := w.findAndRunOne()
+	if ok {
+		w.noteFed()
+	}
+	return ok
+}
+
+func (w *Worker) findAndRunOne() bool {
 	if s, ok := w.takePinned(); ok {
 		w.runSpawned(s)
 		return true
@@ -810,17 +975,73 @@ func (w *Worker) runOne() bool {
 // loop itself chains wakeups on successful claims (see Pool.Notify), so
 // probing stays wake-silent for workers whose designated partition is
 // already claimed.
+//
+// With more than one live loop registered, probes follow deficit-weighted
+// order: the live loop with the smallest served/weight ratio is tried
+// first (ties broken by registration order), then the next-smallest, and
+// so on. A giant loop that has already absorbed many steal-protocol
+// entries therefore cannot monopolize idle workers: a freshly registered
+// small or high-weight loop wins the next probe.
 func (w *Worker) tryLoopProtocol() bool {
-	for _, l := range w.pool.loopList() {
-		if !l.Live() {
-			continue
-		}
-		if l.TrySteal(w) {
+	entries := w.pool.loopList()
+	n := len(entries)
+	switch {
+	case n == 0:
+		return false
+	case n == 1:
+		e := entries[0]
+		if e.l.Live() && e.l.TrySteal(w) {
+			e.served.Add(1)
 			w.loopEntries.Add(1)
 			return true
 		}
+		return false
+	case n <= 64:
+		var tried uint64
+		for {
+			i := nextLoopIndex(entries, tried)
+			if i < 0 {
+				return false
+			}
+			tried |= 1 << uint(i)
+			e := entries[i]
+			if e.l.TrySteal(w) {
+				e.served.Add(1)
+				w.loopEntries.Add(1)
+				return true
+			}
+		}
+	default:
+		// Degenerate registry sizes (admission control keeps real servers
+		// far below this): linear order, still correct, no fairness sort.
+		for _, e := range entries {
+			if e.l.Live() && e.l.TrySteal(w) {
+				e.served.Add(1)
+				w.loopEntries.Add(1)
+				return true
+			}
+		}
+		return false
 	}
-	return false
+}
+
+// nextLoopIndex picks the untried live loop with the smallest
+// served/weight ratio (deficit-weighted fairness), or -1 if none remain.
+// The comparison a.served/a.weight < b.served/b.weight is evaluated by
+// cross-multiplication to stay in integers.
+func nextLoopIndex(entries []*loopEntry, tried uint64) int {
+	best := -1
+	var bestServed, bestWeight int64
+	for i, e := range entries {
+		if tried&(1<<uint(i)) != 0 || !e.l.Live() {
+			continue
+		}
+		s, wt := e.served.Load(), int64(e.weight)
+		if best < 0 || s*bestWeight < bestServed*wt {
+			best, bestServed, bestWeight = i, s, wt
+		}
+	}
+	return best
 }
 
 // trySteal makes one randomized steal attempt against each other worker in
@@ -849,12 +1070,10 @@ func (w *Worker) trySteal() (spawned, bool) {
 		}
 	}
 	w.failedSteals.Add(1)
-	// Raise the thief-demand flag (load-then-store so the common case of
-	// an already-raised flag touches no shared cacheline exclusively):
-	// loop owners poll it and respond by advertising their surplus range.
-	if w.pool.demandFlag.Load() == 0 {
-		w.pool.demandFlag.Store(1)
-	}
+	// Register the worker's unmet demand (once — repeat failed sweeps by
+	// an already-hungry worker touch no shared cacheline): loop owners
+	// poll the count and respond by advertising their surplus range.
+	w.noteHungry()
 	return spawned{}, false
 }
 
@@ -897,15 +1116,14 @@ func (w *Worker) mainLoop() {
 		// Pops and steals skip slot clearing on the hot path, so this is
 		// where the memory-hygiene debt is settled.
 		w.dq.Clean()
-		// A parking worker retires its failed-sweep demand signal: from
+		// A parking worker retires its OWN failed-sweep demand unit: from
 		// here its idleness is represented by nparked (which Demand()
-		// checks first), so leaving the flag raised would only go stale.
-		// Another thief still actively sweeping re-raises the flag on its
-		// next failed sweep, so clearing cannot lose live demand for more
-		// than one sweep round.
-		if w.pool.demandFlag.Load() != 0 {
-			w.pool.demandFlag.Store(0)
-		}
+		// checks first, and which was incremented before this point — so
+		// no observer window sees neither signal). Other workers' hungry
+		// units are untouched: with several live loops, thieves still
+		// actively sweeping on behalf of other loops keep the demand
+		// signal raised — the old pool-wide flag clear erased theirs too.
+		w.noteFed()
 		var idleStart time.Time
 		if acct {
 			idleStart = time.Now()
