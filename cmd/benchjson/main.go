@@ -3,7 +3,9 @@
 // allocs/op), records the machine the run happened on, and — when the
 // output file already exists — preserves its "baseline" section and
 // shifts the replaced "current" run into a "history" list, so every
-// earlier PR's numbers survive regeneration via `make bench`. For every
+// earlier PR's numbers survive regeneration via `make bench`. Duplicate
+// benchmark names (a `-count=N` run) collapse to the minimum ns/op — the
+// best-of repeat, which is what `make benchgate` compares. For every
 // benchmark present in both the baseline and current sections it reports
 // the speedup (baseline ns/op divided by current ns/op).
 //
@@ -103,7 +105,15 @@ func parse(path string) (*Run, error) {
 		if m[6] != "" {
 			r.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
 		}
-		run.Results[m[1]] = r
+		// Best-of across -count=N repeats: a benchmark name seen more than
+		// once keeps its minimum ns/op line. Minimum, not mean — scheduler
+		// benchmarks on a shared machine are contaminated one-sidedly (GC,
+		// other processes only ever slow an op down), so the fastest repeat
+		// is the best estimate of the code's true cost and the stable input
+		// for the regression gate.
+		if prev, ok := run.Results[m[1]]; !ok || r.NsPerOp < prev.NsPerOp {
+			run.Results[m[1]] = r
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

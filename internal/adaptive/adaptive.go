@@ -40,6 +40,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hybridloop/internal/rng"
@@ -156,6 +157,17 @@ type Decision struct {
 	// Exploring reports whether this play is part of an exploration
 	// phase (as opposed to the committed configuration).
 	Exploring bool
+	// Observe reports whether the tuner wants this invocation measured
+	// and Reported. Committed sites sample: most steady-state plays come
+	// from the lock-free fast path with Observe false, and the caller can
+	// skip wall-clock timing, counter snapshots, and the Report call
+	// entirely (Report/Discard on an unobserved Decision are no-ops).
+	Observe bool
+	// ChunkCostNanos is the tuner's EWMA estimate of the cost of one
+	// executed chunk under the chosen arm, in nanoseconds; 0 when the arm
+	// has no chunk-cost history yet. Callers use it to derive a poll
+	// stride without re-measuring the body.
+	ChunkCostNanos int64
 
 	site *site
 }
@@ -231,12 +243,22 @@ type site struct {
 	reexplores int64
 	discards   int64 // cancelled/truncated plays dropped without a Report
 
+	// fast is the lock-free inline slot serving steady-state Decide for
+	// this site: non-nil exactly while committed, swapped out by
+	// startExplore. See fast.go.
+	fast atomic.Pointer[fastDecision]
+
 	rng rng.SplitMix64
 }
 
 // startExplore installs a fresh exploration schedule of plays rounds
 // over all arms, shuffled by the site's deterministic generator.
 func (s *site) startExplore(plays int) {
+	// Retire the inline slot first: fold its pending unobserved plays so
+	// the decision count stays exact, then clear it so new invocations
+	// take the locked path while exploration runs.
+	s.foldFastPlays(0)
+	s.fast.Store(nil)
 	s.state = stateExploring
 	s.sched = s.sched[:0]
 	for p := 0; p < plays; p++ {
@@ -275,6 +297,7 @@ func (s *site) commit() bool {
 	s.ewmaVar = 0
 	s.ewmaImb = 0
 	s.playsSinceCommit = 0
+	s.publishFast()
 	return true
 }
 
@@ -313,6 +336,10 @@ type Tuner struct {
 	sites  map[SiteKey]*site
 	byName map[string]*site         // canonical site per name#bucket (PC aliasing)
 	warm   map[string]*SiteSnapshot // loaded profiles keyed by name#bucket
+
+	// table is the immutable lock-free SiteKey index serving the Decide
+	// fast path; lookup republishes it on every insertion. See fast.go.
+	table atomic.Pointer[siteTable]
 }
 
 // NewTuner creates a tuner. cfg.Arms is required.
@@ -375,6 +402,7 @@ func (t *Tuner) lookup(pc uintptr, n int) *site {
 	nk := warmKey(name, key.Bucket)
 	if s, ok := t.byName[nk]; ok {
 		t.sites[key] = s
+		t.rebuildTable()
 		return s
 	}
 	s := &site{
@@ -394,19 +422,47 @@ func (t *Tuner) lookup(pc uintptr, n int) *site {
 	}
 	t.sites[key] = s
 	t.byName[nk] = s
+	t.rebuildTable()
 	return s
 }
 
 // Decide picks the configuration for one invocation of the loop at pc
 // with n iterations, whose default chunk size would be baseChunk.
+//
+// Steady state is lock-free: once a site commits, Decide resolves it
+// through the immutable site table and answers from the inline slot —
+// one hash probe, one pointer load, one counter increment, no mutex.
+// Every fastSamplePeriod-th play falls through to the locked path to be
+// observed, keeping the drift and re-exploration machinery alive.
 func (t *Tuner) Decide(pc uintptr, n, baseChunk int) Decision {
+	sampled := int64(0)
+	if tab := t.table.Load(); tab != nil {
+		if s := tab.get(SiteKey{PC: pc, Bucket: bucketOf(n)}); s != nil {
+			if fd := s.fast.Load(); fd != nil {
+				if fd.plays.Add(1)%fastSamplePeriod != 0 {
+					return fd.decision(n, baseChunk)
+				}
+				sampled = 1 // counted below by s.next, not the fold
+			}
+		}
+	}
+
 	t.mu.Lock()
 	s := t.lookup(pc, n)
+	s.foldFastPlays(sampled)
 	idx, exploring := s.next(&t.cfg)
+	chunkCost := int64(s.stats[idx].ChunkCost)
 	t.mu.Unlock()
 
 	arm := s.arms[idx]
-	d := Decision{Arm: arm, ArmIndex: idx, Exploring: exploring, site: s}
+	d := Decision{
+		Arm:            arm,
+		ArmIndex:       idx,
+		Exploring:      exploring,
+		Observe:        true,
+		ChunkCostNanos: chunkCost,
+		site:           s,
+	}
 	if baseChunk < 1 {
 		baseChunk = 1
 	}
@@ -502,6 +558,7 @@ func (t *Tuner) Sites() []SiteSnapshot {
 	// each profile must appear once.
 	out := make([]SiteSnapshot, 0, len(t.byName))
 	for _, s := range t.byName {
+		s.foldFastPlays(0) // count pending fast-path plays in the export
 		out = append(out, s.snapshot())
 	}
 	sort.Slice(out, func(i, j int) bool {

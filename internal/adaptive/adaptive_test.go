@@ -175,6 +175,11 @@ func TestPeriodicReexplore(t *testing.T) {
 	if explored <= 6 {
 		t.Fatalf("no periodic refresh happened: %d exploring plays", explored)
 	}
+	// The cutoff can land mid-refresh; finish the in-flight refresh (at
+	// most one play per arm) before checking where it recommits.
+	for i := 0; i < len(costs) && tu.Sites()[0].State != "committed"; i++ {
+		play(tu, 1000, costs)
+	}
 	if s := tu.Sites()[0]; s.State != "committed" || s.Committed != 1 {
 		t.Fatalf("refreshes should recommit to arm 1: %+v", s)
 	}

@@ -1,0 +1,154 @@
+package adaptive
+
+import "sync/atomic"
+
+// The committed-site fast path: once a site commits, steady-state Decide
+// must not pay the tuner mutex or a map lookup per invocation — on a
+// fine-grained Auto loop that lock round trip is the dominant per-call
+// tax. Two lock-free structures remove it:
+//
+//   - An immutable open-addressed site table (siteTable), republished by
+//     lookup whenever a new site or PC alias is created, resolves
+//     SiteKey → *site with one hash and a short linear probe.
+//   - A per-site inline decision slot (site.fast, an atomic pointer),
+//     published by commit and adoptSnapshot and cleared by startExplore,
+//     carries everything Decide needs to answer without the lock.
+//
+// A fast Decide costs one table probe, one pointer load, and one counter
+// increment. The counter doubles as the observation sampler: every
+// fastSamplePeriod-th play falls through to the locked slow path, which
+// folds the skipped plays into the site's counters (so decision counts
+// stay exact and ReexploreEvery still fires) and routes that one play
+// through site.next — keeping the drift/imbalance re-exploration signals
+// alive at 1/fastSamplePeriod of the full observation cost.
+//
+// Re-exploration swaps the slot: startExplore folds the pending count and
+// clears site.fast, so new invocations take the locked path again. An
+// invocation that loaded the old slot just before the swap still runs the
+// stale committed configuration once — harmless, it was the best known
+// configuration a moment ago — and its play count dies with the detached
+// slot (decision counts can undercount by at most the in-flight stragglers
+// of one swap).
+
+// fastSamplePeriod is the sampling ratio of the committed fast path: one
+// invocation in this many is observed (timed, reported, drift-checked);
+// the rest run the committed configuration unobserved.
+const fastSamplePeriod = 16
+
+// fastDecision is the inline slot of one committed site: an immutable
+// copy of everything Decide needs, plus the play counter/sampler.
+type fastDecision struct {
+	arm       Arm
+	armIndex  int
+	chunkCost int64 // committed arm's EWMA ns per chunk (poll-stride hint)
+	plays     atomic.Int64
+}
+
+// decision materializes an unobserved Decision for a loop of n iterations
+// with base chunk baseChunk. site is left nil: Report/Discard on it are
+// no-ops, and Observe tells the caller to skip measurement entirely.
+func (fd *fastDecision) decision(n, baseChunk int) Decision {
+	d := Decision{
+		Arm:            fd.arm,
+		ArmIndex:       fd.armIndex,
+		ChunkCostNanos: fd.chunkCost,
+	}
+	if baseChunk < 1 {
+		baseChunk = 1
+	}
+	d.Chunk = baseChunk
+	if fd.arm.ChunkScale > 0 && fd.arm.ChunkScale != 1 {
+		d.Chunk = int(float64(baseChunk)*fd.arm.ChunkScale + 0.5)
+		if d.Chunk < 1 {
+			d.Chunk = 1
+		}
+	}
+	if fd.arm.Serial {
+		d.SerialCutoff = n
+	}
+	return d
+}
+
+// publishFast installs the inline slot for the site's committed arm.
+// Caller holds the tuner lock and has set s.committed.
+func (s *site) publishFast() {
+	s.fast.Store(&fastDecision{
+		arm:       s.arms[s.committed],
+		armIndex:  s.committed,
+		chunkCost: int64(s.stats[s.committed].ChunkCost),
+	})
+}
+
+// foldFastPlays folds the unobserved plays accumulated on the fast path
+// into the site's counters, minus exclude plays the caller routes through
+// site.next itself. Caller holds the tuner lock. Folding keeps Decisions
+// exact and advances playsSinceCommit so the periodic refresh fires on
+// schedule (at the first sampled play past the threshold).
+func (s *site) foldFastPlays(exclude int64) {
+	fd := s.fast.Load()
+	if fd == nil {
+		return
+	}
+	n := fd.plays.Swap(0) - exclude
+	if n <= 0 {
+		return
+	}
+	s.decisions += n
+	if s.state == stateCommitted && s.committed >= 0 {
+		s.playsSinceCommit += n
+		s.stats[s.committed].Plays += n
+	}
+}
+
+// siteTable is an immutable open-addressed SiteKey → *site index with
+// linear probing, sized to at most half full. lookup republishes a fresh
+// table on every insertion; readers see either the old or the new one.
+type siteTable struct {
+	mask    uint64
+	entries []tableEntry
+}
+
+type tableEntry struct {
+	key SiteKey
+	s   *site
+}
+
+func hashKey(key SiteKey) uint64 {
+	h := (uint64(key.PC) ^ uint64(key.Bucket)<<56) * 0x9E3779B97F4A7C15
+	return h ^ h>>29
+}
+
+// get resolves key, or nil if the table has no entry for it. The probe
+// sequence terminates at the first empty slot — correct because the
+// table is immutable and was built with the same probe order.
+func (t *siteTable) get(key SiteKey) *site {
+	for i := hashKey(key); ; i++ {
+		e := &t.entries[i&t.mask]
+		if e.s == nil {
+			return nil
+		}
+		if e.key == key {
+			return e.s
+		}
+	}
+}
+
+// rebuildTable republishes the lock-free site index from t.sites. Caller
+// holds the tuner lock.
+func (t *Tuner) rebuildTable() {
+	n := 8
+	for n < 2*(len(t.sites)+1) {
+		n *= 2
+	}
+	tab := &siteTable{mask: uint64(n - 1), entries: make([]tableEntry, n)}
+	for key, s := range t.sites {
+		for i := hashKey(key); ; i++ {
+			e := &tab.entries[i&tab.mask]
+			if e.s == nil {
+				*e = tableEntry{key: key, s: s}
+				break
+			}
+		}
+	}
+	t.table.Store(tab)
+}

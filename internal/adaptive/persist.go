@@ -130,6 +130,7 @@ func (s *site) adoptSnapshot(snap *SiteSnapshot) {
 			}
 			s.ewmaVar = snap.CostVar
 			s.ewmaImb = snap.Imbalance
+			s.publishFast() // warm-started commits serve the fast path too
 			return
 		}
 	}

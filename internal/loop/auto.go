@@ -82,12 +82,23 @@ func beginAuto(w *sched.Worker, begin, end int, opts *Options) func() {
 	if d.SerialCutoff > opts.SerialCutoff {
 		opts.SerialCutoff = d.SerialCutoff
 	}
+	if d.ChunkCostNanos > 0 {
+		// The committed arm's chunk-cost estimate seeds the poll stride,
+		// so strided strategies skip the online first-chunk measurement.
+		opts.pollStride = pollStrideFor(d.ChunkCostNanos)
+	}
 	if opts.Trace != nil {
 		strat := int64(d.Arm.Strategy)
 		if d.Arm.Serial {
 			strat = -1
 		}
 		opts.Trace.Add(w.ID(), trace.TuneDecision, strat, int64(d.Chunk))
+	}
+	if !d.Observe {
+		// A steady-state play from the tuner's lock-free fast path: no
+		// timing, no counter snapshots, no Report — the invocation runs
+		// the committed configuration with zero observation overhead.
+		return nil
 	}
 	o := &invObs{start: time.Now(), busy: make([]paddedNanos, pool.P())}
 	opts.obs = o

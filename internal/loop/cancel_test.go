@@ -80,12 +80,12 @@ func TestCancelAlreadyTrippedRunsNothing(t *testing.T) {
 
 // TestCancelStressChunkBound is the acceptance stress test: 8 workers on
 // a 1M-iteration fine-grained hybrid loop, cancelled after a fixed
-// number of chunks. The trace must show the loop stopped within about
-// one chunk per worker — bounded by the chunks completed before the trip
-// plus one in-flight chunk per worker (doubled for the race window
-// between the triggering body returning and the token store landing) —
-// out of the ~16384 chunks a full run would execute. Also asserts the
-// run leaks no goroutines.
+// number of chunks. The trace must show the loop stopped within the
+// strided cancellation bound — the chunks completed before the trip plus
+// one poll window (at most maxPollStride chunks, since an empty body
+// measures as maximally cheap) and one in-flight chunk per worker — out
+// of the ~16384 chunks a full run would execute. Also asserts the run
+// leaks no goroutines.
 func TestCancelStressChunkBound(t *testing.T) {
 	const p, n, chunk, cancelAfter = 8, 1 << 20, 64, 100
 	pool := sched.NewPool(p, 0xCA)
@@ -114,8 +114,8 @@ func TestCancelStressChunkBound(t *testing.T) {
 				cancelEvents++
 			}
 		}
-		if chunkEvents > cancelAfter+2*p {
-			t.Fatalf("round %d: %d chunks executed after cancel at %d — workers did not stop within a chunk",
+		if chunkEvents > cancelAfter+p*(maxPollStride+1) {
+			t.Fatalf("round %d: %d chunks executed after cancel at %d — workers did not stop within a poll window",
 				round, chunkEvents, cancelAfter)
 		}
 		if cancelEvents == 0 {
@@ -148,6 +148,41 @@ func TestCancelStressChunkBound(t *testing.T) {
 	for i := range counts {
 		if c := counts[i].Load(); c != 1 {
 			t.Fatalf("post-stress loop executed iteration %d %d times", i, c)
+		}
+	}
+}
+
+// TestCancelLatencyBoundWithStride pins the documented cancellation-
+// latency bound of the poll-stride pacer deterministically: with the
+// stride forced to its worst case (maxPollStride — no online measurement,
+// no dependence on clock resolution), a cancelled 1M-iteration fine loop
+// must stop within cancelAfter + P·(maxPollStride+1) chunks — each
+// participant finishes at most one full poll window plus the chunk in
+// flight. Covers every strided strategy (the steal-half owners behind
+// Hybrid and DynamicStealing, and the shared-counter team).
+func TestCancelLatencyBoundWithStride(t *testing.T) {
+	const p, n, chunk, cancelAfter = 8, 1 << 20, 16, 100
+	pool := sched.NewPool(p, 0x57)
+	defer pool.Close()
+	for _, s := range []Strategy{Hybrid, DynamicStealing, DynamicSharing} {
+		c := new(sched.Canceller)
+		var chunks atomic.Int64
+		pool.Run(func(w *sched.Worker) {
+			opts := Options{Strategy: s, Chunk: chunk, Cancel: c}
+			opts.pollStride = maxPollStride
+			WorkerForW(w, 0, n, func(cw *sched.Worker, lo, hi int) {
+				if chunks.Add(1) >= cancelAfter {
+					c.Cancel(errStop)
+				}
+			}, opts)
+		})
+		bound := int64(cancelAfter + p*(maxPollStride+1))
+		if got := chunks.Load(); got > bound {
+			t.Fatalf("%v: %d chunks executed, bound %d (cancel at %d, stride %d, %d workers)",
+				s, got, bound, cancelAfter, maxPollStride, p)
+		}
+		if !errors.Is(c.Err(), errStop) {
+			t.Fatalf("%v: token cause = %v, want errStop", s, c.Err())
 		}
 	}
 }

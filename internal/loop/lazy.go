@@ -2,6 +2,7 @@ package loop
 
 import (
 	"sync/atomic"
+	"time"
 
 	"hybridloop/internal/deque"
 	"hybridloop/internal/sched"
@@ -49,6 +50,7 @@ type rangeSet struct {
 	body   BodyW
 	opts   *Options
 	chunk  int
+	stride atomic.Int32    // measured poll stride, shared across entries (0 = not yet measured)
 	task   sched.RangeTask // eager-fallback task; re-enters runOwned
 }
 
@@ -100,7 +102,49 @@ func (rs *rangeSet) runOwned(w *sched.Worker, lo, hi int) {
 		rs.g.Done()
 	}()
 	pool := w.Pool()
+	// The cancel, demand, and inject polls — and, crucially, the TakeFront
+	// CAS itself — run once per poll window of stride chunks (see
+	// pacer.go): the owner claims a whole window from its slot in ONE CAS
+	// and slices it into chunk-sized body calls with plain arithmetic, so
+	// steady-state consumption costs one atomic op per ~pollBudgetNanos of
+	// body work instead of one per chunk. The stride comes from the
+	// tuner's chunk-cost estimate when set; otherwise the first entry
+	// times one chunk and publishes the stride in rs.stride for every
+	// later entry of the same loop (other partitions, stolen halves).
+	//
+	// The window bounds both responsiveness and privatization: a claimed
+	// window is no longer visible to StealHalf, and cancellation is only
+	// polled between windows, so a worker holds at most stride chunks
+	// (≈ pollBudgetNanos of work, ≤ maxPollStride chunks) beyond any
+	// external event. The entry Cancelled check above covers the first
+	// window.
+	stride := rs.opts.pollStride
+	if stride == 0 {
+		stride = rs.stride.Load()
+	}
+	if stride == 0 {
+		clo, chi, ok := s.TakeFront(rs.chunk)
+		if !ok {
+			return
+		}
+		t0 := time.Now()
+		execChunk(w, rs.body, rs.opts, clo, chi)
+		stride = pollStrideFor(time.Since(t0).Nanoseconds())
+		rs.stride.Store(stride)
+	}
+	window := int(stride) * rs.chunk
 	for {
+		wlo, whi, ok := s.TakeFront(window)
+		if !ok {
+			return
+		}
+		for clo := wlo; clo < whi; clo += rs.chunk {
+			chi := clo + rs.chunk
+			if chi > whi {
+				chi = whi
+			}
+			execChunk(w, rs.body, rs.opts, clo, chi)
+		}
 		if cc.Cancelled() {
 			// Poison the published descriptor: the remainder is taken out
 			// of circulation atomically, so a concurrent StealHalf either
@@ -111,24 +155,18 @@ func (rs *rangeSet) runOwned(w *sched.Worker, lo, hi int) {
 			}
 			return
 		}
-		clo, chi, ok := s.TakeFront(rs.chunk)
-		if !ok {
-			return
-		}
-		runChunk(w, rs.body, rs.opts, clo, chi)
-		// The demand poll: one or two uncontended loads per chunk. Only
-		// when idle capacity exists AND surplus remains does the owner
-		// spend a wakeup routing a thief to its published range.
+		// The demand poll: only when idle capacity exists AND surplus
+		// remains does the owner spend a wakeup routing a thief to its
+		// published range.
 		if s.Remaining() > rs.chunk && pool.Demand() {
 			pool.MeetDemand()
 		}
 		// Cross-loop latency fairness: a newly submitted loop's root sits
 		// in the injection queue, and with every worker mid-partition
 		// nobody would return to runOne for a long time — so owners
-		// service one pending submission per chunk boundary. The detour
+		// service one pending submission per poll window. The detour
 		// leaves this loop's published range stealable, so its load
-		// balancing continues underneath the helper. One uncontended
-		// atomic load when the queue is empty.
+		// balancing continues underneath the helper.
 		if pool.InjectPending() {
 			pool.HelpOneInjected(w)
 		}

@@ -25,6 +25,7 @@ package loop
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"hybridloop/internal/adaptive"
 	"hybridloop/internal/core"
@@ -154,6 +155,12 @@ type Options struct {
 	// and chunk count for the tuner. Internal: set by the Auto resolution
 	// in WorkerForW only.
 	obs *invObs
+	// pollStride is the per-chunk check stride (see pacer.go): the
+	// cancel/demand/inject polls run every pollStride-th chunk. Zero means
+	// "no estimate yet" — striding strategies time their first chunk and
+	// derive it online. Internal: set from the tuner's chunk-cost estimate
+	// by beginAuto only.
+	pollStride int32
 }
 
 // split partitions [begin, end) into n ranges honoring the weight hint.
@@ -272,13 +279,12 @@ func WorkerForW(w *sched.Worker, begin, end int, body BodyW, opts Options) {
 	}
 }
 
-// runChunk executes one contiguous chunk with optional recording and
-// tracing. For Auto invocations (opts.obs non-nil) the chunk is timed
-// into the executing worker's busy slot — two clock reads per chunk,
-// paid only by tuned loops. A tripped cancellation token skips the chunk
-// entirely — no body call, no Chunk trace event — which is the per-chunk
-// check granularity of the cancellation protocol: a worker mid-body
-// finishes its current chunk, then stops here.
+// runChunk executes one contiguous chunk, polling the cancellation token
+// first. A tripped token skips the chunk entirely — no body call, no
+// Chunk trace event — which is the check granularity of the cancellation
+// protocol for the strategies that call runChunk per chunk; the strided
+// strategies call execChunk directly and poll at their stride boundary
+// instead (see pacer.go).
 func runChunk(w *sched.Worker, body BodyW, opts *Options, lo, hi int) {
 	if opts.Cancel.Cancelled() {
 		if opts.Trace != nil {
@@ -286,6 +292,14 @@ func runChunk(w *sched.Worker, body BodyW, opts *Options, lo, hi int) {
 		}
 		return
 	}
+	execChunk(w, body, opts, lo, hi)
+}
+
+// execChunk executes one contiguous chunk with optional recording and
+// tracing, without polling cancellation. For Auto invocations (opts.obs
+// non-nil) the chunk is timed into the executing worker's busy slot —
+// two clock reads per chunk, paid only by observed tuner plays.
+func execChunk(w *sched.Worker, body BodyW, opts *Options, lo, hi int) {
 	if opts.Recorder != nil {
 		opts.Recorder.Record(w.ID(), lo, hi)
 	}
@@ -350,22 +364,29 @@ func stealingFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
 }
 
 // sharingFor is OpenMP schedule(dynamic, chunk): every worker joins the
-// team and repeatedly grabs fixed-size chunks from a shared counter.
+// team and repeatedly grabs fixed-size chunks from a shared counter. The
+// cancel and inject polls run once per poll stride of grabs rather than
+// per grab (see pacer.go); each team worker derives its stride from its
+// own first chunk when the tuner gave no estimate.
 func sharingFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
 	chunk := opts.chunk(end-begin, w.Pool().P())
 	var next atomic.Int64
 	next.Store(int64(begin))
 	grab := func(cw *sched.Worker) {
-		for {
-			if opts.Cancel.Cancelled() {
-				// Poison the shared counter so teammates between polls
-				// observe an exhausted loop on their next grab; the first
-				// worker through records the abandoned tail.
-				if old := next.Swap(int64(end)); int(old) < end && opts.Trace != nil {
-					opts.Trace.Add(cw.ID(), trace.Cancel, old, int64(end))
-				}
-				return
+		pool := cw.Pool()
+		stride := opts.pollStride
+		countdown := stride
+		if opts.Cancel.Cancelled() {
+			// Cancelled before this worker's first grab: poison the shared
+			// counter so teammates between polls observe an exhausted loop
+			// on their next grab; the first worker through records the
+			// abandoned tail.
+			if old := next.Swap(int64(end)); int(old) < end && opts.Trace != nil {
+				opts.Trace.Add(cw.ID(), trace.Cancel, old, int64(end))
 			}
+			return
+		}
+		for {
 			lo := int(next.Add(int64(chunk))) - chunk
 			if lo >= end {
 				return
@@ -374,12 +395,29 @@ func sharingFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
 			if hi > end {
 				hi = end
 			}
-			runChunk(cw, body, opts, lo, hi)
-			// Cross-loop latency fairness at chunk granularity, as in
-			// rangeSet.runOwned: a team worker grinding a long shared
-			// counter services one pending submission between grabs.
-			if cw.Pool().InjectPending() {
-				cw.Pool().HelpOneInjected(cw)
+			if stride == 0 {
+				t0 := time.Now()
+				execChunk(cw, body, opts, lo, hi)
+				stride = pollStrideFor(time.Since(t0).Nanoseconds())
+				countdown = stride
+			} else {
+				execChunk(cw, body, opts, lo, hi)
+			}
+			if countdown--; countdown > 0 {
+				continue
+			}
+			countdown = stride
+			if opts.Cancel.Cancelled() {
+				if old := next.Swap(int64(end)); int(old) < end && opts.Trace != nil {
+					opts.Trace.Add(cw.ID(), trace.Cancel, old, int64(end))
+				}
+				return
+			}
+			// Cross-loop latency fairness, as in rangeSet.runOwned: a team
+			// worker grinding a long shared counter services one pending
+			// submission per poll window.
+			if pool.InjectPending() {
+				pool.HelpOneInjected(cw)
 			}
 		}
 	}
@@ -389,7 +427,11 @@ func sharingFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
 // guidedFor is OpenMP schedule(guided, chunk): chunks shrink in proportion
 // to the remaining iterations divided by the team size, never below the
 // minimum chunk. The shared position advances under CAS so chunk sizing
-// and claiming are atomic together.
+// and claiming are atomic together. Guided keeps its per-grab polls
+// instead of the pacer's stride: the grab sizes decrease geometrically
+// from remaining/2P, so early polls are amortized over huge chunks by
+// construction and the small-grab tail is exactly where per-grab
+// responsiveness is wanted.
 func guidedFor(w *sched.Worker, begin, end int, body BodyW, opts *Options) {
 	p := w.Pool().P()
 	minChunk := opts.chunk(end-begin, p)

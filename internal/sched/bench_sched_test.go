@@ -10,8 +10,11 @@ package sched_test
 
 import (
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
+	"hybridloop/internal/adaptive"
 	"hybridloop/internal/loop"
 	"hybridloop/internal/sched"
 )
@@ -95,7 +98,8 @@ func BenchmarkStealThroughput(b *testing.B) {
 
 // BenchmarkWakeToFirstTask measures the external-submission round trip on
 // an otherwise idle pool: submit, wake a parked worker, execute, signal
-// completion. Dominated by the park/notify handshake.
+// completion. Dominated by the park/notify handshake; with the pooled
+// root call and the single-word park this must stay allocation-free.
 func BenchmarkWakeToFirstTask(b *testing.B) {
 	p := runtime.NumCPU()
 	if p < 4 {
@@ -103,9 +107,69 @@ func BenchmarkWakeToFirstTask(b *testing.B) {
 	}
 	pool := sched.NewPool(p, 1)
 	defer pool.Close()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pool.Run(func(w *sched.Worker) {})
+	}
+}
+
+// TestRunAllocFree pins the allocation count of the external-submission
+// round trip — the full park/wake/execute/re-park cycle — at zero per
+// Run: the root-call scratch is pooled and the parking handshake is one
+// atomic word, so steady-state submission must not touch the heap.
+// (AllocsPerRun reports the rounded-down average, so the occasional
+// sync.Pool refill after a GC does not flake the zero.)
+func TestRunAllocFree(t *testing.T) {
+	p := runtime.NumCPU()
+	if p < 4 {
+		p = 4
+	}
+	pool := sched.NewPool(p, 1)
+	defer pool.Close()
+	allocs := testing.AllocsPerRun(1000, func() {
+		pool.Run(func(w *sched.Worker) {})
+	})
+	if allocs != 0 {
+		t.Errorf("Run (park/unpark cycle) allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// TestParkUnparkStress hammers the single-word parking protocol: many
+// submitters race Runs against workers cycling through
+// active→parking→parked→notified, with inner spawns so wake chaining and
+// the Group futex wait see concurrent traffic too. Run under -race by
+// `make stress`; the assertion is that no submission is lost and no join
+// hangs (a lost wakeup deadlocks the test).
+func TestParkUnparkStress(t *testing.T) {
+	p := runtime.NumCPU()
+	if p < 4 {
+		p = 4
+	}
+	pool := sched.NewPool(p, 7)
+	defer pool.Close()
+	const submitters, rounds, fanout = 8, 500, 4
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				pool.Run(func(w *sched.Worker) {
+					var g sched.Group
+					for j := 0; j < fanout; j++ {
+						w.Spawn(&g, func(cw *sched.Worker) { done.Add(1) })
+					}
+					w.Wait(&g)
+					done.Add(1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if want := int64(submitters * rounds * (fanout + 1)); done.Load() != want {
+		t.Fatalf("executed %d tasks, want %d", done.Load(), want)
 	}
 }
 
@@ -134,6 +198,59 @@ func BenchmarkForFineStealing(b *testing.B) {
 	for _, chunk := range []int{16, 64, 256} {
 		b.Run(benchName(chunk), func(b *testing.B) { benchFor(b, loop.DynamicStealing, chunk) })
 	}
+}
+
+// BenchmarkAutoSteadyState measures the per-call overhead a committed
+// Auto site adds over running the identical configuration hard-coded.
+// The trip count keeps the serial arm in the candidate set and the body
+// empty, so the loop itself is a few hundred nanoseconds and the tuner's
+// steady-state tax — one site-table probe, one atomic load, one counter
+// increment, plus a sampled observed play every 16th call — is a visible
+// fraction of the measurement rather than noise. The warm-up loop drives
+// the site through exploration so the timed region is pure committed
+// steady state.
+func BenchmarkAutoSteadyState(b *testing.B) {
+	pool := sched.NewPool(runtime.NumCPU(), 1)
+	defer pool.Close()
+	tuner := adaptive.NewTuner(adaptive.Config{
+		Seed:    1,
+		Workers: pool.P(),
+		Arms:    loop.AutoArms,
+		// No periodic refresh and no drift eviction: an empty body's cost
+		// is all jitter, and the benchmark measures the committed fast
+		// path, not re-exploration churn.
+		ReexploreEvery: -1,
+		DriftFactor:    1e9,
+	})
+	const n = 1 << 12
+	const site = uintptr(0xBEEF)
+	body := func(lo, hi int) {}
+	auto := loop.Options{Strategy: loop.Auto, Tuner: tuner, Site: site}
+	for i := 0; i < 200; i++ {
+		loop.For(pool, 0, n, body, auto)
+	}
+	committed := loop.Options{Strategy: loop.Hybrid}
+	for _, s := range tuner.Sites() {
+		if s.State == "committed" && s.Committed >= 0 {
+			arm := s.Arms[s.Committed]
+			committed.Strategy = loop.Strategy(arm.Strategy)
+			if arm.Serial {
+				committed.SerialCutoff = n
+			}
+		}
+	}
+	b.Run("auto", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			loop.For(pool, 0, n, body, auto)
+		}
+	})
+	b.Run("fixed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			loop.For(pool, 0, n, body, committed)
+		}
+	})
 }
 
 func benchName(chunk int) string {

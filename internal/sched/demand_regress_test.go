@@ -28,7 +28,7 @@ import (
 // newStoppedPool builds a pool whose worker goroutines are not running,
 // so demand transitions can be driven deterministically from the test.
 func newStoppedPool(n int) *Pool {
-	p := &Pool{quit: make(chan struct{})}
+	p := &Pool{}
 	p.workers = make([]*Worker, n)
 	for i := range p.workers {
 		p.workers[i] = &Worker{id: i, pool: p, park: make(chan struct{}, 1)}
@@ -126,7 +126,7 @@ func TestParkingRetainsOtherWorkersDemand(t *testing.T) {
 	w1.noteHungry() // about to give up and park
 
 	// The exact mainLoop park sequence: announce, then retire own unit.
-	w1.parked.Store(true)
+	w1.state.Store(wParking)
 	p.nparked.Add(1)
 	w1.noteFed()
 
@@ -138,7 +138,7 @@ func TestParkingRetainsOtherWorkersDemand(t *testing.T) {
 	}
 
 	// After worker 1 wakes again the other thief's unit must still stand.
-	w1.parked.Store(false)
+	w1.state.Store(wActive)
 	p.nparked.Add(-1)
 	if !p.Demand() || p.DemandCount() != 1 {
 		t.Fatalf("demand lost across a park/unpark of an unrelated worker: count = %d", p.DemandCount())

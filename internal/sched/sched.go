@@ -33,13 +33,21 @@
 // wakeups propagate one hop per surplus observation while work remains.
 //
 // Lost-wakeup freedom relies on the announce-then-sweep handshake: a
-// worker announces parking (its parked flag, then the pool's nparked
+// worker announces parking (its state word, then the pool's nparked
 // counter) *before* its final sweep for work, and every producer makes
 // work visible *before* reading nparked. If the producer reads
 // nparked == 0, the parker's announce — and hence its final sweep —
 // happens after the work was published, so the sweep finds it; otherwise
-// the producer delivers a token (or observes one already pending, which
+// the producer delivers a wake (or observes one already pending, which
 // guarantees a future full sweep by that worker).
+//
+// Parking itself is a futex-style single-word wait: each worker carries a
+// four-state word (active → parking → parked, with notified as the wake
+// edge from either of the latter two). The uncontended wake is one CAS;
+// only a wake that catches the worker fully parked touches the worker's
+// capacity-1 token channel, and a wake that lands during the parking
+// announcement is consumed without any channel traffic at all. No path
+// allocates. See Worker.wake and Worker.mainLoop.
 package sched
 
 import (
@@ -63,6 +71,13 @@ type Task func(w *Worker)
 type Group struct {
 	pending atomic.Int64
 	panics  atomic.Pointer[taskPanic]
+	// waiter is the single worker (if any) parked inside Wait on this
+	// group: the Done that drives pending to zero wakes it directly, so a
+	// join whose last task completes elsewhere costs one CAS + one notify
+	// instead of the old Gosched/sleep polling ladder. One slot suffices —
+	// every loop strategy has exactly one joining worker; a second
+	// concurrent waiter falls back to yielding (see Worker.Wait).
+	waiter atomic.Pointer[Worker]
 	// cancel, when bound, is tripped by the first panic captured into the
 	// group, so the loop the group joins halts its surviving workers
 	// instead of letting them grind to the Wait that re-raises the panic.
@@ -90,10 +105,21 @@ func (g *Group) Add(n int) { g.pending.Add(int64(n)) }
 
 // Done marks one task complete. The runtime calls this automatically for
 // tasks spawned with Worker.Spawn; call it manually only for work enrolled
-// via Add without Spawn.
+// via Add without Spawn. The Done that drives the counter to zero wakes
+// the worker parked in Wait, if there is one: the decrement-to-zero and
+// the waiter registration in Wait are both sequentially consistent, so
+// either Done sees the registered waiter or the waiter's post-announce
+// Finished check sees the zero — a lost wakeup would require both reads
+// to precede both writes, which no total order allows.
 func (g *Group) Done() {
-	if n := g.pending.Add(-1); n < 0 {
+	n := g.pending.Add(-1)
+	if n < 0 {
 		panic("sched: Group counter went negative")
+	}
+	if n == 0 {
+		if w := g.waiter.Load(); w != nil {
+			w.wake()
+		}
 	}
 }
 
@@ -193,8 +219,17 @@ type Pool struct {
 	demand    atomic.Int32
 	injectedN atomic.Int64 // pending external submissions (for HelpOneInjected)
 	timeAcct  atomic.Bool  // busy/idle time accounting enabled
-	quit      chan struct{}
-	wg        sync.WaitGroup
+	// quitting is the shutdown edge: set by Close before its wake pass. A
+	// worker checks it after winning its park transition (sequentially
+	// consistent with Close's store, so a worker that misses the wake pass
+	// still observes the flag before blocking) and on every wake.
+	quitting atomic.Bool
+	wg       sync.WaitGroup
+	// rootCache is a single-slot cache for the per-Run scratch frame: the
+	// steady-state submitter (the wake-to-first-task path) recycles one
+	// frame with a Swap/CAS pair instead of sync.Pool's pin/unpin round
+	// trip. Concurrent Runs overflow to rootCallPool.
+	rootCache atomic.Pointer[rootCall]
 
 	loopsMu    sync.Mutex                   // serializes Register/Unregister
 	loops      atomic.Pointer[[]*loopEntry] // immutable snapshot, lock-free probes
@@ -244,9 +279,7 @@ func newPool(p int, seed uint64, lockThreads bool) *Pool {
 	if p < 1 {
 		panic(fmt.Sprintf("sched: NewPool with p = %d", p))
 	}
-	pool := &Pool{
-		quit: make(chan struct{}),
-	}
+	pool := &Pool{}
 	master := rng.NewSplitMix64(seed)
 	pool.workers = make([]*Worker, p)
 	for i := 0; i < p; i++ {
@@ -289,7 +322,14 @@ func (p *Pool) Close() {
 	}
 	p.closed = true
 	p.injectMu.Unlock()
-	close(p.quit)
+	p.quitting.Store(true)
+	// One wake pass suffices: a worker this pass observes active (or mid-
+	// announcement) either parks after it — in which case its pre-block
+	// quitting check, sequentially consistent with the store above, sees
+	// the shutdown — or finds work and re-checks quitting on its next wake.
+	for _, w := range p.workers {
+		w.wake()
+	}
 	p.wg.Wait()
 }
 
@@ -338,37 +378,95 @@ func (p *Pool) ResetStats() {
 	}
 }
 
+// rootCall is the reusable frame of one Pool.Run: the submitted root, the
+// completion signal, and the panic carried back to the caller. The task
+// closure and the done channel are built once per frame and recycled
+// through rootCallPool, so a steady state of external submissions — the
+// wake-to-first-task path — allocates nothing per Run.
+type rootCall struct {
+	root func(w *Worker)
+	tp   *taskPanic
+	done chan struct{} // capacity 1: the worker's send never blocks
+	task Task          // pre-bound closure over this frame
+}
+
+var rootCallPool = sync.Pool{New: func() any {
+	rc := &rootCall{done: make(chan struct{}, 1)}
+	rc.task = func(w *Worker) {
+		defer func() {
+			if r := recover(); r != nil {
+				rc.tp = &taskPanic{value: r, stack: debug.Stack()}
+			}
+			// The send is the frame's last touch by the worker; the
+			// receive in Run orders everything before it, so the caller's
+			// reads of rc.tp and its reset-and-recycle are safe.
+			rc.done <- struct{}{}
+		}()
+		rc.root(w)
+	}
+	return rc
+}}
+
 // Run executes root on some worker and blocks until it (and everything it
 // waited for) returns. It is the entry point for code outside the pool.
 // A panic inside root (including a *TaskPanicError re-raised by a Wait)
 // propagates to the Run caller rather than killing a worker. Run on a
 // closed pool panics.
 func (p *Pool) Run(root func(w *Worker)) {
-	done := make(chan struct{})
-	var rootPanic *taskPanic
-	p.submit(func(w *Worker) {
-		defer close(done)
-		defer func() {
-			if r := recover(); r != nil {
-				rootPanic = &taskPanic{value: r, stack: debug.Stack()}
-			}
-		}()
-		root(w)
-	})
-	<-done
-	if rootPanic != nil {
-		if tpe, ok := rootPanic.value.(*TaskPanicError); ok {
+	rc := p.rootCache.Swap(nil)
+	if rc == nil {
+		rc = rootCallPool.Get().(*rootCall)
+	}
+	rc.root = root
+	p.submit(rc.task)
+	<-rc.done
+	tp := rc.tp
+	rc.root, rc.tp = nil, nil
+	if !p.rootCache.CompareAndSwap(nil, rc) {
+		rootCallPool.Put(rc)
+	}
+	if tp != nil {
+		if tpe, ok := tp.value.(*TaskPanicError); ok {
 			panic(tpe) // already wrapped by a Wait inside the pool
 		}
-		panic(&TaskPanicError{Value: rootPanic.value, Stack: rootPanic.stack})
+		panic(&TaskPanicError{Value: tp.value, Stack: tp.stack})
 	}
 }
 
 // submit places a task on the external injection queue and wakes a worker.
 // The closed check happens under the same lock Close takes, so a task is
 // enqueued iff it precedes the close — in which case the workers' final
-// drain executes it.
+// drain executes it (and a submission that instead wins a direct handoff
+// below is guaranteed to run by the reserved worker, even across the
+// shutdown edge — see mainLoop's handoff handling).
 func (p *Pool) submit(t Task) {
+	// Direct-handoff fast path: on an idle pool, reserve a parked worker
+	// with the same wParked→wNotified CAS a wake uses, hand it the task
+	// through its handoff slot, and deliver the token. The task bypasses
+	// the inject queue entirely, and the reserved worker runs it straight
+	// off the wake — no injectMu on either side, no deque/steal sweep
+	// before the first instruction of the task. This is the dominant term
+	// of the wake-to-first-task latency. The CAS makes the reservation
+	// exclusive: a concurrent notify that loses the race observes
+	// wNotified and treats the wake as already delivered, and the worker
+	// cannot retract past wParked without consuming the token (see
+	// mainLoop). Skipped when injected tasks are already queued so a
+	// burst drains roughly in order.
+	if p.injectedN.Load() == 0 && p.nparked.Load() > 0 {
+		// Fixed-order scan, not the round-robin cursor: on an idle pool
+		// every submission reuses the same (cache-warm) worker, and the
+		// shared cursor RMW stays off the latency path. Fairness is a
+		// non-issue — a parked worker has nothing to be unfair about.
+		for _, w := range p.workers {
+			if w.state.Load() == wParked && w.state.CompareAndSwap(wParked, wNotified) {
+				// The slot write is ordered before the token send; the
+				// worker reads it only after the receive.
+				w.handoff = t
+				w.park <- struct{}{} // capacity 1, reservation is exclusive: never blocks
+				return
+			}
+		}
+	}
 	p.injectMu.Lock()
 	if p.closed {
 		p.injectMu.Unlock()
@@ -426,6 +524,14 @@ func (p *Pool) HelpOneInjected(w *Worker) bool {
 // takeInjected removes one externally submitted task, FIFO. more reports
 // whether further injected tasks remain (for wake chaining).
 func (p *Pool) takeInjected() (t Task, ok, more bool) {
+	// Empty-queue fast path: one atomic load instead of a mutex round
+	// trip. A submission concurrent with the load is covered by the usual
+	// handshake — the producer increments injectedN (under the lock)
+	// before its notify, so a sweeper that misses the count here is woken
+	// into a sweep ordered after the publication.
+	if p.injectedN.Load() == 0 {
+		return nil, false, false
+	}
 	p.injectMu.Lock()
 	t, ok = p.inject.pop()
 	if ok {
@@ -483,8 +589,8 @@ func (r *taskRing) grow() {
 
 // notify wakes ONE parked worker, round-robin, after new work was made
 // visible — see the package comment's wake-policy section for why this
-// (plus wake chaining) cannot lose a wakeup. A worker whose token channel
-// is already full counts as woken: the pending token forces a full sweep
+// (plus wake chaining) cannot lose a wakeup. A worker already in the
+// notified state counts as woken: the pending wake forces a full sweep
 // that is ordered after this producer's publication.
 func (p *Pool) notify() {
 	if p.nparked.Load() == 0 {
@@ -494,15 +600,9 @@ func (p *Pool) notify() {
 	n := uint32(len(ws))
 	start := p.wakeCursor.Add(1)
 	for k := uint32(0); k < n; k++ {
-		w := ws[(start+k)%n]
-		if !w.parked.Load() {
-			continue
+		if ws[(start+k)%n].wake() {
+			return
 		}
-		select {
-		case w.park <- struct{}{}:
-		default: // pending token: w is already committed to a re-sweep
-		}
-		return
 	}
 	// No worker was observed parked: every announcer either found work or
 	// will announce (and final-sweep) after our publication. Nothing to do.
@@ -525,13 +625,7 @@ func (p *Pool) WakeAll() {
 		return
 	}
 	for _, w := range p.workers {
-		if !w.parked.Load() {
-			continue
-		}
-		select {
-		case w.park <- struct{}{}:
-		default: // pending token: already committed to a re-sweep
-		}
+		w.wake()
 	}
 }
 
@@ -574,13 +668,7 @@ func (p *Pool) DemandCount() int { return int(p.demand.Load()) }
 // parking announcement is ordered after the task's publication and the
 // final sweep finds it.
 func (p *Pool) notifyWorker(w *Worker) {
-	if !w.parked.Load() {
-		return
-	}
-	select {
-	case w.park <- struct{}{}:
-	default: // pending token: w is already committed to a re-sweep
-	}
+	w.wake()
 }
 
 // RegisterLoop enrolls a live hybrid loop in the steal protocol with the
@@ -665,6 +753,53 @@ func (p *Pool) LiveLoops() []LoopInfo {
 // pool (the current value of the per-pool loop ID counter).
 func (p *Pool) LoopsRegistered() int64 { return int64(p.nextLoopID.Load()) }
 
+// Worker park states: the single word the futex-style park/wake protocol
+// runs on. Transitions:
+//
+//	active  → parking   (owner announces intent, then final-sweeps)
+//	parking → parked    (owner CAS: the sweep found nothing, block)
+//	parking → notified  (waker CAS: wake landed during the announcement —
+//	                     the owner's failed parking→parked CAS consumes it
+//	                     with no channel traffic at all)
+//	parked  → notified  (waker CAS + one channel send to unblock the owner)
+//	*       → active    (owner store on every wake/retract path)
+//
+// Only the transition out of parked touches the capacity-1 token channel,
+// and the notified state admits at most one in-flight send, so the send
+// never blocks and no token can go stale. The uncontended wake is one CAS
+// plus one buffered-channel send; a wake that observes active or notified
+// is a no-op.
+const (
+	wActive uint32 = iota
+	wParking
+	wParked
+	wNotified
+)
+
+// wake delivers a wake to w. It returns true if w was parked or parking —
+// the wake was delivered, or one was already pending, and w's next full
+// sweep is ordered after the caller's work publication — and false if w
+// is active (running; it will announce-then-sweep before ever blocking).
+func (w *Worker) wake() bool {
+	for {
+		switch w.state.Load() {
+		case wActive:
+			return false
+		case wNotified:
+			return true // pending wake: w is committed to a full re-sweep
+		case wParking:
+			if w.state.CompareAndSwap(wParking, wNotified) {
+				return true // consumed by the owner's failed park CAS
+			}
+		case wParked:
+			if w.state.CompareAndSwap(wParked, wNotified) {
+				w.park <- struct{}{} // capacity 1, sole sender: never blocks
+				return true
+			}
+		}
+	}
+}
+
 // Worker is a surrogate of a processing core (Section II): a goroutine
 // with its own deque participating in randomized work stealing.
 //
@@ -676,12 +811,19 @@ func (p *Pool) LoopsRegistered() int64 { return int64(p.nextLoopID.Load()) }
 //
 //sched:cacheline
 type Worker struct {
-	id     int
-	pool   *Pool
-	dq     *deque.Deque
-	rng    *rng.Xoshiro256
-	park   chan struct{} // capacity-1 wake token channel
-	parked atomic.Bool   // set before the final pre-park sweep
+	id    int
+	pool  *Pool
+	dq    *deque.Deque
+	rng   *rng.Xoshiro256
+	park  chan struct{} // capacity-1 unblock channel (parked→notified only)
+	state atomic.Uint32 // wActive/wParking/wParked/wNotified (see wake)
+	// handoff carries a task delivered by Pool.submit's direct-handoff
+	// fast path. Plain field: a producer writes it only between winning
+	// the exclusive wParked→wNotified reservation CAS and its token send,
+	// and the worker reads it only after receiving that token (or on
+	// paths where no reservation can have happened), so the channel
+	// orders every cross-goroutine access.
+	handoff Task
 	// hungry marks a worker whose last steal sweep found nothing and that
 	// has not yet acquired work or parked; it mirrors one unit of the
 	// pool's demand count. Worker-private: only the owning goroutine reads
@@ -704,7 +846,7 @@ type Worker struct {
 	busyNanos    atomic.Int64 // time in busy bursts (timeAcct only)
 	idleNanos    atomic.Int64 // time parked (timeAcct only)
 
-	_ [32]byte // pad to a cache-line multiple (//sched:cacheline)
+	_ [24]byte // pad to a cache-line multiple (//sched:cacheline)
 }
 
 // NoteRangeSteal records one successful steal-half of a published range
@@ -878,6 +1020,14 @@ func (w *Worker) takePinned() (spawned, bool) {
 // Wait helps execute work until all tasks enrolled in g have completed.
 // If any task in the group panicked, Wait re-panics with a
 // *TaskPanicError carrying the first captured panic.
+//
+// A waiter that finds nothing runnable parks on its own state word, like
+// mainLoop — not on the old Gosched/sleep polling ladder. It registers
+// itself in the group's waiter slot first, so the Done that finishes the
+// group wakes it directly; and it announces through nparked, so ordinary
+// notify/WakeAll traffic (new spawns, injected roots, the cancel edge)
+// reaches it too — a parked waiter is genuine idle capacity, and any wake
+// sends it through a full runOne sweep before it can block again.
 func (w *Worker) Wait(g *Group) {
 	backoff := 0
 	for !g.Finished() {
@@ -885,15 +1035,42 @@ func (w *Worker) Wait(g *Group) {
 			backoff = 0
 			continue
 		}
-		backoff++
-		if backoff < 32 {
-			runtime.Gosched()
-		} else {
-			// All deques are (transiently) empty but the group is not
-			// finished: someone else is running our descendants. Yield the
-			// CPU meaningfully — this matters on machines with fewer
-			// physical cores than workers.
-			time.Sleep(20 * time.Microsecond)
+		if !g.waiter.CompareAndSwap(nil, w) {
+			// Another worker already waits on this group (user code can
+			// share a group across Waits): fall back to yielding.
+			backoff++
+			if backoff < 32 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(20 * time.Microsecond)
+			}
+			continue
+		}
+		// Announce-then-sweep, exactly like mainLoop: after the announce,
+		// re-check the join condition and sweep once more. A Done or a
+		// work publication that raced the announce is caught here; one
+		// that lands after it observes the announce and delivers a wake.
+		w.state.Store(wParking)
+		w.pool.nparked.Add(1)
+		if g.Finished() || w.runOne() {
+			g.waiter.CompareAndSwap(w, nil)
+			w.unpark()
+			continue
+		}
+		if w.state.CompareAndSwap(wParking, wParked) {
+			<-w.park
+		}
+		w.state.Store(wActive)
+		w.pool.nparked.Add(-1)
+		g.waiter.CompareAndSwap(w, nil)
+		// A parked waiter is indistinguishable from a parked idle worker,
+		// so a direct handoff (Pool.submit) may have reserved us: run the
+		// delivered root inline — exactly what the sweep above does when
+		// it picks an injected root out of the queue — then re-check the
+		// join condition.
+		if t := w.handoff; t != nil {
+			w.handoff = nil
+			w.run(t)
 		}
 	}
 	// A worker can leave a join hungry (its final sweeps found nothing
@@ -955,16 +1132,22 @@ func (w *Worker) findAndRunOne() bool {
 	if w.tryLoopProtocol() {
 		return true
 	}
-	if s, ok := w.trySteal(); ok {
-		w.runSpawned(s)
-		return true
-	}
+	// External submissions come before the randomized steal sweep: a
+	// freshly woken worker on an otherwise idle pool takes the injected
+	// root directly instead of first grinding a full failed sweep over
+	// P−1 empty deques — the dominant term of the wake-to-first-task
+	// latency. Registered loop work still outranks it (above), so a
+	// worker helping a live loop is not diverted.
 	if t, ok, more := w.pool.takeInjected(); ok {
 		if more {
 			// Chain: more external submissions are queued behind this one.
 			w.pool.notify()
 		}
 		w.run(t)
+		return true
+	}
+	if s, ok := w.trySteal(); ok {
+		w.runSpawned(s)
 		return true
 	}
 	return false
@@ -1072,8 +1255,16 @@ func (w *Worker) trySteal() (spawned, bool) {
 	w.failedSteals.Add(1)
 	// Register the worker's unmet demand (once — repeat failed sweeps by
 	// an already-hungry worker touch no shared cacheline): loop owners
-	// poll the count and respond by advertising their surplus range.
-	w.noteHungry()
+	// poll the count and respond by advertising their surplus range. Only
+	// worth the shared-line RMW pair (raise here, retire at feed/park)
+	// when a registered loop exists to consume the signal — the only
+	// Demand() pollers are lazy-range owners, which register for their
+	// loop's lifetime. A sweep that races a registration and skips the
+	// raise is covered within one poll window: the worker parks almost
+	// immediately and nparked, which Demand() checks first, takes over.
+	if !w.hungry && len(w.pool.loopList()) > 0 {
+		w.noteHungry()
+	}
 	return spawned{}, false
 }
 
@@ -1091,16 +1282,32 @@ func (w *Worker) mainLoop() {
 			burstStart = time.Now()
 		}
 		worked := false
+		// A direct handoff (Pool.submit) rides the wake token: run it
+		// before any sweeping — it IS the work the wake announced. The
+		// worker was parked an instant before, so instead of the usual
+		// unannounced sweep it goes straight to the announce-then-sweep
+		// exit protocol below: one failed sweep on the idle round trip
+		// instead of two, at the cost of an unpark retraction in the rare
+		// case the handed-off root left surviving work behind.
+		skipFirst := false
+		if t := w.handoff; t != nil {
+			w.handoff = nil
+			w.run(t)
+			worked = true
+			skipFirst = true
+		}
 		for {
-			if w.runOne() {
+			if skipFirst {
+				skipFirst = false
+			} else if w.runOne() {
 				worked = true
 				continue
 			}
 			// Announce intent to park, then sweep once more: any task made
 			// visible before the announce is found by this sweep, and any
 			// task published after it observes the announce and delivers
-			// (or credits) a wake token.
-			w.parked.Store(true)
+			// (or credits) a wake.
+			w.state.Store(wParking)
 			w.pool.nparked.Add(1)
 			if w.runOne() {
 				w.unpark()
@@ -1128,17 +1335,38 @@ func (w *Worker) mainLoop() {
 		if acct {
 			idleStart = time.Now()
 		}
-		select {
-		case <-w.park:
-			if acct {
-				w.idleNanos.Add(time.Since(idleStart).Nanoseconds())
+		if w.state.CompareAndSwap(wParking, wParked) {
+			// Committed to blocking. The quitting check sits between the
+			// CAS and the receive: if Close's wake pass missed us (we were
+			// active then), our CAS precedes this load in the seq-cst total
+			// order while Close's store precedes its wake-pass read of our
+			// state — one of the two must observe the other, so either we
+			// see quitting here or the pass saw us parked and sent a token.
+			// Skipping the receive is only safe if no producer reserved us
+			// in the meantime: the wParked→wActive CAS below is mutually
+			// exclusive with the wParked→wNotified reservation every waker
+			// and direct handoff performs, so either we retract unreserved
+			// (skip) or a token — possibly carrying a handoff task — is in
+			// flight and must be consumed.
+			if !w.pool.quitting.Load() || !w.state.CompareAndSwap(wParked, wActive) {
+				<-w.park
 			}
-			w.unpark()
-		case <-w.pool.quit:
-			w.unpark()
+		}
+		// Woken (or the wake landed during the announcement and the park
+		// CAS consumed it with no channel traffic).
+		if acct {
+			w.idleNanos.Add(time.Since(idleStart).Nanoseconds())
+		}
+		w.unpark()
+		if w.pool.quitting.Load() {
 			// Final drain: a Run that won the submit/Close race enqueued
-			// its root before quit closed; execute everything reachable so
-			// no Run caller is left blocked on a task that never runs.
+			// its root (or handed it off directly) before Close tripped
+			// quitting; execute everything reachable so no Run caller is
+			// left blocked on a task that never runs.
+			if t := w.handoff; t != nil {
+				w.handoff = nil
+				w.run(t)
+			}
 			for w.runOne() {
 			}
 			return
@@ -1146,8 +1374,11 @@ func (w *Worker) mainLoop() {
 	}
 }
 
-// unpark retracts a parking announcement.
+// unpark retracts a parking announcement: back to active, off the parked
+// census. The store overwrites a pending wNotified mark, which is safe —
+// every unpark path re-enters a full runOne sweep before the worker can
+// block again (or the worker is exiting on the quitting edge).
 func (w *Worker) unpark() {
-	w.parked.Store(false)
+	w.state.Store(wActive)
 	w.pool.nparked.Add(-1)
 }
