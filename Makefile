@@ -8,9 +8,12 @@ BENCH_PATTERN := BenchmarkSpawn|BenchmarkSpawnBatch|BenchmarkStealThroughput|Ben
 # fine-grained per-chunk tax, the wake latency, and the steal handoff rate.
 GATE_PATTERN := BenchmarkForFineHybrid|BenchmarkWakeToFirstTask|BenchmarkStealThroughput
 
-STRESS_PATTERN := TestCancel|TestPanickingOwner|TestDemandRetiredOnPark|TestDemandQuiesces|TestMeetDemand|TestParkingRetains|TestParkUnpark|TestForErr|TestForEachErr|TestForCtx|TestPanicPropagation|TestStealHalf|TestRangeSlotAbandon|TestGate|TestConcurrentIndependentLoops|TestCrossLoopCancelStress|TestTryForBackpressure|TestForDegradesInline
+STRESS_PATTERN := TestCancel|TestPanickingOwner|TestDemandRetiredOnPark|TestDemandQuiesces|TestMeetDemand|TestParkingRetains|TestParkUnpark|TestForErr|TestForEachErr|TestForCtx|TestPanicPropagation|TestStealHalf|TestRangeSlotAbandon|TestGate|TestConcurrentIndependentLoops|TestCrossLoopCancelStress|TestTryForBackpressure|TestForDegradesInline|TestMetricsConcurrentStress
 
-.PHONY: check race bench benchdiff benchgate stress lint servertest
+# Packages carrying seeded golden datasets (testdata/golden_*.json).
+GOLDEN_PKGS := ./internal/sim/ ./internal/nas/
+
+.PHONY: check race bench benchdiff benchgate stress lint servertest golden golden-regen repro
 
 ## check: vet, build and test everything (tier-1 gate)
 check:
@@ -19,19 +22,39 @@ check:
 	$(GO) test ./...
 
 ## lint: vet plus the module's own concurrency-invariant analyzers
-## (atomicmix, cacheline, loopcapture, looperr — see cmd/schedlint)
+## (atomicmix, cacheline, loopcapture, looperr, metricsample — see
+## cmd/schedlint)
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/schedlint ./...
 
-## race: race-detect the scheduler hot path (includes the stress test)
+## race: race-detect the scheduler hot path and the metrics plane
+## (includes the stress tests)
 race:
-	$(GO) test -race -count=1 $(SCHED_PKGS)
+	$(GO) test -race -count=1 $(SCHED_PKGS) ./internal/metrics/
 
-## stress: race-detect the cancellation, error-propagation and
-## steal-path stress tests (public API package included)
+## stress: race-detect the cancellation, error-propagation, steal-path
+## and metrics-plane stress tests (public API package included)
 stress:
-	$(GO) test -race -count=1 -run '$(STRESS_PATTERN)' . $(SCHED_PKGS)
+	$(GO) test -race -count=1 -run '$(STRESS_PATTERN)' . $(SCHED_PKGS) ./internal/metrics/
+
+## golden: run the seeded golden-run regression tests — simulator policy
+## runs and NAS kernel outputs must match testdata/golden_*.json bit for
+## bit (a policy or numerics change must regenerate them deliberately)
+golden:
+	$(GO) test -count=1 -run TestGolden $(GOLDEN_PKGS)
+
+## golden-regen: regenerate the golden datasets after a deliberate
+## policy or numerics change; commit the diff with the change itself
+golden-regen:
+	$(GO) test -count=1 -run TestGoldenEquivalence -update $(GOLDEN_PKGS)
+	$(GO) test -count=1 -run TestGolden $(GOLDEN_PKGS)
+
+## repro: regenerate the paper-reproduction artifacts under out/
+## (untracked; see EXPERIMENTS.md for the committed summary)
+repro:
+	mkdir -p out
+	$(GO) run ./cmd/paperrepro -html out/report.html | tee out/paperrepro_output.txt
 
 ## bench: run the scheduler benchmarks and regenerate BENCH_sched.json
 ## (two repeats; benchjson keeps the best per name — scheduling noise on

@@ -1,0 +1,54 @@
+package hybridloop_test
+
+import (
+	"io"
+	"runtime"
+	"testing"
+
+	"hybridloop"
+)
+
+// benchForFine mirrors internal/sched's BenchmarkForFineHybrid shape —
+// empty body, n = 32768, chunk 16, the pure per-chunk-tax worst case —
+// but through the public API, so the submission path the metrics plane
+// instruments (options materialization, observeLoop defer) is part of
+// the measurement.
+func benchForFine(b *testing.B, opts ...hybridloop.Option) {
+	pool := hybridloop.NewPool(runtime.NumCPU(), opts...)
+	defer pool.Close()
+	const n = 1 << 15
+	body := func(lo, hi int) {}
+	forOpts := []hybridloop.ForOption{
+		hybridloop.WithStrategy(hybridloop.Hybrid),
+		hybridloop.WithChunk(16),
+		hybridloop.WithLabel("bench"),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.For(0, n, body, forOpts...)
+	}
+}
+
+// BenchmarkForFineHybridMetrics pins the metrics plane's overhead
+// contract from DESIGN.md: with no registry the instrumentation must
+// cost nothing (a nil check per loop submission), and with a live
+// registry the cost is one windowed-histogram observation plus a
+// counter increment per submission — per loop, never per chunk, so the
+// two rows should be indistinguishable at this chunk count. Compare:
+//
+//	go test -bench ForFineHybridMetrics -count 5 .
+func BenchmarkForFineHybridMetrics(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		benchForFine(b)
+	})
+	b.Run("on", func(b *testing.B) {
+		reg := hybridloop.NewMetricsRegistry()
+		benchForFine(b, hybridloop.WithMetrics(reg))
+		// Scrape once so the registry's exposition path is exercised and
+		// the collected series cannot be optimized away.
+		b.StopTimer()
+		if err := reg.WriteText(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package hybridloop
 
 import (
 	"context"
+	"time"
 
 	"hybridloop/internal/loop"
 	"hybridloop/internal/sched"
@@ -55,6 +56,9 @@ func (p *Pool) forErr(begin, end int, body func(lo, hi int) error, opts []ForOpt
 		return nil
 	}
 	if release, inline := p.admitOrInline(); inline {
+		if p.mreg != nil {
+			defer p.observeInline(time.Now())
+		}
 		return body(begin, end)
 	} else if release != nil {
 		defer release()
@@ -62,6 +66,9 @@ func (p *Pool) forErr(begin, end int, body func(lo, hi int) error, opts []ForOpt
 	c := new(sched.Canceller)
 	o := p.options(opts, skip)
 	o.Cancel = c
+	if p.mreg != nil {
+		defer p.observeLoop(&o, time.Now())
+	}
 	s := p.s
 	loop.ForW(s, begin, end, func(_ *Worker, lo, hi int) {
 		if err := body(lo, hi); err != nil && c.Cancel(err) {
@@ -110,6 +117,9 @@ func (p *Pool) ForCtx(ctx context.Context, begin, end int, body Body, opts ...Fo
 	c := new(sched.Canceller)
 	o := p.options(opts, 1)
 	o.Cancel = c
+	if p.mreg != nil {
+		defer p.observeLoop(&o, time.Now())
+	}
 	s := p.s
 	stop := context.AfterFunc(ctx, func() {
 		if c.Cancel(ctx.Err()) {

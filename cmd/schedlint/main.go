@@ -6,7 +6,9 @@
 // Analyzers: atomicmix (no plain access to atomically-accessed words),
 // cacheline (//sched:cacheline structs padded to 64-byte multiples),
 // loopcapture (no plain writes to variables captured by parallel loop
-// bodies), looperr (no ignored ForErr/ForEachErr/ForCtx results).
+// bodies), looperr (no ignored ForErr/ForEachErr/ForCtx results),
+// metricsample (no plain writes to words the metrics registry samples
+// with sync/atomic at scrape time).
 // Deliberate violations are annotated in the source with
 // //lint:ignore <analyzer> <reason>.
 //

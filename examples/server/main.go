@@ -10,6 +10,13 @@
 //	                  sheds the request (ErrBackpressure).
 //	GET /stats      — JSON: scheduler counters, admission gate counters,
 //	                  per-loop fairness attribution, latency digest.
+//	GET /metrics    — Prometheus text exposition of the pool's metrics
+//	                  plane: per-worker scheduler counters, admission gate
+//	                  counters, tuner state, and windowed loop-duration
+//	                  histograms labeled by site (score/giant) and
+//	                  strategy, with _recent P50/P95/P99 summaries over
+//	                  the last minute of windows. Scrape it like any
+//	                  Prometheus target.
 //
 // Run it as a server:
 //
@@ -40,6 +47,7 @@ import (
 
 	"hybridloop"
 	"hybridloop/internal/latency"
+	"hybridloop/internal/metrics"
 )
 
 var (
@@ -57,16 +65,19 @@ var (
 
 // server holds the shared pool and the per-endpoint latency samplers.
 type server struct {
-	pool    *hybridloop.Pool
-	lat     *latency.Sampler
-	shed    atomic.Int64 // requests answered 503
-	served  atomic.Int64 // requests answered 200
-	stopBkg chan struct{}
-	bkgDone chan struct{}
+	pool       *hybridloop.Pool
+	metrics    *hybridloop.MetricsRegistry
+	stopRotate func()
+	lat        *latency.Sampler
+	shed       atomic.Int64 // requests answered 503
+	served     atomic.Int64 // requests answered 200
+	stopBkg    chan struct{}
+	bkgDone    chan struct{}
 }
 
 func newServer() *server {
-	opts := []hybridloop.Option{}
+	reg := hybridloop.NewMetricsRegistry()
+	opts := []hybridloop.Option{hybridloop.WithMetrics(reg)}
 	if *maxloops > 0 {
 		opts = append(opts, hybridloop.WithMaxInFlightLoops(*maxloops))
 	}
@@ -75,9 +86,15 @@ func newServer() *server {
 	}
 	s := &server{
 		pool:    hybridloop.NewPool(*workers, opts...),
-		lat:     latency.NewSampler(0),
-		stopBkg: make(chan struct{}),
-		bkgDone: make(chan struct{}),
+		metrics: reg,
+		// The windowed aggregator: loop-duration histograms keep six
+		// 10-second windows of recent history behind the _recent
+		// quantile series, merging evicted windows into the cumulative
+		// exposition so totals stay monotone.
+		stopRotate: reg.RotateEvery(10 * time.Second),
+		lat:        latency.NewSampler(0),
+		stopBkg:    make(chan struct{}),
+		bkgDone:    make(chan struct{}),
 	}
 	if *giant {
 		go s.runGiantLoop()
@@ -107,7 +124,7 @@ func (s *server) runGiantLoop() {
 			if acc < 0 {
 				panic("unreachable")
 			}
-		}, hybridloop.WithPriority(1))
+		}, hybridloop.WithPriority(1), hybridloop.WithLabel("giant"))
 		sink++
 	}
 }
@@ -126,7 +143,7 @@ func (s *server) score(n int) (float64, error) {
 		mu.Lock()
 		total += acc
 		mu.Unlock()
-	}, hybridloop.WithPriority(8), hybridloop.WithChunk(1024))
+	}, hybridloop.WithPriority(8), hybridloop.WithChunk(1024), hybridloop.WithLabel("score"))
 	if err != nil {
 		return 0, err
 	}
@@ -192,12 +209,14 @@ func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
 	m.HandleFunc("/score", s.handleScore)
 	m.HandleFunc("/stats", s.handleStats)
+	m.Handle("/metrics", hybridloop.MetricsHandler(s.metrics))
 	return m
 }
 
 func (s *server) close() {
 	close(s.stopBkg)
 	<-s.bkgDone
+	s.stopRotate()
 	s.pool.Close()
 }
 
@@ -275,7 +294,13 @@ func runBench() int {
 			}
 		}()
 	}
+
+	// Scrape /metrics mid-run and again after the load stops: the key
+	// series must be present both times and monotone between them.
+	time.Sleep(*duration / 2)
+	mid, midErr := scrapeMetrics(base)
 	wg.Wait()
+	end, endErr := scrapeMetrics(base)
 
 	sum := clientLat.Summary()
 	total := okResp.Load() + ok503.Load()
@@ -309,8 +334,67 @@ func runBench() int {
 		fmt.Printf("FAIL: peak goroutines %d exceeds bound %d\n", maxGoroutines.Load(), bound)
 		exit = 1
 	}
+	if err := checkMetrics(mid, midErr, end, endErr); err != nil {
+		fmt.Printf("FAIL: metrics: %v\n", err)
+		exit = 1
+	} else {
+		rejected := end.Sum("hybridloop_admission_rejected_total")
+		loops := end.Sum("hybridloop_loop_duration_seconds_count")
+		fmt.Printf("metrics: scrape ok (%d series), admission rejects %.0f, loop durations observed %.0f\n",
+			len(end.Values), rejected, loops)
+	}
 	if exit == 0 {
 		fmt.Println("PASS")
 	}
 	return exit
+}
+
+// scrapeMetrics fetches and parses the /metrics exposition.
+func scrapeMetrics(base string) (*metrics.Scrape, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics status %d", resp.StatusCode)
+	}
+	return metrics.ParseText(resp.Body)
+}
+
+// checkMetrics asserts the bench's key series: the admission reject
+// counter and the score loop's duration histogram are present in both
+// scrapes and monotone between them, and the per-worker scheduler
+// counters exist. Presence holds even at zero — the collectors are
+// registered at pool construction, not on first event.
+func checkMetrics(mid *metrics.Scrape, midErr error, end *metrics.Scrape, endErr error) error {
+	if midErr != nil {
+		return fmt.Errorf("mid-run scrape: %w", midErr)
+	}
+	if endErr != nil {
+		return fmt.Errorf("end scrape: %w", endErr)
+	}
+	keys := []string{
+		"hybridloop_admission_rejected_total",
+		"hybridloop_admission_admitted_total",
+		`hybridloop_loop_duration_seconds_count{site="score",strategy="hybrid"}`,
+		`hybridloop_sched_tasks_total{worker="0"}`,
+	}
+	for _, k := range keys {
+		m, ok := mid.Value(k)
+		if !ok {
+			return fmt.Errorf("series %s missing from mid-run scrape", k)
+		}
+		e, ok := end.Value(k)
+		if !ok {
+			return fmt.Errorf("series %s missing from end scrape", k)
+		}
+		if e < m {
+			return fmt.Errorf("series %s not monotone: %.0f then %.0f", k, m, e)
+		}
+	}
+	if n := end.Sum("hybridloop_loop_duration_seconds_count"); n == 0 {
+		return fmt.Errorf("no loop durations observed across any site")
+	}
+	return nil
 }

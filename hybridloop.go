@@ -37,6 +37,7 @@ package hybridloop
 import (
 	"context"
 	"runtime"
+	"time"
 
 	"hybridloop/internal/adaptive"
 	"hybridloop/internal/loop"
@@ -99,7 +100,8 @@ type Body = loop.Body
 type Pool struct {
 	s           *sched.Pool
 	tuner       *adaptive.Tuner
-	gate        *sched.Gate // admission control; nil = ungated
+	gate        *sched.Gate      // admission control; nil = ungated
+	mreg        *MetricsRegistry // metrics plane; nil = metrics off
 	strategy    Strategy
 	chunk       int
 	seed        uint64
@@ -166,6 +168,7 @@ func NewPool(workers int, opts ...Option) *Pool {
 	if p.maxInFlight > 0 || p.submitRate > 0 {
 		p.gate = sched.NewGate(p.maxInFlight, p.submitRate, p.submitBurst)
 	}
+	p.registerPoolMetrics()
 	return p
 }
 
@@ -273,12 +276,21 @@ func (p *Pool) For(begin, end int, body Body, opts ...ForOption) {
 		return
 	}
 	if release, inline := p.admitOrInline(); inline {
+		if p.mreg != nil {
+			defer p.observeInline(time.Now())
+		}
 		body(begin, end)
 		return
 	} else if release != nil {
 		defer release()
 	}
-	loop.For(p.s, begin, end, body, p.options(opts, 1))
+	o := p.options(opts, 1)
+	if p.mreg != nil {
+		// Arguments are evaluated at the defer statement, so time.Now()
+		// captures the submission time and the observation fires at join.
+		defer p.observeLoop(&o, time.Now())
+	}
+	loop.For(p.s, begin, end, body, o)
 }
 
 // ForEach is For with a per-index body — more convenient, slightly slower
@@ -292,6 +304,9 @@ func (p *Pool) ForEach(begin, end int, body func(i int), opts ...ForOption) {
 		return
 	}
 	if release, inline := p.admitOrInline(); inline {
+		if p.mreg != nil {
+			defer p.observeInline(time.Now())
+		}
 		for i := begin; i < end; i++ {
 			body(i)
 		}
@@ -299,7 +314,11 @@ func (p *Pool) ForEach(begin, end int, body func(i int), opts ...ForOption) {
 	} else if release != nil {
 		defer release()
 	}
-	loop.ForW(p.s, begin, end, eachBody(body), p.options(opts, 1))
+	o := p.options(opts, 1)
+	if p.mreg != nil {
+		defer p.observeLoop(&o, time.Now())
+	}
+	loop.ForW(p.s, begin, end, eachBody(body), o)
 }
 
 // eachBody adapts a per-index body to the chunked worker-aware form with
@@ -335,7 +354,11 @@ func (p *Pool) ForWorker(begin, end int, body BodyW, opts ...ForOption) {
 		}
 		defer p.gate.Release()
 	}
-	loop.ForW(p.s, begin, end, body, p.options(opts, 1))
+	o := p.options(opts, 1)
+	if p.mreg != nil {
+		defer p.observeLoop(&o, time.Now())
+	}
+	loop.ForW(p.s, begin, end, body, o)
 }
 
 // ForWorkerNested runs a worker-aware nested loop from inside a task

@@ -1,0 +1,54 @@
+package adaptive
+
+import (
+	"strconv"
+
+	"hybridloop/internal/metrics"
+)
+
+// RegisterMetrics exposes the tuner's per-site state on r as scrape-time
+// collectors built from Sites() snapshots — the committed fast path and
+// the Decide/Report slow path are untouched. Nil-safe.
+//
+// Cardinality: one series set per (site, trip-count bucket) profile.
+// Sites are static call sites of Auto loops, so the set is bounded by
+// the program text, not by traffic. Per-arm detail stays out of the
+// exposition (arms × sites would multiply the series count for data the
+// JSON snapshot already carries); the committed arm index is exposed as
+// a gauge instead.
+func (t *Tuner) RegisterMetrics(r *metrics.Registry) {
+	if r == nil || t == nil {
+		return
+	}
+	perSite := func(name, help string, kind metrics.Kind, field func(SiteSnapshot) float64) {
+		r.OnCollect(name, help, kind, func(emit func(metrics.Labels, float64)) {
+			for _, s := range t.Sites() {
+				emit(metrics.L("site", s.Site, "bucket", strconv.Itoa(int(s.Bucket))), field(s))
+			}
+		})
+	}
+	perSite("hybridloop_tuner_decisions_total", "tuning decisions made per site profile", metrics.KindCounter,
+		func(s SiteSnapshot) float64 { return float64(s.Decisions) })
+	perSite("hybridloop_tuner_reexplores_total", "drift-triggered re-exploration rounds per site profile", metrics.KindCounter,
+		func(s SiteSnapshot) float64 { return float64(s.Reexplores) })
+	perSite("hybridloop_tuner_discards_total", "cancelled plays dropped un-reported per site profile", metrics.KindCounter,
+		func(s SiteSnapshot) float64 { return float64(s.Discards) })
+	perSite("hybridloop_tuner_committed", "1 when the site profile has committed to an arm", metrics.KindGauge,
+		func(s SiteSnapshot) float64 {
+			if s.State == "committed" {
+				return 1
+			}
+			return 0
+		})
+	perSite("hybridloop_tuner_committed_arm", "committed arm index (-1 while exploring)", metrics.KindGauge,
+		func(s SiteSnapshot) float64 {
+			if s.State != "committed" {
+				return -1
+			}
+			return float64(s.Committed)
+		})
+	perSite("hybridloop_tuner_ewma_cost_ns", "EWMA per-iteration cost of the committed arm, ns", metrics.KindGauge,
+		func(s SiteSnapshot) float64 { return s.EWMACost })
+	perSite("hybridloop_tuner_imbalance_frac", "busy-time imbalance fraction observed at the site", metrics.KindGauge,
+		func(s SiteSnapshot) float64 { return s.Imbalance })
+}

@@ -23,6 +23,9 @@
 //     captured from outside the closure.
 //   - looperr: the error results of ForErr/ForEachErr/ForCtx must not
 //     be discarded.
+//   - metricsample: a word registered with the metrics registry's
+//     pointer-sampling collectors (metrics.SampleInt64) is read with
+//     sync/atomic at scrape time, so it must never be plainly written.
 //
 // Deliberate violations are annotated in the source with
 //
@@ -67,6 +70,7 @@ var Analyzers = []*Analyzer{
 	CacheLine,
 	LoopCapture,
 	LoopErr,
+	MetricSample,
 }
 
 // Context carries the loaded module through the analyzers and collects

@@ -21,7 +21,7 @@ var update = flag.Bool("update", false, "rewrite the golden files under testdata
 //
 // Regenerate with: go test ./internal/lint -run TestGolden -update
 func TestGolden(t *testing.T) {
-	fixtures := []string{"atomicmix", "cacheline", "loopcapture", "looperr", "suppress"}
+	fixtures := []string{"atomicmix", "cacheline", "loopcapture", "looperr", "metricsample", "suppress"}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
 			root := moduleRoot(t)
@@ -66,7 +66,7 @@ func TestGolden(t *testing.T) {
 // analyzer went blind, which a pure golden comparison would happily
 // pin as the new expected output via -update.
 func TestGoldenHasFindings(t *testing.T) {
-	for _, name := range []string{"atomicmix", "cacheline", "loopcapture", "looperr", "suppress"} {
+	for _, name := range []string{"atomicmix", "cacheline", "loopcapture", "looperr", "metricsample", "suppress"} {
 		data, err := os.ReadFile(filepath.Join("testdata", "golden", name+".txt"))
 		if err != nil {
 			t.Fatalf("reading golden for %s: %v", name, err)

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MetricSample closes a gap atomicmix cannot see: the metrics registry's
+// pointer-sampling collectors (metrics.SampleInt64) read the registered
+// word with atomic.LoadInt64 at scrape time, concurrently with whatever
+// goroutine owns it. The atomic access is inside the metrics package,
+// applied to a parameter — so atomicmix never learns that the caller's
+// field is an atomic word, and a plain `x++` on it compiles, passes
+// tests, and tears against a scrape on a bad schedule.
+//
+// The check mirrors atomicmix's two-phase shape: collect every variable
+// whose address flows into a metrics sampling call anywhere in the
+// module, then flag plain writes to those variables. Reads are left to
+// atomicmix (they only become races once the writes are atomic), and
+// writes inside New*/init functions are exempt for the usual
+// pre-publication reason — registration itself normally happens there
+// too.
+var MetricSample = &Analyzer{
+	Name: "metricsample",
+	Doc:  "flags plain writes to words registered for atomic metrics sampling",
+	Run:  runMetricSample,
+}
+
+func runMetricSample(ctx *Context) {
+	// Phase 1: every trackable variable whose address is an argument to a
+	// metrics sampling call is sampled atomically at scrape time.
+	sampled := map[string]atomicUse{}
+	for _, pkg := range ctx.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isMetricSampleCall(pkg, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					id, obj := addressedVar(pkg, un.X)
+					if id == nil || !trackable(pkg, obj) {
+						continue
+					}
+					key := ctx.Fset.Position(obj.Pos()).String()
+					if _, seen := sampled[key]; !seen {
+						sampled[key] = atomicUse{
+							name: displayName(pkg, un.X, obj),
+							pos:  ctx.Fset.Position(un.Pos()),
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(sampled) == 0 {
+		return
+	}
+	// Phase 2: flag plain writes. Atomic mutation (atomic.AddInt64(&x, 1))
+	// passes &x, which classifies as address-taking, not write, so the
+	// sanctioned discipline is never flagged.
+	for _, pkg := range ctx.Pkgs {
+		for _, f := range pkg.Files {
+			walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj, ok := pkg.Info.Uses[id].(*types.Var)
+				if !ok || !trackable(pkg, obj) {
+					return true
+				}
+				use, tracked := sampled[ctx.Fset.Position(obj.Pos()).String()]
+				if !tracked || accessKind(id, stack) != "write" || exemptAtomicAccess(id, stack) {
+					return true
+				}
+				ctx.Reportf(id.Pos(), "plain write to %s, which is sampled atomically by the metrics registry (registered at %s); use sync/atomic here",
+					use.name, use.pos)
+				return true
+			})
+		}
+	}
+}
+
+// isMetricSampleCall reports whether call invokes a pointer-sampling
+// registration of the metrics package (currently Registry.SampleInt64).
+// Matching by package-path suffix keeps the check working from the
+// fixture packages, which import the real metrics package through the
+// source importer under the same path.
+func isMetricSampleCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/metrics") {
+		return false
+	}
+	return strings.HasPrefix(fn.Name(), "Sample")
+}

@@ -1,0 +1,62 @@
+// Package metricsample is the golden-file fixture for the metricsample
+// analyzer: served, dropped and globalRetries are registered with the
+// registry's atomic pointer-sampling collector and then plainly written
+// (positive cases — note no sync/atomic call in this package touches
+// them, so atomicmix is blind to all three), unregistered stays plain
+// throughout (negative case), acked shows the sanctioned atomic
+// discipline, and the suppressed section shows an annotated deliberate
+// violation.
+package metricsample
+
+import (
+	"sync/atomic"
+
+	"hybridloop/internal/metrics"
+)
+
+type server struct {
+	served       int64 // sampled by the registry; plain writes race with scrapes
+	dropped      int64 // likewise
+	acked        int64 // sampled and mutated atomically: the correct discipline
+	unregistered int64 // never sampled; plain access is fine
+}
+
+// globalRetries is a sampled package-level word.
+var globalRetries int64
+
+// newServer registers the sampled words. The registration itself takes
+// their addresses, and the zeroing write is pre-publication — neither
+// may be flagged.
+func newServer(r *metrics.Registry) *server {
+	s := &server{}
+	s.served = 0
+	r.SampleInt64("fixture_served_total", "requests served", nil, &s.served)
+	r.SampleInt64("fixture_dropped_total", "requests dropped", nil, &s.dropped)
+	r.SampleInt64("fixture_acked_total", "requests acked", nil, &s.acked)
+	r.SampleInt64("fixture_retries_total", "global retries", nil, &globalRetries)
+	return s
+}
+
+// broken performs the plain writes the analyzer must flag.
+func (s *server) broken() {
+	s.served++          // want: plain write
+	s.dropped = 7       // want: plain write
+	globalRetries += 2  // want: plain write
+	s.unregistered += 1 // fine: never registered for sampling
+}
+
+// disciplined mutates a sampled word the sanctioned way; the &-arg to
+// sync/atomic classifies as address-taking, not a write. The plain read
+// of served is also fine — reads only become races once the writes are
+// atomic, at which point atomicmix takes over.
+func (s *server) disciplined() int64 {
+	atomic.AddInt64(&s.acked, 1)
+	return s.served
+}
+
+// tornButJustified shows the suppression form: the write races in
+// principle but the author has taken responsibility in writing.
+func (s *server) tornButJustified() {
+	//lint:ignore metricsample fixture demonstrating an annotated suppression
+	s.dropped = -1
+}

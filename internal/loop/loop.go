@@ -146,6 +146,12 @@ type Options struct {
 	// consulted per invocation for the concrete configuration and fed the
 	// invocation's outcome. Ignored unless Strategy == Auto.
 	Tuner *adaptive.Tuner
+	// Label is a caller-chosen name for the loop site, used as the "site"
+	// label on the metrics plane's loop-duration series. Empty selects the
+	// pool-level default series. Labels must come from a small closed set
+	// (one per loop call site, like a route name) — never derive them from
+	// request data.
+	Label string
 	// Site identifies the loop's call site (caller PC) for the tuner.
 	// Zero means "unknown site": all unattributed Auto loops of the same
 	// trip-count bucket share one profile.

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"strconv"
+
+	"hybridloop/internal/trace"
+)
+
+// BridgeTrace post-processes a trace.Log into registry series: chunk
+// sizes feed a histogram, LoopStart→LoopEnd deltas feed the loop
+// duration histogram, and claim/steal/split/cancel events become
+// counters. This is the trace→metrics bridge: tracing already pays a
+// per-chunk critical section, so the bridge runs at scrape/harvest time
+// over Events() instead of adding a second hot-path producer.
+//
+// Counters are labeled by the given site label (the loop's WithLabel
+// name, or the caller's choice); chunk histograms additionally do not
+// carry per-worker labels — worker-level detail stays in the scheduler's
+// own collectors, keeping cardinality at (sites × families), not
+// (sites × workers × families).
+//
+// Call it once per harvested log; calling it again on the same log
+// double-counts (Reset the log between bridges, as examples do).
+func (r *Registry) BridgeTrace(site string, l *trace.Log) {
+	if r == nil || l == nil {
+		return
+	}
+	ls := L("site", site)
+	chunkIters := r.Histogram("hybridloop_trace_chunk_iterations", "iterations per executed chunk, from trace logs",
+		ls, ExponentialBuckets(1, 2, 16))
+	loopDur := r.Histogram("hybridloop_trace_loop_duration_seconds", "loop wall time from trace LoopStart/LoopEnd pairs",
+		ls, nil)
+	splitIters := r.Histogram("hybridloop_trace_split_iterations", "iterations moved per range-split steal, from trace logs",
+		ls, ExponentialBuckets(1, 2, 16))
+	events := r.Counter("hybridloop_trace_events_total", "trace events bridged into metrics", ls)
+	dropped := r.Counter("hybridloop_trace_dropped_total", "trace events dropped by the bounded log", ls)
+
+	counter := func(kind string) *Counter {
+		return r.Counter("hybridloop_trace_kind_total", "trace events by kind",
+			L("site", site, "kind", kind))
+	}
+
+	var openStart map[int32]int64 // worker → LoopStart When (ns); loops are per-log so worker-keyed is enough
+	evs := l.Events()
+	events.Add(int64(len(evs)))
+	dropped.Add(l.Dropped())
+	for _, ev := range evs {
+		counter(ev.Kind.String()).Inc()
+		switch ev.Kind {
+		case trace.Chunk:
+			chunkIters.Observe(float64(ev.B - ev.A))
+		case trace.RangeSplit:
+			splitIters.Observe(float64(ev.B - ev.A))
+		case trace.LoopStart:
+			if openStart == nil {
+				openStart = map[int32]int64{}
+			}
+			openStart[ev.Worker] = int64(ev.When)
+		case trace.LoopEnd:
+			if start, ok := openStart[ev.Worker]; ok {
+				loopDur.Observe(float64(int64(ev.When)-start) / 1e9)
+				delete(openStart, ev.Worker)
+			}
+		case trace.Cancel:
+			r.Counter("hybridloop_trace_abandoned_iterations_total",
+				"iterations abandoned after cancellation, from trace logs", ls).Add(ev.B - ev.A)
+		}
+	}
+
+	// Per-worker chunk counts as a gauge family — bounded by pool size.
+	for _, ws := range l.Summary() {
+		r.Gauge("hybridloop_trace_worker_chunks", "chunks executed per worker in the bridged log",
+			L("site", site, "worker", strconv.Itoa(ws.Worker))).Set(int64(ws.Chunks))
+	}
+}

@@ -1,0 +1,318 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// quantiles exposed for windowed histograms' recent view.
+var summaryQuantiles = []float64{0.5, 0.95, 0.99}
+
+// WriteText writes the registry's current state in the Prometheus text
+// exposition format (version 0.0.4): one `# HELP` and `# TYPE` comment
+// per family, then one line per series. Families appear in registration
+// order, series in creation order, const-sample collectors after the
+// direct families — all deterministic, so tests can diff scrapes.
+//
+// Histogram families emit the conventional `_bucket{le="..."}` series
+// (cumulative, ending at le="+Inf"), `_sum` and `_count`. Windowed
+// histograms additionally emit a `<name>_recent` summary with
+// quantile="0.5|0.95|0.99" series computed over the retained windows
+// only — the bounded-history percentile view.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	fams, cols := r.snapshotFamilies()
+	for _, f := range fams {
+		if err := writeFamily(bw, f); err != nil {
+			return err
+		}
+	}
+	for _, c := range cols {
+		if err := writeCollector(bw, c); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHeader(w *bufio.Writer, name, help string, kind Kind) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+}
+
+func escapeHelp(h string) string {
+	if !strings.ContainsAny(h, "\\\n") {
+		return h
+	}
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(h)
+}
+
+func writeFamily(w *bufio.Writer, f *family) error {
+	series := f.snapshotSeries()
+	if len(series) == 0 {
+		return nil
+	}
+	writeHeader(w, f.name, f.help, f.kind)
+	var recents []*series2snap
+	for _, s := range series {
+		switch {
+		case s.ctr != nil:
+			writeSample(w, f.name, s.labels, "", float64(s.ctr.Value()))
+		case s.gauge != nil:
+			writeSample(w, f.name, s.labels, "", float64(s.gauge.Value()))
+		case s.hist != nil:
+			writeHist(w, f.name, s.labels, s.hist.Snapshot())
+		case s.win != nil:
+			writeHist(w, f.name, s.labels, s.win.Cumulative())
+			recents = append(recents, &series2snap{labels: s.labels, snap: s.win.Recent()})
+		}
+	}
+	// Recent-window percentile summaries for windowed series, as a
+	// sibling family so the histogram family above stays well-formed.
+	if len(recents) > 0 {
+		rn := f.name + "_recent"
+		writeHeader(w, rn, "recent-window quantiles of "+f.name, KindSummary)
+		for _, rs := range recents {
+			for _, q := range summaryQuantiles {
+				ls := append(append(Labels(nil), rs.labels...), Label{Name: "quantile", Value: formatFloat(q)})
+				writeSample(w, rn, ls, "", rs.snap.Quantile(q))
+			}
+			writeSample(w, rn, rs.labels, "_sum", rs.snap.Sum)
+			writeSample(w, rn, rs.labels, "_count", float64(rs.snap.Count))
+		}
+	}
+	return nil
+}
+
+type series2snap struct {
+	labels Labels
+	snap   HistSnapshot
+}
+
+func writeCollector(w *bufio.Writer, c *collector) error {
+	var samples []Sample
+	c.fn(func(labels Labels, value float64) {
+		samples = append(samples, Sample{Labels: append(Labels(nil), labels...), Value: value})
+	})
+	writeHeader(w, c.name, c.help, c.kind)
+	for _, s := range sortedSamples(samples) {
+		writeSample(w, c.name, s.Labels, "", s.Value)
+	}
+	return nil
+}
+
+func writeHist(w *bufio.Writer, name string, labels Labels, s HistSnapshot) {
+	var cum int64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		ls := append(append(Labels(nil), labels...), Label{Name: "le", Value: formatFloat(b)})
+		writeSample(w, name, ls, "_bucket", float64(cum))
+	}
+	if len(s.Counts) > 0 {
+		cum += s.Counts[len(s.Counts)-1]
+	}
+	ls := append(append(Labels(nil), labels...), Label{Name: "le", Value: "+Inf"})
+	writeSample(w, name, ls, "_bucket", float64(cum))
+	writeSample(w, name, labels, "_sum", s.Sum)
+	writeSample(w, name, labels, "_count", float64(s.Count))
+}
+
+func writeSample(w *bufio.Writer, name string, labels Labels, suffix string, v float64) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if k := labels.key(); k != "" {
+		w.WriteByte('{')
+		w.WriteString(k)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in text
+// exposition format; mount it at /metrics. A nil registry serves an
+// empty (valid) exposition.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// Scrape is a parsed exposition: series key (name + sorted label
+// fragment) → value, plus the TYPE declarations seen. It exists for
+// tests — the scrape-parse round-trip and the server bench's
+// monotonicity assertions — not as a general Prometheus client.
+type Scrape struct {
+	Values map[string]float64
+	Types  map[string]string // family name → type string
+}
+
+// ParseText parses Prometheus text exposition into a Scrape. Label
+// fragments in series keys are sorted by label name so lookups don't
+// depend on writer order. Unparseable lines return an error.
+func ParseText(rd io.Reader) (*Scrape, error) {
+	s := &Scrape{Values: map[string]float64{}, Types: map[string]string{}}
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for ln := 1; sc.Scan(); ln++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if fields := strings.Fields(line); len(fields) >= 4 && fields[1] == "TYPE" {
+				s.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		key, val, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: parse line %d: %w", ln, err)
+		}
+		s.Values[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseSampleLine(line string) (key string, val float64, err error) {
+	// name{labels} value  |  name value
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd < 0 {
+		return "", 0, fmt.Errorf("no value in %q", line)
+	}
+	name := line[:nameEnd]
+	rest := line[nameEnd:]
+	var labels Labels
+	if rest[0] == '{' {
+		close := strings.LastIndexByte(rest, '}')
+		if close < 0 {
+			return "", 0, fmt.Errorf("unterminated labels in %q", line)
+		}
+		labels, err = parseLabels(rest[1:close])
+		if err != nil {
+			return "", 0, err
+		}
+		rest = rest[close+1:]
+	}
+	f := strings.Fields(rest)
+	if len(f) < 1 {
+		return "", 0, fmt.Errorf("no value in %q", line)
+	}
+	switch f[0] {
+	case "+Inf":
+		val = math.Inf(1)
+	case "-Inf":
+		val = math.Inf(-1)
+	default:
+		val, err = strconv.ParseFloat(f[0], 64)
+		if err != nil {
+			return "", 0, fmt.Errorf("bad value %q: %v", f[0], err)
+		}
+	}
+	sort.SliceStable(labels, func(i, j int) bool { return labels[i].Name < labels[j].Name })
+	key = name
+	if k := labels.key(); k != "" {
+		key += "{" + k + "}"
+	}
+	return key, val, nil
+}
+
+func parseLabels(s string) (Labels, error) {
+	var out Labels
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return nil, fmt.Errorf("bad label fragment %q", s)
+		}
+		name := s[:eq]
+		rest := s[eq+2:]
+		var b strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			b.WriteByte(c)
+		}
+		if i >= len(rest) {
+			return nil, fmt.Errorf("unterminated label value in %q", s)
+		}
+		out = append(out, Label{Name: name, Value: b.String()})
+		s = rest[i+1:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return out, nil
+}
+
+// Value returns the value for an exact series key ("name" or
+// `name{l1="v1",...}` with labels sorted by name), and whether it was
+// present.
+func (s *Scrape) Value(key string) (float64, bool) {
+	v, ok := s.Values[key]
+	return v, ok
+}
+
+// Family returns every series of the named family (exact name match
+// before any '{'), keyed by full series key.
+func (s *Scrape) Family(name string) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range s.Values {
+		base := k
+		if i := strings.IndexByte(k, '{'); i >= 0 {
+			base = k[:i]
+		}
+		if base == name {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Sum adds up every series of the named family — handy for "total
+// across labels" assertions.
+func (s *Scrape) Sum(name string) float64 {
+	var t float64
+	for _, v := range s.Family(name) {
+		t += v
+	}
+	return t
+}

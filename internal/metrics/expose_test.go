@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("hl_tasks_total", "tasks executed", L("worker", "0")).Add(10)
+	r.Counter("hl_tasks_total", "tasks executed", L("worker", "1")).Add(20)
+	r.Gauge("hl_demand", "outstanding demand", nil).Set(3)
+	h := r.Histogram("hl_chunk_iterations", "iterations per chunk", L("site", "a"), []float64{1, 8, 64})
+	for _, v := range []float64{1, 4, 4, 32, 512} {
+		h.Observe(v)
+	}
+	w := r.Windowed("hl_loop_seconds", "loop wall time", L("site", "a"), []float64{0.001, 0.01, 0.1}, 2)
+	w.Observe(0.005)
+	w.Rotate()
+	w.Observe(0.05)
+	r.OnCollect("hl_const", "a const family", KindCounter, func(emit func(Labels, float64)) {
+		emit(L("kind", `weird"value`+"\n"), 7)
+	})
+	return r
+}
+
+// TestWriteParseRoundTrip is the acceptance criterion's scrape-parse
+// round trip: everything written by WriteText must come back out of
+// ParseText with the same values.
+func TestWriteParseRoundTrip(t *testing.T) {
+	r := buildTestRegistry()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parse back our own exposition: %v\n%s", err, sb.String())
+	}
+
+	for key, want := range map[string]float64{
+		`hl_tasks_total{worker="0"}`:                     10,
+		`hl_tasks_total{worker="1"}`:                     20,
+		`hl_demand`:                                      3,
+		`hl_chunk_iterations_bucket{le="1",site="a"}`:    1,
+		`hl_chunk_iterations_bucket{le="8",site="a"}`:    3,
+		`hl_chunk_iterations_bucket{le="64",site="a"}`:   4,
+		`hl_chunk_iterations_bucket{le="+Inf",site="a"}`: 5,
+		`hl_chunk_iterations_count{site="a"}`:            5,
+		`hl_chunk_iterations_sum{site="a"}`:              553,
+		`hl_loop_seconds_count{site="a"}`:                2,
+		`hl_const{kind="weird\"value\n"}`:                7,
+	} {
+		got, ok := s.Value(key)
+		if !ok {
+			t.Errorf("series %s missing; have %v", key, keys(s.Values))
+			continue
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", key, got, want)
+		}
+	}
+
+	for fam, typ := range map[string]string{
+		"hl_tasks_total":         "counter",
+		"hl_demand":              "gauge",
+		"hl_chunk_iterations":    "histogram",
+		"hl_loop_seconds":        "histogram",
+		"hl_loop_seconds_recent": "summary",
+		"hl_const":               "counter",
+	} {
+		if s.Types[fam] != typ {
+			t.Errorf("TYPE %s = %q, want %q", fam, s.Types[fam], typ)
+		}
+	}
+
+	// Windowed recent summary exposes the three quantile ranks.
+	for _, q := range []string{"0.5", "0.95", "0.99"} {
+		key := `hl_loop_seconds_recent{quantile="` + q + `",site="a"}`
+		if _, ok := s.Value(key); !ok {
+			t.Errorf("missing recent quantile series %s", key)
+		}
+	}
+}
+
+func keys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestBucketCumulative checks the _bucket series are cumulative and end
+// at the _count value, the invariant Prometheus' histogram_quantile
+// relies on.
+func TestBucketCumulative(t *testing.T) {
+	r := buildTestRegistry()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, _ := s.Value(`hl_chunk_iterations_bucket{le="+Inf",site="a"}`)
+	count, _ := s.Value(`hl_chunk_iterations_count{site="a"}`)
+	if inf != count {
+		t.Fatalf("le=+Inf bucket %v != count %v", inf, count)
+	}
+	prev := -1.0
+	for _, le := range []string{"1", "8", "64", "+Inf"} {
+		v, ok := s.Value(`hl_chunk_iterations_bucket{le="` + le + `",site="a"}`)
+		if !ok {
+			t.Fatalf("missing le=%s", le)
+		}
+		if v < prev {
+			t.Fatalf("buckets not cumulative at le=%s: %v < %v", le, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHandler(t *testing.T) {
+	srv := httptest.NewServer(Handler(buildTestRegistry()))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	s, err := ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Sum("hl_tasks_total"); got != 30 {
+		t.Fatalf("tasks total over labels = %v", got)
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Fatalf("nil registry: code %d body %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestScrapeHelpers(t *testing.T) {
+	s, err := ParseText(strings.NewReader("a{x=\"1\"} 2\na{x=\"2\"} 3\nb 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Sum("a"); got != 5 {
+		t.Fatalf("Sum(a) = %v", got)
+	}
+	if fam := s.Family("a"); len(fam) != 2 {
+		t.Fatalf("Family(a) = %v", fam)
+	}
+	if _, ok := s.Value("b"); !ok {
+		t.Fatal("missing unlabeled series b")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"name_only",
+		`x{unterminated="v 1`,
+		"x notanumber",
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText(%q) accepted garbage", bad)
+		}
+	}
+}

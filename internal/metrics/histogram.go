@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram: observations are counted into
+// the first bucket whose upper bound is >= the value, plus an implicit
+// +Inf bucket. Observe is lock-free — one binary search over a small
+// immutable bounds slice and two atomic adds — so event-driven producers
+// can call it from any worker without serializing.
+//
+// Values are float64; duration producers observe seconds (see
+// ObserveSince and DurationBuckets), matching Prometheus base-unit
+// conventions.
+type Histogram struct {
+	bounds  []float64      // ascending upper bounds, exclusive of +Inf
+	counts  []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 sum, accumulated by CAS
+}
+
+// DefBuckets are general-purpose duration buckets in seconds: powers of
+// two from 1µs to ~4.2s plus +Inf, fine enough that a bucket-interpolated
+// percentile lands within a factor of two of the exact statistic.
+var DefBuckets = func() []float64 {
+	var b []float64
+	for us := int64(1); us <= 1<<22; us <<= 1 {
+		b = append(b, time.Duration(us*int64(time.Microsecond)).Seconds())
+	}
+	return b
+}()
+
+// LinearBuckets returns count buckets starting at start with the given
+// width.
+func LinearBuckets(start, width float64, count int) []float64 {
+	b := make([]float64, count)
+	for i := range b {
+		b[i] = start + width*float64(i)
+	}
+	return b
+}
+
+// ExponentialBuckets returns count buckets starting at start, each
+// factor times the previous.
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	b := make([]float64, count)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds
+// (DefBuckets if nil/empty).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[h.bucketOf(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		s := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start. Nil-safe.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+func (h *Histogram) bucketOf(v float64) int {
+	// sort.SearchFloat64s returns the first bound >= v when v is present;
+	// we need the first bound >= v in general (le semantics).
+	return sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+}
+
+// Count returns the total observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// HistSnapshot is an immutable copy of a histogram's state, mergeable
+// with others sharing the same bounds.
+type HistSnapshot struct {
+	Bounds []float64
+	Counts []int64 // len(Bounds)+1, last is +Inf
+	Count  int64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current state. The per-bucket reads
+// are individually atomic, not mutually consistent — fine for
+// monitoring, where a scrape racing an Observe may see the bucket
+// increment before the total. Count is recomputed from the buckets so
+// the snapshot is internally consistent.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Merge adds o's buckets into s (bounds must match; merging a zero
+// snapshot adopts o's bounds).
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	if len(o.Counts) == 0 {
+		return
+	}
+	if len(s.Counts) == 0 {
+		s.Bounds = o.Bounds
+		s.Counts = append([]int64(nil), o.Counts...)
+		s.Count = o.Count
+		s.Sum = o.Sum
+		return
+	}
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// Quantile estimates the q-th quantile (0 < q < 1) by linear
+// interpolation within the bucket holding the target rank, the standard
+// Prometheus histogram_quantile estimator. Returns 0 with no
+// observations; a rank landing in the +Inf bucket returns the largest
+// finite bound.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) >= rank && c > 0 {
+			if i >= len(s.Bounds) {
+				// +Inf bucket: clamp to the largest finite bound.
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			// Position of the target rank within this bucket's count.
+			frac := (rank - float64(cum-c)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Quantile is Snapshot().Quantile(q) (0 on nil).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return h.Snapshot().Quantile(q)
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hybridloop/internal/latency"
+)
+
+func TestBucketAssignment(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// le=1: {0.5, 1}; le=2: {1.5, 2}; le=4: {3, 4}; +Inf: {100}
+	want := []int64{2, 2, 2, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 7 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if math.Abs(s.Sum-112) > 1e-9 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(50) // lands in +Inf
+	if q := h.Quantile(0.99); q != 2 {
+		t.Fatalf("+Inf rank must clamp to largest finite bound, got %v", q)
+	}
+}
+
+// TestQuantileVsLatencySampler is the satellite's percentile
+// cross-check: feed the identical duration stream to internal/latency's
+// exact sampler and to a DefBuckets histogram, and require the
+// bucket-interpolated P50/P95/P99 to land within one power-of-two bucket
+// of the exact statistic. DefBuckets doubles per bucket, so the exact
+// value and the estimate must share a bucket: ratio bounded by 2 on
+// either side (plus interpolation slack at the bucket edge).
+func TestQuantileVsLatencySampler(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dist := range []struct {
+		name string
+		gen  func() time.Duration
+	}{
+		{"uniform", func() time.Duration {
+			return time.Duration(rng.Int63n(int64(10 * time.Millisecond)))
+		}},
+		{"exponentialish", func() time.Duration {
+			// Heavy-tailed: mostly fast with occasional 100x stragglers,
+			// the shape loop latencies actually take under stealing.
+			d := time.Duration(rng.Int63n(int64(100 * time.Microsecond)))
+			if rng.Intn(50) == 0 {
+				d *= 100
+			}
+			return d
+		}},
+	} {
+		t.Run(dist.name, func(t *testing.T) {
+			sampler := latency.NewSampler(0)
+			h := NewHistogram(nil)
+			for i := 0; i < 20000; i++ {
+				d := dist.gen()
+				sampler.Observe(d)
+				h.Observe(d.Seconds())
+			}
+			sum := sampler.Summary()
+			for _, tc := range []struct {
+				q     float64
+				exact time.Duration
+			}{{0.50, sum.P50}, {0.95, sum.P95}, {0.99, sum.P99}} {
+				est := h.Quantile(tc.q)
+				exact := tc.exact.Seconds()
+				if exact == 0 {
+					continue
+				}
+				if est < exact/2.05 || est > exact*2.05 {
+					t.Errorf("P%02.0f: histogram %.6fs vs exact %.6fs — outside one bucket",
+						tc.q*100, est, exact)
+				}
+			}
+		})
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 2})
+	b := NewHistogram([]float64{1, 2})
+	a.Observe(0.5)
+	a.Observe(1.5)
+	b.Observe(1.5)
+	b.Observe(9)
+	var m HistSnapshot
+	m.Merge(a.Snapshot())
+	m.Merge(b.Snapshot())
+	if m.Count != 4 {
+		t.Fatalf("merged count = %d", m.Count)
+	}
+	if got := []int64{m.Counts[0], m.Counts[1], m.Counts[2]}; got[0] != 1 || got[1] != 2 || got[2] != 1 {
+		t.Fatalf("merged counts = %v", got)
+	}
+	if math.Abs(m.Sum-12.5) > 1e-9 {
+		t.Fatalf("merged sum = %v", m.Sum)
+	}
+	// Merging into zero adopts bounds.
+	var z HistSnapshot
+	z.Merge(a.Snapshot())
+	if len(z.Bounds) != 2 || z.Count != 2 {
+		t.Fatalf("zero-merge: %+v", z)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(0, 2, 3)
+	if lin[0] != 0 || lin[1] != 2 || lin[2] != 4 {
+		t.Fatalf("linear: %v", lin)
+	}
+	exp := ExponentialBuckets(1, 4, 3)
+	if exp[0] != 1 || exp[1] != 4 || exp[2] != 16 {
+		t.Fatalf("exponential: %v", exp)
+	}
+	if len(DefBuckets) != 23 {
+		t.Fatalf("DefBuckets has %d bounds", len(DefBuckets))
+	}
+	if DefBuckets[0] != 1e-6 {
+		t.Fatalf("DefBuckets[0] = %v", DefBuckets[0])
+	}
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestMetricsConcurrentStress is the -race satellite: concurrent label
+// lookups (the getOrCreate double-checked path), histogram observes,
+// window rotation, and scrapes all at once. Correctness check at the
+// end: no increments lost, cumulative windowed count equals observes.
+func TestMetricsConcurrentStress(t *testing.T) {
+	r := NewRegistry()
+	workers := runtime.GOMAXPROCS(0) * 2
+	if workers < 4 {
+		workers = 4
+	}
+	const perWorker = 2000
+	labels := []string{"alpha", "beta", "gamma", "delta"}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWorker; i++ {
+				site := labels[(g+i)%len(labels)]
+				// Re-resolve every iteration on purpose: this hammers the
+				// RWMutex read path and the create race, which is exactly
+				// what the race detector should vet.
+				r.Counter("stress_total", "", L("site", site)).Inc()
+				r.Windowed("stress_seconds", "", L("site", site), []float64{0.001, 0.1}, 3).
+					Observe(float64(i%10) * 0.01)
+				if i%64 == 0 {
+					r.Gauge("stress_gauge", "", L("site", site)).Set(int64(i))
+				}
+			}
+		}(g)
+	}
+
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(2)
+	go func() { // rotator
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Rotate()
+			}
+		}
+	}()
+	go func() { // scraper
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := r.WriteText(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	close(start)
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+
+	total := int64(workers) * perWorker
+	var gotC int64
+	var gotW int64
+	for _, site := range labels {
+		gotC += r.Counter("stress_total", "", L("site", site)).Value()
+		gotW += r.Windowed("stress_seconds", "", L("site", site), nil, 3).Cumulative().Count
+	}
+	if gotC != total {
+		t.Fatalf("lost counter increments: %d / %d", gotC, total)
+	}
+	if gotW != total {
+		t.Fatalf("lost windowed observations across rotation: %d / %d", gotW, total)
+	}
+
+	// The final scrape parses and the counter family sums to the total.
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Sum("stress_total"); int64(got) != total {
+		t.Fatalf("scraped total %v, want %d", got, total)
+	}
+	for i, site := range labels {
+		_ = i
+		if _, ok := s.Value(fmt.Sprintf(`stress_seconds_count{site=%q}`, site)); !ok {
+			t.Fatalf("missing windowed count for site %s", site)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Windowed is a histogram whose observations land in the currently
+// active window of a fixed-size ring. Rotating seals the active window
+// into the ring; when the ring is full the oldest window is merged into
+// a cumulative "evicted" snapshot before being dropped, so
+//
+//   - total counts are never lost (the cumulative exposition — evicted +
+//     ring + active — stays monotone, as Prometheus counters must), and
+//   - memory stays bounded at windows+1 histograms regardless of how
+//     long the pool runs, and
+//   - Recent() gives percentile digests over just the ring+active
+//     windows — the "current behaviour" view a long-running server needs,
+//     which a since-process-start histogram cannot provide once old
+//     traffic dominates the buckets.
+//
+// Observe is as cheap as Histogram.Observe plus one RWMutex read-lock
+// (rotation is the only writer). All methods are nil-safe.
+type Windowed struct {
+	mu      sync.RWMutex
+	active  *Histogram
+	ring    []HistSnapshot // sealed windows, oldest first
+	size    int            // ring capacity
+	evicted HistSnapshot   // merge-on-evict accumulator
+	bounds  []float64
+	rotated int64 // total rotations, for tests/observability
+}
+
+// DefaultWindows is the ring size used when NewWindowed is given
+// windows <= 0: with a 10s rotation period this keeps ~1 minute of
+// recent history.
+const DefaultWindows = 6
+
+// NewWindowed builds a windowed histogram with the given bucket bounds
+// (DefBuckets if empty) and ring capacity (DefaultWindows if <= 0).
+func NewWindowed(bounds []float64, windows int) *Windowed {
+	if windows <= 0 {
+		windows = DefaultWindows
+	}
+	h := NewHistogram(bounds)
+	return &Windowed{active: h, size: windows, bounds: h.bounds}
+}
+
+// Observe records one value into the active window.
+func (w *Windowed) Observe(v float64) {
+	if w == nil {
+		return
+	}
+	w.mu.RLock()
+	w.active.Observe(v)
+	w.mu.RUnlock()
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (w *Windowed) ObserveSince(start time.Time) {
+	if w == nil {
+		return
+	}
+	w.Observe(time.Since(start).Seconds())
+}
+
+// Rotate seals the active window into the ring, evicting (merging) the
+// oldest sealed window if the ring is full, and starts a fresh active
+// window.
+func (w *Windowed) Rotate() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	sealed := w.active.Snapshot()
+	w.active = NewHistogram(w.bounds)
+	w.ring = append(w.ring, sealed)
+	if len(w.ring) > w.size {
+		w.evicted.Merge(w.ring[0])
+		// Shift rather than reslice so the backing array doesn't grow
+		// without bound across rotations.
+		copy(w.ring, w.ring[1:])
+		w.ring = w.ring[:w.size]
+	}
+	w.rotated++
+}
+
+// Rotations returns how many times the window has rotated.
+func (w *Windowed) Rotations() int64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.rotated
+}
+
+// Cumulative merges everything ever observed — evicted windows, sealed
+// ring, and the active window — into one snapshot. This is the series
+// exposed as the Prometheus histogram (monotone _bucket/_count/_sum).
+func (w *Windowed) Cumulative() HistSnapshot {
+	if w == nil {
+		return HistSnapshot{}
+	}
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	var out HistSnapshot
+	out.Merge(w.evicted)
+	for _, s := range w.ring {
+		out.Merge(s)
+	}
+	out.Merge(w.active.Snapshot())
+	return out
+}
+
+// Recent merges only the retained windows (ring + active): the
+// bounded-history view, covering at most (windows+1) rotation periods.
+func (w *Windowed) Recent() HistSnapshot {
+	if w == nil {
+		return HistSnapshot{}
+	}
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	var out HistSnapshot
+	for _, s := range w.ring {
+		out.Merge(s)
+	}
+	out.Merge(w.active.Snapshot())
+	return out
+}
+
+// RotateEvery starts a goroutine rotating every windowed histogram in
+// the registry each period, and returns a stop function (idempotent).
+// This is the periodic aggregator long-running pools mount once at
+// startup; examples/server uses it.
+func (r *Registry) RotateEvery(period time.Duration) (stop func()) {
+	if r == nil || period <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.Rotate()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

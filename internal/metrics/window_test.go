@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"testing"
+)
+
+// TestMergeOnEvict pins the tentpole's bounded-history contract: after
+// arbitrarily many rotations the cumulative view has lost nothing, while
+// the recent view covers only ring+active windows.
+func TestMergeOnEvict(t *testing.T) {
+	w := NewWindowed([]float64{1, 10, 100}, 2)
+	// 5 windows of one observation each, value = window index.
+	for i := 0; i < 5; i++ {
+		w.Observe(float64(i))
+		w.Rotate()
+	}
+	w.Observe(99) // active window
+
+	cum := w.Cumulative()
+	if cum.Count != 6 {
+		t.Fatalf("cumulative count = %d, want 6 (nothing lost across eviction)", cum.Count)
+	}
+	if cum.Sum != 0+1+2+3+4+99 {
+		t.Fatalf("cumulative sum = %v", cum.Sum)
+	}
+
+	// Ring holds the last 2 sealed windows (values 3, 4) plus active (99).
+	rec := w.Recent()
+	if rec.Count != 3 {
+		t.Fatalf("recent count = %d, want 3 (2 sealed + active)", rec.Count)
+	}
+	if rec.Sum != 3+4+99 {
+		t.Fatalf("recent sum = %v", rec.Sum)
+	}
+	if w.Rotations() != 5 {
+		t.Fatalf("rotations = %d", w.Rotations())
+	}
+}
+
+func TestWindowedBeforeAnyRotation(t *testing.T) {
+	w := NewWindowed(nil, 3)
+	w.Observe(0.5)
+	if c := w.Cumulative(); c.Count != 1 {
+		t.Fatalf("cumulative = %+v", c)
+	}
+	if r := w.Recent(); r.Count != 1 {
+		t.Fatalf("recent = %+v", r)
+	}
+}
+
+func TestWindowedDefaults(t *testing.T) {
+	w := NewWindowed(nil, 0)
+	if w.size != DefaultWindows {
+		t.Fatalf("default ring size = %d", w.size)
+	}
+	if len(w.bounds) != len(DefBuckets) {
+		t.Fatalf("default bounds len = %d", len(w.bounds))
+	}
+}
+
+// TestRingStaysBounded rotates far past capacity and checks the ring
+// never grows beyond its size while the eviction accumulator absorbs
+// the history.
+func TestRingStaysBounded(t *testing.T) {
+	const rounds = 100
+	w := NewWindowed([]float64{1}, 4)
+	for i := 0; i < rounds; i++ {
+		w.Observe(0.5)
+		w.Rotate()
+	}
+	w.mu.RLock()
+	ringLen, ringCap := len(w.ring), cap(w.ring)
+	evicted := w.evicted.Count
+	w.mu.RUnlock()
+	if ringLen != 4 {
+		t.Fatalf("ring len = %d, want 4", ringLen)
+	}
+	if ringCap > 8 {
+		t.Fatalf("ring backing array grew to %d — eviction should shift in place", ringCap)
+	}
+	if evicted != rounds-4 {
+		t.Fatalf("evicted count = %d, want %d", evicted, rounds-4)
+	}
+	if c := w.Cumulative(); c.Count != rounds {
+		t.Fatalf("cumulative count = %d, want %d", c.Count, rounds)
+	}
+}

@@ -96,14 +96,22 @@ func (c CG) Matrix() *CSR {
 	a := &CSR{N: c.N, RowPtr: make([]int32, c.N+1)}
 	for i := 0; i < c.N; i++ {
 		offdiag := make([]entry, 0, len(rows[i])+1)
-		var rowAbs float64
 		for j, v := range rows[i] {
 			offdiag = append(offdiag, entry{j, v})
-			rowAbs += math.Abs(v)
+		}
+		// Fold |v| in sorted column order, not map order: map iteration
+		// is randomized per run, and the diagonal must be the same bits
+		// every run for the golden datasets to hold.
+		sort.Slice(offdiag, func(x, y int) bool { return offdiag[x].col < offdiag[y].col })
+		var rowAbs float64
+		for _, e := range offdiag {
+			rowAbs += math.Abs(e.val)
 		}
 		// Dominant diagonal makes A symmetric positive definite.
-		offdiag = append(offdiag, entry{int32(i), rowAbs + c.Shift})
-		sort.Slice(offdiag, func(x, y int) bool { return offdiag[x].col < offdiag[y].col })
+		d := sort.Search(len(offdiag), func(k int) bool { return offdiag[k].col > int32(i) })
+		offdiag = append(offdiag, entry{})
+		copy(offdiag[d+1:], offdiag[d:])
+		offdiag[d] = entry{int32(i), rowAbs + c.Shift}
 		for _, e := range offdiag {
 			a.Col = append(a.Col, e.col)
 			a.Val = append(a.Val, e.val)

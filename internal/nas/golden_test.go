@@ -1,0 +1,125 @@
+package nas
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"hybridloop"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate testdata golden datasets")
+
+// goldenNAS pins the five kernels' parallel outputs for fixed instances
+// on a fixed pool (4 workers, hybrid strategy, seeded victim selection).
+// The kernels' block reductions make parallel output bitwise equal to
+// sequential regardless of scheduling, so these values are stable across
+// runs and machines — any drift means the numerics changed, not the
+// schedule. Floats are hex strings for exact JSON round-trips; the IS
+// arrays are pinned by FNV-1a hash.
+type goldenNAS struct {
+	EPSx    string   `json:"ep_sx_hex"`
+	EPSy    string   `json:"ep_sy_hex"`
+	EPQ     []int64  `json:"ep_q"`
+	EPPairs int64    `json:"ep_pairs"`
+	ISKeys  uint64   `json:"is_keys_fnv"`
+	ISRanks uint64   `json:"is_ranks_fnv"`
+	CGZeta  string   `json:"cg_zeta_hex"`
+	CGResid string   `json:"cg_residual_hex"`
+	CGZetas []string `json:"cg_zetas_hex"`
+	MGInit  string   `json:"mg_initial_residual_hex"`
+	MGResid []string `json:"mg_residuals_hex"`
+	FTSums  []string `json:"ft_checksums_hex"` // re, im interleaved
+}
+
+func hexF(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+func hexFs(vs []float64) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = hexF(v)
+	}
+	return out
+}
+
+func fnvInt32s(vs []int32) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint32(buf[:], uint32(v))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func goldenNASRun() goldenNAS {
+	pool := hybridloop.NewPool(4, hybridloop.WithSeed(42))
+	defer pool.Close()
+
+	var g goldenNAS
+	ep := EP{M: 16, LogBlock: 8}.Parallel(pool)
+	g.EPSx, g.EPSy = hexF(ep.Sx), hexF(ep.Sy)
+	g.EPQ = append([]int64(nil), ep.Q[:]...)
+	g.EPPairs = ep.Pairs
+
+	is := IS{N: 40000, MaxKey: 512, Iterations: 3}.Parallel(pool)
+	g.ISKeys = fnvInt32s(is.Keys)
+	g.ISRanks = fnvInt32s(is.Ranks)
+
+	cg := CG{N: 500, NonzerosPerRow: 5, NIters: 3, InnerIters: 10}.Parallel(pool)
+	g.CGZeta, g.CGResid = hexF(cg.Zeta), hexF(cg.Residual)
+	g.CGZetas = hexFs(cg.Zetas)
+
+	mg := MG{Log2N: 4, Cycles: 4}.Parallel(pool)
+	g.MGInit = hexF(mg.InitialResidual)
+	g.MGResid = hexFs(mg.Residuals)
+
+	ft := FT{N1: 16, N2: 16, N3: 8, Iterations: 3}.Parallel(pool)
+	for _, c := range ft.Checksums {
+		g.FTSums = append(g.FTSums, hexF(real(c)), hexF(imag(c)))
+	}
+	return g
+}
+
+// TestGoldenEquivalence re-runs the pinned kernel instances and demands
+// bit-exact agreement with testdata/golden_nas.json. Regenerate
+// deliberately with -update (make golden-regen) when the numerics are
+// meant to change.
+func TestGoldenEquivalence(t *testing.T) {
+	path := filepath.Join("testdata", "golden_nas.json")
+	got := goldenNASRun()
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden dataset (regenerate with -update): %v", err)
+	}
+	var want goldenNAS
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	gj, _ := json.Marshal(got)
+	wj, _ := json.Marshal(want)
+	if string(gj) != string(wj) {
+		t.Errorf("NAS kernel outputs diverged from golden:\n got %s\nwant %s", gj, wj)
+	}
+}

@@ -185,6 +185,10 @@ type Stats struct {
 	// in Steals; each one corresponds to exactly one trace.RangeSplit
 	// event when the loop is traced.
 	RangeSteals int64
+	// Parks counts committed park transitions: a worker actually blocking
+	// on its state word after a failed announce-then-sweep, not wakes that
+	// land during the announcement. Bumped only on the blocking slow path.
+	Parks int64
 	// BusyNanos / IdleNanos are the pool-wide sums of the per-worker
 	// busy/parked times below. Zero unless SetTimeAccounting(true).
 	BusyNanos int64
@@ -357,6 +361,7 @@ func (p *Pool) Stats() Stats {
 		s.FailedSteals += w.failedSteals.Load()
 		s.LoopEntries += w.loopEntries.Load()
 		s.RangeSteals += w.rangeSteals.Load()
+		s.Parks += w.parks.Load()
 		s.WorkerBusyNanos[i] = w.busyNanos.Load()
 		s.WorkerIdleNanos[i] = w.idleNanos.Load()
 		s.BusyNanos += s.WorkerBusyNanos[i]
@@ -373,10 +378,49 @@ func (p *Pool) ResetStats() {
 		w.failedSteals.Store(0)
 		w.loopEntries.Store(0)
 		w.rangeSteals.Store(0)
+		w.parks.Store(0)
 		w.busyNanos.Store(0)
 		w.idleNanos.Store(0)
 	}
 }
+
+// WorkerCounters is one worker's scheduling counters, for per-worker
+// attribution (the metrics plane's worker-labeled series).
+type WorkerCounters struct {
+	Worker       int
+	Tasks        int64
+	Steals       int64
+	FailedSteals int64
+	LoopEntries  int64
+	RangeSteals  int64
+	Parks        int64
+	BusyNanos    int64
+	IdleNanos    int64
+}
+
+// PerWorker snapshots every worker's counters. Reads are individually
+// atomic, not mutually consistent — monitoring semantics, same as Stats.
+func (p *Pool) PerWorker() []WorkerCounters {
+	out := make([]WorkerCounters, len(p.workers))
+	for i, w := range p.workers {
+		out[i] = WorkerCounters{
+			Worker:       i,
+			Tasks:        w.tasks.Load(),
+			Steals:       w.steals.Load(),
+			FailedSteals: w.failedSteals.Load(),
+			LoopEntries:  w.loopEntries.Load(),
+			RangeSteals:  w.rangeSteals.Load(),
+			Parks:        w.parks.Load(),
+			BusyNanos:    w.busyNanos.Load(),
+			IdleNanos:    w.idleNanos.Load(),
+		}
+	}
+	return out
+}
+
+// ParkedWorkers returns the number of workers currently announced as
+// parking or parked — the idle-capacity gauge.
+func (p *Pool) ParkedWorkers() int { return int(p.nparked.Load()) }
 
 // rootCall is the reusable frame of one Pool.Run: the submitted root, the
 // completion signal, and the panic carried back to the caller. The task
@@ -843,10 +887,11 @@ type Worker struct {
 	failedSteals atomic.Int64
 	loopEntries  atomic.Int64
 	rangeSteals  atomic.Int64
+	parks        atomic.Int64 // committed park transitions (blocking slow path only)
 	busyNanos    atomic.Int64 // time in busy bursts (timeAcct only)
 	idleNanos    atomic.Int64 // time parked (timeAcct only)
 
-	_ [24]byte // pad to a cache-line multiple (//sched:cacheline)
+	_ [16]byte // pad to a cache-line multiple (//sched:cacheline)
 }
 
 // NoteRangeSteal records one successful steal-half of a published range
@@ -1058,6 +1103,7 @@ func (w *Worker) Wait(g *Group) {
 			continue
 		}
 		if w.state.CompareAndSwap(wParking, wParked) {
+			w.parks.Add(1)
 			<-w.park
 		}
 		w.state.Store(wActive)
@@ -1336,6 +1382,9 @@ func (w *Worker) mainLoop() {
 			idleStart = time.Now()
 		}
 		if w.state.CompareAndSwap(wParking, wParked) {
+			// Committed-park census: already on the blocking slow path, so
+			// the counter costs nothing on the wake-to-first-task edge.
+			w.parks.Add(1)
 			// Committed to blocking. The quitting check sits between the
 			// CAS and the receive: if Close's wake pass missed us (we were
 			// active then), our CAS precedes this load in the seq-cst total

@@ -1,0 +1,118 @@
+package sim_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"hybridloop/internal/sim"
+	"hybridloop/internal/topology"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate testdata golden datasets")
+
+// goldenSimEntry pins one simulator run exactly. Floats are stored as
+// hex strings (strconv 'x' format) so the JSON round-trip is bit-exact —
+// the point of a golden test is exact match, not tolerance.
+type goldenSimEntry struct {
+	Strategy     string `json:"strategy"`
+	P            int    `json:"p"`
+	Cycles       string `json:"cycles_hex"`
+	Accesses     int64  `json:"accesses"`
+	Affinity     string `json:"affinity_hex"`
+	Steals       int64  `json:"steals"`
+	FailedSteals int64  `json:"failed_steals"`
+	Claims       int64  `json:"claims"`
+	FailedClaims int64  `json:"failed_claims"`
+	Chunks       int64  `json:"chunks"`
+}
+
+func hexFloat(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+func goldenSimRuns() []goldenSimEntry {
+	// Unbalanced micro workload: exercises stealing, claims, and the
+	// hybrid fallback — the interesting scheduling behaviour to pin.
+	w := microWorkload(false, 8)
+	var out []goldenSimEntry
+	for _, s := range allStrategies() {
+		for _, p := range []int{4, 32} {
+			r := sim.Run(sim.Config{Machine: topology.Paper(), P: p, Strategy: s, Seed: 7}, w)
+			out = append(out, goldenSimEntry{
+				Strategy:     s.String(),
+				P:            p,
+				Cycles:       hexFloat(r.Cycles),
+				Accesses:     r.Counts.Total(),
+				Affinity:     hexFloat(r.Affinity),
+				Steals:       r.Steals,
+				FailedSteals: r.FailedSteals,
+				Claims:       r.Claims,
+				FailedClaims: r.FailedClaims,
+				Chunks:       r.Chunks,
+			})
+		}
+	}
+	return out
+}
+
+// TestGoldenEquivalence re-runs the pinned simulator configurations and
+// demands exact agreement with testdata/golden_sim.json: same simulated
+// cycles to the bit, same steal/claim/chunk counts. A scheduler-policy
+// refactor that changes any of these must regenerate the dataset
+// deliberately (go test ./internal/sim -run Golden -update, or
+// make golden-regen) and justify the diff — "tests still pass" is not
+// evidence the policies are unchanged.
+func TestGoldenEquivalence(t *testing.T) {
+	path := filepath.Join("testdata", "golden_sim.json")
+	got := goldenSimRuns()
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s with %d runs", path, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden dataset (regenerate with -update): %v", err)
+	}
+	var want []goldenSimEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden dataset has %d runs, harness produced %d — regenerate with -update", len(want), len(got))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("run %s/P=%d diverged from golden:\n got %+v\nwant %+v",
+				got[i].Strategy, got[i].P, got[i], want[i])
+		}
+	}
+}
+
+// TestGoldenCoversAllStrategies guards the harness itself: every policy
+// in the simulator's strategy set must appear in the pinned grid, so a
+// newly added strategy cannot silently ship unpinned.
+func TestGoldenCoversAllStrategies(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range goldenSimRuns() {
+		seen[e.Strategy] = true
+	}
+	for _, s := range allStrategies() {
+		if !seen[s.String()] {
+			t.Errorf("strategy %v missing from the golden grid", s)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package hybridloop
 
 import (
+	"time"
+
 	"hybridloop/internal/loop"
 	"hybridloop/internal/sched"
 )
@@ -84,7 +86,11 @@ func (p *Pool) TryFor(begin, end int, body Body, opts ...ForOption) error {
 		}
 		defer p.gate.Release()
 	}
-	loop.For(p.s, begin, end, body, p.options(opts, 1))
+	o := p.options(opts, 1)
+	if p.mreg != nil {
+		defer p.observeLoop(&o, time.Now())
+	}
+	loop.For(p.s, begin, end, body, o)
 	return nil
 }
 
@@ -92,7 +98,11 @@ func (p *Pool) TryFor(begin, end int, body Body, opts ...ForOption) error {
 // callers (ForCtx) that performed their own admission. skip = 2: the
 // user's call site is two frames above the options materialization.
 func (p *Pool) forUngated(begin, end int, body Body, opts []ForOption) {
-	loop.For(p.s, begin, end, body, p.options(opts, 2))
+	o := p.options(opts, 2)
+	if p.mreg != nil {
+		defer p.observeLoop(&o, time.Now())
+	}
+	loop.For(p.s, begin, end, body, o)
 }
 
 // admitOrInline performs the gated admission of a blocking public loop
