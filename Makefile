@@ -8,7 +8,7 @@ BENCH_PATTERN := BenchmarkSpawn|BenchmarkSpawnBatch|BenchmarkStealThroughput|Ben
 # fine-grained per-chunk tax, the wake latency, and the steal handoff rate.
 GATE_PATTERN := BenchmarkForFineHybrid|BenchmarkWakeToFirstTask|BenchmarkStealThroughput
 
-STRESS_PATTERN := TestCancel|TestPanickingOwner|TestDemandRetiredOnPark|TestDemandQuiesces|TestMeetDemand|TestParkingRetains|TestParkUnpark|TestForErr|TestForEachErr|TestForCtx|TestPanicPropagation|TestStealHalf|TestRangeSlotAbandon|TestGate|TestConcurrentIndependentLoops|TestCrossLoopCancelStress|TestTryForBackpressure|TestForDegradesInline|TestMetricsConcurrentStress
+STRESS_PATTERN := TestCancel|TestPanickingOwner|TestDemandRetiredOnPark|TestDemandQuiesces|TestMeetDemand|TestParkingRetains|TestParkUnpark|TestForErr|TestForEachErr|TestForCtx|TestPanicPropagation|TestStealHalf|TestStealBack|TestRangeSlotAbandon|TestGate|TestConcurrentIndependentLoops|TestCrossLoopCancelStress|TestTryForBackpressure|TestForDegradesInline|TestMetricsConcurrentStress|TestStealWakeChaining|TestTryStealPrefersLocal|TestHierarchicalRangeSteal
 
 # Packages carrying seeded golden datasets (testdata/golden_*.json).
 GOLDEN_PKGS := ./internal/sim/ ./internal/nas/
@@ -39,8 +39,11 @@ stress:
 	$(GO) test -race -count=1 -run '$(STRESS_PATTERN)' . $(SCHED_PKGS) ./internal/metrics/
 
 ## golden: run the seeded golden-run regression tests — simulator policy
-## runs and NAS kernel outputs must match testdata/golden_*.json bit for
-## bit (a policy or numerics change must regenerate them deliberately)
+## runs (the 4×8 paper grid plus the scaled 8×8/8×32 victim-policy
+## grids) and NAS kernel outputs must match testdata/golden_*.json bit
+## for bit (a policy or numerics change must regenerate them
+## deliberately; -update merges by run key, so extending a grid never
+## silently invalidates previously pinned rows)
 golden:
 	$(GO) test -count=1 -run TestGolden $(GOLDEN_PKGS)
 

@@ -57,6 +57,7 @@ var (
 	rate     = flag.Float64("rate", 0, "submit rate limit, loops/sec (0 = unlimited)")
 	burst    = flag.Int("burst", 32, "submit rate burst capacity")
 	giant    = flag.Bool("giant", false, "run a giant priority-1 batch loop in the background")
+	sockets  = flag.Int("sockets", 0, "describe the machine as this many sockets (compact worker placement; 0 = flat)")
 	bench    = flag.Bool("bench", false, "self-driving load test instead of serving")
 	duration = flag.Duration("duration", 5*time.Second, "bench: load duration")
 	clients  = flag.Int("clients", 16, "bench: concurrent client goroutines")
@@ -83,6 +84,17 @@ func newServer() *server {
 	}
 	if *rate > 0 {
 		opts = append(opts, hybridloop.WithSubmitRate(*rate, *burst))
+	}
+	if *sockets > 1 {
+		// Topology-aware stealing: spread the workers compactly over the
+		// described sockets so thieves prefer socket-local victims. The
+		// local/remote split shows up in the steals_distance metric series.
+		w := *workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		per := (w + *sockets - 1) / *sockets
+		opts = append(opts, hybridloop.WithPlacement(hybridloop.CompactPlacement(*sockets, per)))
 	}
 	s := &server{
 		pool:    hybridloop.NewPool(*workers, opts...),
@@ -340,8 +352,10 @@ func runBench() int {
 	} else {
 		rejected := end.Sum("hybridloop_admission_rejected_total")
 		loops := end.Sum("hybridloop_loop_duration_seconds_count")
-		fmt.Printf("metrics: scrape ok (%d series), admission rejects %.0f, loop durations observed %.0f\n",
-			len(end.Values), rejected, loops)
+		localSteals, _ := end.Value(`hybridloop_sched_steals_distance_total{distance="local"}`)
+		remoteSteals, _ := end.Value(`hybridloop_sched_steals_distance_total{distance="remote"}`)
+		fmt.Printf("metrics: scrape ok (%d series), admission rejects %.0f, loop durations observed %.0f, steals local/remote %.0f/%.0f\n",
+			len(end.Values), rejected, loops, localSteals, remoteSteals)
 	}
 	if exit == 0 {
 		fmt.Println("PASS")
@@ -379,6 +393,10 @@ func checkMetrics(mid *metrics.Scrape, midErr error, end *metrics.Scrape, endErr
 		"hybridloop_admission_admitted_total",
 		`hybridloop_loop_duration_seconds_count{site="score",strategy="hybrid"}`,
 		`hybridloop_sched_tasks_total{worker="0"}`,
+		// Steal-distance attribution: both series exist from construction
+		// (a flat pool just never moves the remote one off zero).
+		`hybridloop_sched_steals_distance_total{distance="local"}`,
+		`hybridloop_sched_steals_distance_total{distance="remote"}`,
 	}
 	for _, k := range keys {
 		m, ok := mid.Value(k)

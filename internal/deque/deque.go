@@ -235,11 +235,22 @@ func (d *Deque) Clean() {
 
 // Steal removes and returns the oldest element, or ok == false if the
 // deque is empty or the steal lost a race. Callable from any goroutine.
-func (d *Deque) Steal() (v, arg any, ab int64, ok bool) {
+//
+// more reports whether further elements remained behind the stolen one in
+// the steal's own snapshot: the bottom read that validated the steal saw
+// at least one element beyond index tp. It is the surplus signal wake
+// chaining wants — "work existed behind this steal" — computed from the
+// state the steal itself claimed, not from a separate Empty() probe after
+// the fact. The post-steal probe could race the victim draining the
+// remainder and report phantom surplus from a stale bottom read, waking a
+// worker into a guaranteed-failed sweep (and, with live loops registered,
+// a phantom demand unit); the snapshot cannot name surplus that was not
+// really queued behind the stolen element.
+func (d *Deque) Steal() (v, arg any, ab int64, ok, more bool) {
 	tp := d.top.Load()
 	b := d.bottom.Load()
 	if tp >= b {
-		return nil, nil, 0, false
+		return nil, nil, 0, false, false
 	}
 	r := d.active.Load()
 	v, arg, ab = r.get(tp)
@@ -247,7 +258,7 @@ func (d *Deque) Steal() (v, arg any, ab int64, ok bool) {
 		// Lost the race: the element read above may even be torn (an owner
 		// overwrite interleaved between the loads), but it is discarded
 		// here, so only CAS winners observe consistent elements.
-		return nil, nil, 0, false
+		return nil, nil, 0, false, false
 	}
 	// Unlike the owner-side pops, a thief must NOT clear its slot: after
 	// top advances to tp+1 the owner may push index tp+capacity — the same
@@ -255,7 +266,7 @@ func (d *Deque) Steal() (v, arg any, ab int64, ok bool) {
 	// a deferred clear would destroy that push. A stolen task therefore
 	// lingers in the victim's ring until the slot is reused or the ring is
 	// dropped — retention bounded by one ring's capacity.
-	return v, arg, ab, true
+	return v, arg, ab, true, b-tp > 1
 }
 
 // Size returns a linearizable-at-some-point estimate of the number of

@@ -36,7 +36,7 @@ func TestEmptyPop(t *testing.T) {
 	if _, _, _, ok := d.PopBottom(); ok {
 		t.Fatal("PopBottom on empty deque returned a task")
 	}
-	if _, _, _, ok := d.Steal(); ok {
+	if _, _, _, ok, _ := d.Steal(); ok {
 		t.Fatal("Steal on empty deque returned a task")
 	}
 	if !d.Empty() || d.Size() != 0 {
@@ -64,10 +64,10 @@ func TestFIFOThief(t *testing.T) {
 		pushInt(d, i)
 	}
 	for i := 0; i < 10; i++ {
-		v, arg, ab, ok := d.Steal()
+		v, arg, ab, ok, _ := d.Steal()
 		checkElem(t, v, arg, ab, ok, i)
 	}
-	if _, _, _, ok := d.Steal(); ok {
+	if _, _, _, ok, _ := d.Steal(); ok {
 		t.Fatal("deque not empty after stealing all")
 	}
 }
@@ -78,9 +78,9 @@ func TestMixedEnds(t *testing.T) {
 		pushInt(d, i)
 	}
 	// Steal the two oldest, pop the two newest.
-	v, arg, ab, ok := d.Steal()
+	v, arg, ab, ok, _ := d.Steal()
 	checkElem(t, v, arg, ab, ok, 0)
-	v, arg, ab, ok = d.Steal()
+	v, arg, ab, ok, _ = d.Steal()
 	checkElem(t, v, arg, ab, ok, 1)
 	v, arg, ab, ok = d.PopBottom()
 	checkElem(t, v, arg, ab, ok, 5)
@@ -101,7 +101,7 @@ func TestGrowth(t *testing.T) {
 		t.Fatalf("size = %d, want %d", d.Size(), n)
 	}
 	for i := 0; i < n; i++ {
-		v, arg, ab, ok := d.Steal()
+		v, arg, ab, ok, _ := d.Steal()
 		checkElem(t, v, arg, ab, ok, i)
 	}
 }
@@ -117,7 +117,7 @@ func TestGrowthPreservesAfterWrap(t *testing.T) {
 			next++
 		}
 		for i := 0; i < minCapacity/2; i++ {
-			if _, _, _, ok := d.Steal(); !ok {
+			if _, _, _, ok, _ := d.Steal(); !ok {
 				t.Fatal("unexpected empty deque")
 			}
 		}
@@ -203,13 +203,13 @@ func TestConcurrentStealExactlyOnce(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
-				if v, arg, ab, ok := d.Steal(); ok {
+				if v, arg, ab, ok, _ := d.Steal(); ok {
 					receive(v, arg, ab)
 				}
 			}
 			// Final drain so nothing is stranded.
 			for {
-				v, arg, ab, ok := d.Steal()
+				v, arg, ab, ok, _ := d.Steal()
 				if !ok {
 					return
 				}
@@ -273,7 +273,7 @@ func TestQuickSequentialModel(t *testing.T) {
 					return false
 				}
 			case 2: // steal
-				v, arg, ab, ok := d.Steal()
+				v, arg, ab, ok, _ := d.Steal()
 				if len(model) == 0 {
 					if ok {
 						return false

@@ -103,6 +103,19 @@ func (s *RangeSlot) TakeFront(n int) (lo, hi int, ok bool) {
 // slot). Callable from any goroutine. A single successful CAS transfers
 // the half; there is no per-split deque traffic.
 func (s *RangeSlot) StealHalf(min int) (lo, hi int, ok bool) {
+	return s.StealBack(min, 1, 2)
+}
+
+// StealBack removes and returns the upper num/den fraction [mid, hi) of
+// the published range, or ok == false if fewer than min+1 iterations
+// remain. StealHalf is StealBack(min, 1, 2); a cross-socket thief takes a
+// larger fraction (default ¾) so the remote-line cost of reaching the
+// victim's data is amortized over more iterations per transfer. Requires
+// 0 < num < den and min >= 1 (callers pass the chunk size): the thief's
+// share rounds down, so take < h-l and l < mid < h always hold — the
+// owner keeps at least one iteration, preserving the invariant that only
+// the owner ever empties the slot. Callable from any goroutine.
+func (s *RangeSlot) StealBack(min, num, den int) (lo, hi int, ok bool) {
 	for {
 		w := s.v.Load()
 		if w == 0 {
@@ -112,7 +125,13 @@ func (s *RangeSlot) StealHalf(min int) (lo, hi int, ok bool) {
 		if h-l <= min {
 			return 0, 0, false
 		}
-		mid := l + (h-l)/2
+		// Thief takes ⌊(h-l)·num/den⌋ from the back, at least one
+		// iteration; bounds fit int32 so the product fits int64-safe int.
+		take := (h - l) * num / den
+		if take < 1 {
+			take = 1
+		}
+		mid := h - take
 		nw, _ := packSlotRange(l, mid) // l < mid < h: always packs
 		if s.v.CompareAndSwap(w, nw) {
 			return mid, h, true

@@ -1,0 +1,61 @@
+package deque
+
+import "testing"
+
+// TestStealSurplusSnapshot pins the more result's semantics: it reports
+// whether the steal's OWN validated (top, bottom) snapshot saw at least
+// one element queued behind the stolen one. It must be true exactly when
+// a subsequent steal is guaranteed to find work — the scheduler's wake
+// chaining keys off it, and a stale post-steal Empty() probe (the old
+// protocol) could report surplus that the owner had already drained,
+// waking a worker into a guaranteed-failed sweep.
+func TestStealSurplusSnapshot(t *testing.T) {
+	d := newInt()
+
+	if _, _, _, ok, more := d.Steal(); ok || more {
+		t.Fatalf("empty deque: Steal = (ok=%v, more=%v), want (false, false)", ok, more)
+	}
+
+	// Singleton: the stolen element was the last one.
+	d.PushBottom(1, 1, 0)
+	if _, _, _, ok, more := d.Steal(); !ok || more {
+		t.Fatalf("singleton: Steal = (ok=%v, more=%v), want (true, false)", ok, more)
+	}
+
+	// Two queued: the first steal's snapshot sees the survivor, the
+	// second steal takes the last element.
+	d.PushBottom(1, 1, 0)
+	d.PushBottom(2, 2, 0)
+	if _, _, _, ok, more := d.Steal(); !ok || !more {
+		t.Fatalf("first of two: Steal = (ok=%v, more=%v), want (true, true)", ok, more)
+	}
+	if _, _, _, ok, more := d.Steal(); !ok || more {
+		t.Fatalf("second of two: Steal = (ok=%v, more=%v), want (true, false)", ok, more)
+	}
+
+	// A run of n elements reports surplus on every steal but the last.
+	const n = 17
+	for i := 0; i < n; i++ {
+		d.PushBottom(i, i, 0)
+	}
+	for i := 0; i < n; i++ {
+		_, _, _, ok, more := d.Steal()
+		if !ok {
+			t.Fatalf("steal %d of %d failed", i, n)
+		}
+		if want := i < n-1; more != want {
+			t.Fatalf("steal %d of %d: more = %v, want %v", i, n, more, want)
+		}
+	}
+
+	// The owner draining from the bottom consumes the surplus the thief
+	// would otherwise have been promised.
+	d.PushBottom(1, 1, 0)
+	d.PushBottom(2, 2, 0)
+	if _, _, _, ok := d.PopBottom(); !ok {
+		t.Fatal("PopBottom failed")
+	}
+	if _, _, _, ok, more := d.Steal(); !ok || more {
+		t.Fatalf("after owner pop: Steal = (ok=%v, more=%v), want (true, false)", ok, more)
+	}
+}

@@ -1,0 +1,60 @@
+package deque
+
+import "testing"
+
+// TestStealBackFraction pins the parameterized steal-size policy: a
+// thief takes ⌊remaining·num/den⌋ from the back (at least one
+// iteration), and StealHalf is exactly StealBack at ½. The ¾ setting is
+// what the hierarchical scheduler uses for cross-socket transfers.
+func TestStealBackFraction(t *testing.T) {
+	var s RangeSlot
+
+	if _, _, ok := s.StealBack(1, 3, 4); ok {
+		t.Fatal("StealBack on empty slot succeeded")
+	}
+
+	// ¾ of 100: the thief gets [25, 100), the owner keeps [0, 25).
+	s.Publish(0, 100)
+	lo, hi, ok := s.StealBack(1, 3, 4)
+	if !ok || lo != 25 || hi != 100 {
+		t.Fatalf("StealBack(1, 3, 4) on [0,100) = (%d,%d,%v), want (25,100,true)", lo, hi, ok)
+	}
+	if r := s.Remaining(); r != 25 {
+		t.Fatalf("owner remainder = %d, want 25", r)
+	}
+	s.Reset()
+
+	// The ½ fraction matches StealHalf bit for bit.
+	s.Publish(10, 25)
+	lo, hi, ok = s.StealBack(1, 1, 2)
+	if !ok {
+		t.Fatal("StealBack(1, 1, 2) failed")
+	}
+	var h RangeSlot
+	h.Publish(10, 25)
+	hlo, hhi, hok := h.StealHalf(1)
+	if !hok || lo != hlo || hi != hhi {
+		t.Fatalf("StealBack(1,1,2) = (%d,%d), StealHalf = (%d,%d,%v) — must agree",
+			lo, hi, hlo, hhi, hok)
+	}
+	s.Reset()
+	h.Reset()
+
+	// min guard: a remainder of min or fewer is not worth splitting.
+	s.Publish(0, 4)
+	if _, _, ok := s.StealBack(4, 3, 4); ok {
+		t.Fatal("StealBack split a remainder of exactly min")
+	}
+	s.Reset()
+
+	// Rounding floor would take 0 of a 2-element range at ¾·2 = 1.5 → 1;
+	// the ≥1 clamp guarantees progress and the owner still keeps one.
+	s.Publish(0, 2)
+	lo, hi, ok = s.StealBack(1, 3, 4)
+	if !ok || lo != 1 || hi != 2 {
+		t.Fatalf("StealBack(1, 3, 4) on [0,2) = (%d,%d,%v), want (1,2,true)", lo, hi, ok)
+	}
+	if r := s.Remaining(); r != 1 {
+		t.Fatalf("owner remainder = %d, want 1", r)
+	}
+}

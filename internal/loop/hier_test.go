@@ -1,0 +1,152 @@
+package loop
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hybridloop/internal/sched"
+	"hybridloop/internal/trace"
+)
+
+// stealOnce hand-publishes [lo, hi) in victimID's descriptor slot of a
+// fresh rangeSet and has thief run one trySteal sweep against it,
+// returning the trace of the attempt plus the stolen bounds.
+//
+// The pools used by the callers are shaped so the sweep is free of any
+// shared state the pool's own (possibly still-starting) workers touch:
+// every victim list the thief sweeps has length ≤ 1, so the rotation
+// start never draws from the thief's RNG, and chunk is sized so the
+// stolen piece executes inline on the test goroutine — no publish in the
+// thief's slot, no demand poll, no wakeups.
+func stealOnce(t *testing.T, pool *sched.Pool, victimID, lo, hi, chunk int) (tr *trace.Log, slo, shi int) {
+	t.Helper()
+	tr = trace.New(1 << 10)
+	var g sched.Group
+	var rs rangeSet
+	rs.init(pool.P(), &g, func(w *sched.Worker, lo, hi int) {}, &Options{Trace: tr}, chunk)
+	if !rs.slots[victimID].Publish(lo, hi) {
+		t.Fatalf("Publish failed for victim %d", victimID)
+	}
+	g.Add(1)
+	rs.active.Add(1)
+	if !rs.trySteal(pool.Worker(0)) {
+		t.Fatalf("trySteal found nothing with victim %d published", victimID)
+	}
+	for _, ev := range tr.Events() {
+		if ev.Kind == trace.RangeSplit || ev.Kind == trace.RangeSplitRemote {
+			return tr, int(ev.A), int(ev.B)
+		}
+	}
+	t.Fatalf("no range-split event traced for victim %d", victimID)
+	return nil, 0, 0
+}
+
+// TestRemoteStealTakesLargerFraction drives one steal sweep against a
+// hand-published range descriptor and pins the steal-size policy end to
+// end: a cross-socket thief takes the remote fraction (default ¾) of
+// the victim's remainder where a same-socket thief takes half, the
+// trace records the transfer under the distance-specific kind, and the
+// scheduler counters attribute the distance.
+func TestRemoteStealTakesLargerFraction(t *testing.T) {
+	// Two sockets, one worker each: worker 1 is worker 0's only victim,
+	// and it is remote. Chunk 80 keeps the stolen ¾ (75) inline.
+	pool := sched.NewPoolPlaced(2, 7, false, sched.CompactPlacement(2, 1))
+	defer pool.Close()
+	pool.ResetStats()
+
+	tr, lo, hi := stealOnce(t, pool, 1, 0, 100, 80)
+	if lo != 25 || hi != 100 {
+		t.Fatalf("remote steal took [%d,%d), want [25,100) — the ¾ fraction", lo, hi)
+	}
+	if n := countKind(tr, trace.RangeSplitRemote); n != 1 {
+		t.Fatalf("remote steal traced %d RangeSplitRemote events, want 1", n)
+	}
+	if n := countKind(tr, trace.RangeSplit); n != 0 {
+		t.Fatalf("remote steal traced %d local RangeSplit events, want 0", n)
+	}
+	if st := pool.Stats(); st.RangeSteals != 1 || st.RemoteRangeSteals != 1 {
+		t.Fatalf("placed Stats: RangeSteals=%d RemoteRangeSteals=%d, want 1 and 1",
+			st.RangeSteals, st.RemoteRangeSteals)
+	}
+
+	// Same victim shape on a flat pool: worker 1 is local, steal-half.
+	flat := sched.NewPool(2, 7)
+	defer flat.Close()
+	flat.ResetStats()
+
+	tr, lo, hi = stealOnce(t, flat, 1, 0, 100, 80)
+	if lo != 50 || hi != 100 {
+		t.Fatalf("local steal took [%d,%d), want [50,100) — steal-half", lo, hi)
+	}
+	if n := countKind(tr, trace.RangeSplit); n != 1 {
+		t.Fatalf("local steal traced %d RangeSplit events, want 1", n)
+	}
+	if n := countKind(tr, trace.RangeSplitRemote); n != 0 {
+		t.Fatalf("local steal traced %d RangeSplitRemote events, want 0", n)
+	}
+	if st := flat.Stats(); st.RangeSteals != 1 || st.RemoteRangeSteals != 0 {
+		t.Fatalf("flat Stats: RangeSteals=%d RemoteRangeSteals=%d, want 1 and 0",
+			st.RangeSteals, st.RemoteRangeSteals)
+	}
+}
+
+// TestRemoteStealFractionTunable checks that SetRemoteStealFraction
+// reaches the steal path: with a ⅞ remote fraction configured, a
+// cross-socket thief takes ⅞ of the remainder.
+func TestRemoteStealFractionTunable(t *testing.T) {
+	pl := sched.CompactPlacement(2, 1).SetRemoteStealFraction(7, 8)
+	pool := sched.NewPoolPlaced(2, 7, false, pl)
+	defer pool.Close()
+
+	// ⅞ of [0,80) is 70, inline under chunk 75.
+	_, lo, hi := stealOnce(t, pool, 1, 0, 80, 75)
+	if lo != 10 || hi != 80 {
+		t.Fatalf("remote steal took [%d,%d), want [10,80) — the configured ⅞", lo, hi)
+	}
+}
+
+// TestHierarchicalRangeStealReconciliation is the placed-pool version of
+// TestRangeSplitMatchesRangeSteals: under a 2×4 placement the trace
+// splits range steals into RangeSplit (same-socket) and
+// RangeSplitRemote (cross-socket), and the two views must reconcile
+// exactly — RangeSteals counts both kinds together, RemoteRangeSteals
+// exactly the remote kind.
+func TestHierarchicalRangeStealReconciliation(t *testing.T) {
+	pool := sched.NewPoolPlaced(8, 4242, false, sched.CompactPlacement(2, 4))
+	defer pool.Close()
+	pool.ResetStats()
+	tr := trace.New(1 << 20)
+
+	loops := 10
+	if testing.Short() {
+		loops = 4
+	}
+	var sink atomic.Int64
+	for i := 0; i < loops; i++ {
+		s := DynamicStealing
+		if i%2 == 1 {
+			s = Hybrid
+		}
+		ForW(pool, 0, 1<<14, gateFirstChunk(pool, func(w *sched.Worker, lo, hi int) {
+			sink.Add(int64(hi - lo))
+		}), Options{Strategy: s, Chunk: 8, Trace: tr})
+	}
+
+	local := countKind(tr, trace.RangeSplit)
+	remote := countKind(tr, trace.RangeSplitRemote)
+	st := pool.Stats()
+	if local+remote != int(st.RangeSteals) {
+		t.Fatalf("trace has %d local + %d remote split events, Stats.RangeSteals = %d — views disagree",
+			local, remote, st.RangeSteals)
+	}
+	if remote != int(st.RemoteRangeSteals) {
+		t.Fatalf("trace has %d RangeSplitRemote events, Stats.RemoteRangeSteals = %d — views disagree",
+			remote, st.RemoteRangeSteals)
+	}
+	if st.RangeSteals == 0 {
+		t.Fatal("no range steals occurred; the reconciliation was vacuous")
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("trace dropped %d events; enlarge the log for this test", tr.Dropped())
+	}
+}

@@ -186,30 +186,46 @@ func (rs *rangeSet) runEager(w *sched.Worker, lo, hi int) {
 	runChunk(w, rs.body, rs.opts, lo, hi)
 }
 
-// trySteal makes one steal-half sweep over the published slots, starting
-// at a random victim. On success the thief executes the stolen half as a
-// lazy owner (protected, so a panicking body surfaces at the loop's Wait
-// rather than killing the worker) and returns true.
+// trySteal makes one steal sweep over the published slots, hierarchically:
+// same-socket victims first (steal-half), then remote sockets (a larger
+// StealBack fraction — default ¾ of the remainder — so the ~515-cycle
+// remote-L3 line cost is amortized over more iterations per transfer).
+// Victim lists come precomputed from the worker (self excluded, so the
+// random rotation first-probes every victim with equal probability). On
+// success the thief executes the stolen piece as a lazy owner (protected,
+// so a panicking body surfaces at the loop's Wait rather than killing the
+// worker) and returns true.
 func (rs *rangeSet) trySteal(w *sched.Worker) bool {
-	n := len(rs.slots)
-	if n == 0 || rs.active.Load() == 0 || rs.opts.Cancel.Cancelled() {
+	if len(rs.slots) == 0 || rs.active.Load() == 0 || rs.opts.Cancel.Cancelled() {
 		// A cancelled loop feeds no thieves: whatever its slots still
 		// hold is being abandoned by their owners.
 		return false
 	}
-	self := w.ID()
+	local, remote := w.Victims()
+	if rs.sweepSteal(w, local, false) {
+		return true
+	}
+	return rs.sweepSteal(w, remote, true)
+}
+
+// sweepSteal probes each victim's published slot once, rotating from a
+// uniformly drawn start; remote selects the cross-socket transfer
+// fraction and the distance attribution (counters + trace kind).
+func (rs *rangeSet) sweepSteal(w *sched.Worker, victims []*sched.Worker, remote bool) bool {
+	n := len(victims)
+	if n == 0 {
+		return false
+	}
+	num, den := 1, 2
+	if remote {
+		num, den = w.Pool().Placement().RemoteStealFraction()
+	}
 	start := 0
 	if n > 1 {
 		start = w.RNG().Intn(n)
 	}
 	for k := 0; k < n; k++ {
-		i := (start + k) % n
-		if i == self {
-			// Own slot: nothing to steal from ourselves — if it is
-			// non-empty we are re-entrant and our outer frame owns it.
-			continue
-		}
-		s := &rs.slots[i]
+		s := &rs.slots[victims[(start+k)%n].ID()]
 		if s.Remaining() <= rs.chunk {
 			continue
 		}
@@ -217,14 +233,18 @@ func (rs *rangeSet) trySteal(w *sched.Worker) bool {
 		// is enrolled in the group before the victim can possibly release
 		// its hold (see the invariant note on rangeSet).
 		rs.g.Add(1)
-		lo, hi, ok := s.StealHalf(rs.chunk)
+		lo, hi, ok := s.StealBack(rs.chunk, num, den)
 		if !ok {
 			rs.g.Done()
 			continue
 		}
-		w.NoteRangeSteal()
+		w.NoteRangeSteal(remote)
 		if rs.opts.Trace != nil {
-			rs.opts.Trace.Add(w.ID(), trace.RangeSplit, int64(lo), int64(hi))
+			kind := trace.RangeSplit
+			if remote {
+				kind = trace.RangeSplitRemote
+			}
+			rs.opts.Trace.Add(w.ID(), kind, int64(lo), int64(hi))
 			rs.opts.Trace.Add(w.ID(), trace.StealEntry, int64(w.ID()), 0)
 		}
 		if s.Remaining() > rs.chunk {

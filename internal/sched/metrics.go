@@ -48,6 +48,24 @@ func (p *Pool) RegisterMetrics(r *metrics.Registry) {
 	perWorker("hybridloop_sched_idle_seconds_total", "time parked per worker (needs time accounting)", metrics.KindCounter,
 		func(wc WorkerCounters) float64 { return float64(wc.IdleNanos) / 1e9 })
 
+	// Steal distance under a placement (WithPlacement): pool-level totals
+	// labeled by distance, covering both steal paths (deque steals and
+	// steal-half range transfers) so the local:remote ratio is one query.
+	// Pool-level rather than per-worker to bound cardinality at two
+	// series; flat pools emit remote = 0.
+	distLocal, distRemote := metrics.L("distance", "local"), metrics.L("distance", "remote")
+	r.OnCollect("hybridloop_sched_steals_distance_total",
+		"deque + range steals by victim distance (local = same socket, remote = cross-socket)",
+		metrics.KindCounter,
+		func(emit func(metrics.Labels, float64)) {
+			s := p.Stats()
+			remote := s.RemoteSteals + s.RemoteRangeSteals
+			emit(distLocal, float64(s.Steals+s.RangeSteals-remote))
+			emit(distRemote, float64(remote))
+		})
+	r.OnCollect("hybridloop_sched_sockets", "sockets described by the pool's placement", metrics.KindGauge,
+		func(emit func(metrics.Labels, float64)) { emit(nil, float64(p.Placement().Sockets())) })
+
 	r.OnCollect("hybridloop_sched_workers", "pool size", metrics.KindGauge,
 		func(emit func(metrics.Labels, float64)) { emit(nil, float64(p.P())) })
 	r.OnCollect("hybridloop_sched_parked_workers", "workers currently announced parking or parked", metrics.KindGauge,

@@ -1,0 +1,135 @@
+package sched
+
+import "fmt"
+
+// Placement describes where the pool's workers run: which socket houses
+// each worker. The steal paths use it to sweep hierarchically — a thief
+// probes victims on its own socket before crossing to remote sockets, and
+// a cross-socket range steal transfers a larger fraction of the victim's
+// remainder so the ~515-cycle remote-L3 line cost (Figure 5) is amortized
+// over more iterations per transfer.
+//
+// A nil *Placement is the flat default: every worker on one socket, which
+// reduces both steal paths to the plain unbiased rotation over all P−1
+// victims — the pre-topology behaviour. Placements are immutable after
+// construction and safe to share between pools of compatible sizes (a
+// worker beyond the described cores wraps around, mirroring how an
+// oversubscribed pool would be pinned round-robin).
+type Placement struct {
+	socketOf []int32
+	sockets  int
+	// remoteNum/remoteDen is the fraction of a victim's remaining range a
+	// cross-socket StealBack transfers (local steals always take half).
+	remoteNum, remoteDen int
+}
+
+// DefaultRemoteStealFraction is the fraction of the victim's remainder a
+// cross-socket range steal transfers when the placement does not override
+// it: ¾, versus the ½ of a socket-local steal. Stealing more per remote
+// transfer means fewer remote transfers for the same balancing effect.
+const (
+	defaultRemoteNum = 3
+	defaultRemoteDen = 4
+)
+
+// NewPlacement builds a placement from an explicit worker→socket map:
+// worker i runs on socket socketOf[i]. Socket numbers must be a
+// contiguous range starting at 0. Panics on an empty or non-contiguous
+// map (programming error, caught at pool construction).
+func NewPlacement(socketOf []int) *Placement {
+	if len(socketOf) == 0 {
+		panic("sched: NewPlacement with empty socket map")
+	}
+	max := 0
+	for _, s := range socketOf {
+		if s < 0 {
+			panic(fmt.Sprintf("sched: NewPlacement with negative socket %d", s))
+		}
+		if s > max {
+			max = s
+		}
+	}
+	seen := make([]bool, max+1)
+	so := make([]int32, len(socketOf))
+	for i, s := range socketOf {
+		seen[s] = true
+		so[i] = int32(s)
+	}
+	for s, ok := range seen {
+		if !ok {
+			panic(fmt.Sprintf("sched: NewPlacement socket numbering has a hole at %d", s))
+		}
+	}
+	return &Placement{
+		socketOf:  so,
+		sockets:   max + 1,
+		remoteNum: defaultRemoteNum,
+		remoteDen: defaultRemoteDen,
+	}
+}
+
+// CompactPlacement is NewPlacement for the compact pinning every
+// experiment in the paper uses: cores 0..coresPerSocket-1 on socket 0,
+// the next coresPerSocket on socket 1, and so on — the layout
+// internal/topology.Machine.Socket describes.
+func CompactPlacement(sockets, coresPerSocket int) *Placement {
+	if sockets < 1 || coresPerSocket < 1 {
+		panic(fmt.Sprintf("sched: CompactPlacement %dx%d", sockets, coresPerSocket))
+	}
+	so := make([]int, sockets*coresPerSocket)
+	for i := range so {
+		so[i] = i / coresPerSocket
+	}
+	return NewPlacement(so)
+}
+
+// SetRemoteStealFraction overrides the fraction num/den of a victim's
+// remaining range that a cross-socket range steal transfers (default ¾).
+// Must satisfy 0 < num < den (a remote steal must leave the owner
+// something and must take something). Returns the placement for chaining
+// at construction; not safe to call once the placement is in use.
+func (pl *Placement) SetRemoteStealFraction(num, den int) *Placement {
+	if num < 1 || den <= num {
+		panic(fmt.Sprintf("sched: remote steal fraction %d/%d outside (0, 1)", num, den))
+	}
+	pl.remoteNum, pl.remoteDen = num, den
+	return pl
+}
+
+// RemoteStealFraction returns the configured cross-socket transfer
+// fraction as a num/den pair. Nil-safe: the flat placement has no remote
+// victims, but callers may still ask (they get the default).
+func (pl *Placement) RemoteStealFraction() (num, den int) {
+	if pl == nil {
+		return defaultRemoteNum, defaultRemoteDen
+	}
+	return pl.remoteNum, pl.remoteDen
+}
+
+// Sockets returns the number of sockets. Nil-safe: the flat placement is
+// one socket.
+func (pl *Placement) Sockets() int {
+	if pl == nil {
+		return 1
+	}
+	return pl.sockets
+}
+
+// Socket returns the socket housing the given worker. Workers beyond the
+// described cores wrap around. Nil-safe: the flat placement puts every
+// worker on socket 0.
+func (pl *Placement) Socket(worker int) int {
+	if pl == nil {
+		return 0
+	}
+	return int(pl.socketOf[worker%len(pl.socketOf)])
+}
+
+// SameSocket reports whether two workers share a socket. Nil-safe (flat:
+// always true).
+func (pl *Placement) SameSocket(a, b int) bool {
+	if pl == nil {
+		return true
+	}
+	return pl.Socket(a) == pl.Socket(b)
+}

@@ -182,9 +182,16 @@ type Stats struct {
 	// RangeSteals counts steal-half operations: a thief CASing off the
 	// upper half of a victim's published lazy-split range descriptor.
 	// These transfers bypass the deque entirely, so they are NOT included
-	// in Steals; each one corresponds to exactly one trace.RangeSplit
-	// event when the loop is traced.
+	// in Steals; each one corresponds to exactly one trace.RangeSplit (or
+	// RangeSplitRemote) event when the loop is traced.
 	RangeSteals int64
+	// RemoteSteals / RemoteRangeSteals are the cross-socket subsets of
+	// Steals / RangeSteals under a hierarchical placement: transfers where
+	// thief and victim sit on different sockets. Local counts are the
+	// differences (Steals−RemoteSteals etc.); with a flat (nil) placement
+	// both are always zero.
+	RemoteSteals      int64
+	RemoteRangeSteals int64
 	// Parks counts committed park transitions: a worker actually blocking
 	// on its state word after a failed announce-then-sweep, not wakes that
 	// land during the announcement. Bumped only on the blocking slow path.
@@ -205,6 +212,10 @@ type Stats struct {
 // Pool is a work-stealing scheduler with a fixed set of workers.
 type Pool struct {
 	workers []*Worker
+	// placement is the worker→socket map driving hierarchical victim
+	// selection; nil is the flat single-socket default. Immutable after
+	// construction.
+	placement *Placement
 
 	injectMu sync.Mutex
 	inject   taskRing // external submissions, consumed by idle workers
@@ -267,7 +278,7 @@ type LoopInfo struct {
 // makes victim selection deterministic per worker for reproducible tests;
 // pass different seeds for statistically independent runs.
 func NewPool(p int, seed uint64) *Pool {
-	return newPool(p, seed, false)
+	return newPool(p, seed, false, nil)
 }
 
 // NewPoolLocked is NewPool with each worker goroutine locked to its own
@@ -276,23 +287,51 @@ func NewPool(p int, seed uint64) *Pool {
 // matters when the OS pins threads to cores — the setup under which the
 // paper's locality results apply.
 func NewPoolLocked(p int, seed uint64) *Pool {
-	return newPool(p, seed, true)
+	return newPool(p, seed, true, nil)
 }
 
-func newPool(p int, seed uint64, lockThreads bool) *Pool {
+// NewPoolPlaced is the placement-aware constructor: pl maps workers to
+// sockets and both steal paths sweep hierarchically (own socket first,
+// larger cross-socket range transfers). A nil placement is the flat
+// default, identical to NewPool/NewPoolLocked.
+func NewPoolPlaced(p int, seed uint64, lockThreads bool, pl *Placement) *Pool {
+	return newPool(p, seed, lockThreads, pl)
+}
+
+func newPool(p int, seed uint64, lockThreads bool, pl *Placement) *Pool {
 	if p < 1 {
 		panic(fmt.Sprintf("sched: NewPool with p = %d", p))
 	}
-	pool := &Pool{}
+	pool := &Pool{placement: pl}
 	master := rng.NewSplitMix64(seed)
 	pool.workers = make([]*Worker, p)
 	for i := 0; i < p; i++ {
 		pool.workers[i] = &Worker{
-			id:   i,
-			pool: pool,
-			dq:   deque.New(Task(nil), RangeTask(nil), (*Group)(nil)),
-			rng:  rng.NewXoshiro256(master.Next()),
-			park: make(chan struct{}, 1),
+			id:     i,
+			socket: int32(pl.Socket(i)),
+			pool:   pool,
+			dq:     deque.New(Task(nil), RangeTask(nil), (*Group)(nil)),
+			rng:    rng.NewXoshiro256(master.Next()),
+			park:   make(chan struct{}, 1),
+		}
+	}
+	// Precompute each worker's hierarchical victim order: own-socket
+	// victims first, then every remote worker, both in ascending-ID order
+	// excluding the worker itself. The steal sweep rotates through each
+	// list from a uniformly drawn start, so excluding self HERE is what
+	// makes the first probe unbiased — the old skip-self-in-rotation sweep
+	// first-probed the worker right after w.id twice as often as any other
+	// victim (both start == w.id and start == w.id+1 landed on it).
+	for _, w := range pool.workers {
+		for _, v := range pool.workers {
+			if v.id == w.id {
+				continue
+			}
+			if v.socket == w.socket {
+				w.localVictims = append(w.localVictims, v)
+			} else {
+				w.remoteVictims = append(w.remoteVictims, v)
+			}
 		}
 	}
 	for _, w := range pool.workers {
@@ -361,6 +400,8 @@ func (p *Pool) Stats() Stats {
 		s.FailedSteals += w.failedSteals.Load()
 		s.LoopEntries += w.loopEntries.Load()
 		s.RangeSteals += w.rangeSteals.Load()
+		s.RemoteSteals += w.remoteSteals.Load()
+		s.RemoteRangeSteals += w.remoteRangeSteals.Load()
 		s.Parks += w.parks.Load()
 		s.WorkerBusyNanos[i] = w.busyNanos.Load()
 		s.WorkerIdleNanos[i] = w.idleNanos.Load()
@@ -378,6 +419,8 @@ func (p *Pool) ResetStats() {
 		w.failedSteals.Store(0)
 		w.loopEntries.Store(0)
 		w.rangeSteals.Store(0)
+		w.remoteSteals.Store(0)
+		w.remoteRangeSteals.Store(0)
 		w.parks.Store(0)
 		w.busyNanos.Store(0)
 		w.idleNanos.Store(0)
@@ -387,15 +430,17 @@ func (p *Pool) ResetStats() {
 // WorkerCounters is one worker's scheduling counters, for per-worker
 // attribution (the metrics plane's worker-labeled series).
 type WorkerCounters struct {
-	Worker       int
-	Tasks        int64
-	Steals       int64
-	FailedSteals int64
-	LoopEntries  int64
-	RangeSteals  int64
-	Parks        int64
-	BusyNanos    int64
-	IdleNanos    int64
+	Worker            int
+	Tasks             int64
+	Steals            int64
+	FailedSteals      int64
+	LoopEntries       int64
+	RangeSteals       int64
+	RemoteSteals      int64
+	RemoteRangeSteals int64
+	Parks             int64
+	BusyNanos         int64
+	IdleNanos         int64
 }
 
 // PerWorker snapshots every worker's counters. Reads are individually
@@ -404,15 +449,17 @@ func (p *Pool) PerWorker() []WorkerCounters {
 	out := make([]WorkerCounters, len(p.workers))
 	for i, w := range p.workers {
 		out[i] = WorkerCounters{
-			Worker:       i,
-			Tasks:        w.tasks.Load(),
-			Steals:       w.steals.Load(),
-			FailedSteals: w.failedSteals.Load(),
-			LoopEntries:  w.loopEntries.Load(),
-			RangeSteals:  w.rangeSteals.Load(),
-			Parks:        w.parks.Load(),
-			BusyNanos:    w.busyNanos.Load(),
-			IdleNanos:    w.idleNanos.Load(),
+			Worker:            i,
+			Tasks:             w.tasks.Load(),
+			Steals:            w.steals.Load(),
+			FailedSteals:      w.failedSteals.Load(),
+			LoopEntries:       w.loopEntries.Load(),
+			RangeSteals:       w.rangeSteals.Load(),
+			RemoteSteals:      w.remoteSteals.Load(),
+			RemoteRangeSteals: w.remoteRangeSteals.Load(),
+			Parks:             w.parks.Load(),
+			BusyNanos:         w.busyNanos.Load(),
+			IdleNanos:         w.idleNanos.Load(),
 		}
 	}
 	return out
@@ -421,6 +468,10 @@ func (p *Pool) PerWorker() []WorkerCounters {
 // ParkedWorkers returns the number of workers currently announced as
 // parking or parked — the idle-capacity gauge.
 func (p *Pool) ParkedWorkers() int { return int(p.nparked.Load()) }
+
+// Placement returns the pool's worker→socket placement, or nil for the
+// flat default.
+func (p *Pool) Placement() *Placement { return p.placement }
 
 // rootCall is the reusable frame of one Pool.Run: the submitted root, the
 // completion signal, and the panic carried back to the caller. The task
@@ -855,12 +906,20 @@ func (w *Worker) wake() bool {
 //
 //sched:cacheline
 type Worker struct {
-	id    int
-	pool  *Pool
-	dq    *deque.Deque
-	rng   *rng.Xoshiro256
-	park  chan struct{} // capacity-1 unblock channel (parked→notified only)
-	state atomic.Uint32 // wActive/wParking/wParked/wNotified (see wake)
+	id     int
+	socket int32 // placement socket housing this worker (0 when flat)
+	pool   *Pool
+	dq     *deque.Deque
+	rng    *rng.Xoshiro256
+	// localVictims/remoteVictims are the precomputed hierarchical victim
+	// lists: every other worker on this worker's socket, then every worker
+	// on a remote socket (ascending IDs, self excluded). Immutable after
+	// pool construction. With a flat placement remoteVictims is empty and
+	// localVictims holds all P−1 others.
+	localVictims  []*Worker
+	remoteVictims []*Worker
+	park          chan struct{} // capacity-1 unblock channel (parked→notified only)
+	state         atomic.Uint32 // wActive/wParking/wParked/wNotified (see wake)
 	// handoff carries a task delivered by Pool.submit's direct-handoff
 	// fast path. Plain field: a producer writes it only between winning
 	// the exclusive wParked→wNotified reservation CAS and its token send,
@@ -887,18 +946,29 @@ type Worker struct {
 	failedSteals atomic.Int64
 	loopEntries  atomic.Int64
 	rangeSteals  atomic.Int64
-	parks        atomic.Int64 // committed park transitions (blocking slow path only)
-	busyNanos    atomic.Int64 // time in busy bursts (timeAcct only)
-	idleNanos    atomic.Int64 // time parked (timeAcct only)
+	// remoteSteals/remoteRangeSteals count the cross-socket subsets of
+	// steals/rangeSteals (zero with a flat placement); local counts are the
+	// differences, so the pair reconciles by construction.
+	remoteSteals      atomic.Int64
+	remoteRangeSteals atomic.Int64
+	parks             atomic.Int64 // committed park transitions (blocking slow path only)
+	busyNanos         atomic.Int64 // time in busy bursts (timeAcct only)
+	idleNanos         atomic.Int64 // time parked (timeAcct only)
 
-	_ [16]byte // pad to a cache-line multiple (//sched:cacheline)
+	_ [8]byte // pad to a cache-line multiple (//sched:cacheline)
 }
 
 // NoteRangeSteal records one successful steal-half of a published range
 // descriptor. Called by the loop strategies (internal/loop), which own
 // the steal-half protocol; the counter lives here so Stats aggregates it
-// with the other scheduling counters.
-func (w *Worker) NoteRangeSteal() { w.rangeSteals.Add(1) }
+// with the other scheduling counters. remote marks a cross-socket
+// transfer (thief and victim on different placement sockets).
+func (w *Worker) NoteRangeSteal(remote bool) {
+	w.rangeSteals.Add(1)
+	if remote {
+		w.remoteRangeSteals.Add(1)
+	}
+}
 
 // noteHungry registers this worker's unmet demand after a failed full
 // steal sweep. Idempotent per worker: repeated failed sweeps contribute
@@ -975,6 +1045,19 @@ func (w *Worker) Pool() *Pool { return w.pool }
 // RNG returns the worker's private random number generator (used by
 // strategies that need randomness on the worker's hot path).
 func (w *Worker) RNG() *rng.Xoshiro256 { return w.rng }
+
+// Socket returns the placement socket housing this worker (0 when the
+// pool has no placement).
+func (w *Worker) Socket() int { return int(w.socket) }
+
+// Victims returns the worker's precomputed hierarchical victim lists:
+// same-socket workers, then remote-socket workers, both ascending-ID with
+// self excluded. The loop strategies use them to sweep published ranges
+// in the same socket-local-first order as the deque steal path. Callers
+// must not mutate the returned slices.
+func (w *Worker) Victims() (local, remote []*Worker) {
+	return w.localVictims, w.remoteVictims
+}
 
 // Spawn pushes a child task bound to g onto this worker's deque. Spawn
 // performs the g.Add(1) itself. If the task panics, the panic is captured
@@ -1273,30 +1356,21 @@ func nextLoopIndex(entries []*loopEntry, tried uint64) int {
 	return best
 }
 
-// trySteal makes one randomized steal attempt against each other worker in
-// a random starting rotation, returning a stolen task if successful. A
-// successful thief whose victim still has queued work wakes the next
-// parked worker before executing (wake chaining).
+// trySteal makes one randomized steal attempt against each other worker,
+// sweeping hierarchically: own-socket victims first (a local steal's lines
+// come from a shared L3, ~41 cycles per hit), then remote sockets (~515
+// cycles, Figure 5). Each tier rotates from a uniformly drawn start over
+// its victim list — the lists exclude self by construction, so every
+// victim is first-probed with equal probability (the old skip-self
+// rotation first-probed worker w.id+1 twice as often). A successful thief
+// whose steal snapshot saw further queued work behind the stolen element
+// wakes the next parked worker before executing (wake chaining).
 func (w *Worker) trySteal() (spawned, bool) {
-	ws := w.pool.workers
-	n := len(ws)
-	if n == 1 {
-		return spawned{}, false
+	if s, ok := w.sweepSteal(w.localVictims, false); ok {
+		return s, true
 	}
-	start := w.rng.Intn(n)
-	for k := 0; k < n; k++ {
-		v := (start + k) % n
-		if v == w.id {
-			continue
-		}
-		vd := ws[v].dq
-		if v, arg, ab, ok := vd.Steal(); ok {
-			w.steals.Add(1)
-			if !vd.Empty() {
-				w.pool.notify()
-			}
-			return decode(v, arg, ab), true
-		}
+	if s, ok := w.sweepSteal(w.remoteVictims, true); ok {
+		return s, true
 	}
 	w.failedSteals.Add(1)
 	// Register the worker's unmet demand (once — repeat failed sweeps by
@@ -1310,6 +1384,38 @@ func (w *Worker) trySteal() (spawned, bool) {
 	// immediately and nparked, which Demand() checks first, takes over.
 	if !w.hungry && len(w.pool.loopList()) > 0 {
 		w.noteHungry()
+	}
+	return spawned{}, false
+}
+
+// sweepSteal probes each victim once in a rotation from a uniformly drawn
+// start, returning the first stolen task. remote marks the sweep's tier
+// for the distance counters. Wake chaining uses the steal's own snapshot
+// (Deque.Steal's more result), not a post-steal Empty() probe: the probe
+// could race the victim draining its remainder and read a stale bottom,
+// notifying a worker into a guaranteed-failed sweep (and, with live loops
+// registered, a phantom demand unit).
+func (w *Worker) sweepSteal(victims []*Worker, remote bool) (spawned, bool) {
+	n := len(victims)
+	if n == 0 {
+		return spawned{}, false
+	}
+	start := 0
+	if n > 1 {
+		start = w.rng.Intn(n)
+	}
+	for k := 0; k < n; k++ {
+		vd := victims[(start+k)%n].dq
+		if v, arg, ab, ok, more := vd.Steal(); ok {
+			w.steals.Add(1)
+			if remote {
+				w.remoteSteals.Add(1)
+			}
+			if more {
+				w.pool.notify()
+			}
+			return decode(v, arg, ab), true
+		}
 	}
 	return spawned{}, false
 }

@@ -1,0 +1,240 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+// waitAllParked blocks until every worker has COMMITTED to parking
+// (state wParked, not merely announced via nparked — the announce is
+// followed by one more steal sweep that still touches the worker's RNG
+// and deque), so a test can safely drive a worker's steal path from the
+// test goroutine: each state atomic orders that worker's final pre-park
+// writes before the test's reads, and a committed-parked worker touches
+// nothing until notified.
+func waitAllParked(t *testing.T, pool *Pool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		parked := 0
+		for _, w := range pool.workers {
+			if w.state.Load() == wParked {
+				parked++
+			}
+		}
+		if parked == pool.P() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never quiesced: %d/%d workers committed-parked",
+				parked, pool.P())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// pushVictimTask plants one range task in v's deque whose lo encodes v's
+// ID, so a test observing a steal can tell which victim it came from.
+// Only safe against a parked pool (PushBottom is owner-side).
+func pushVictimTask(t *testing.T, g *Group, noop RangeTask, v *Worker) {
+	t.Helper()
+	ab, ok := packRange(v.id, v.id+1)
+	if !ok {
+		t.Fatalf("packRange(%d, %d) failed", v.id, v.id+1)
+	}
+	g.Add(1)
+	v.dq.PushBottom(noop, g, ab)
+}
+
+// TestFirstProbeDistributionUniform is the regression test for the
+// victim-selection bias: the old rotation drew its start over all P
+// workers and skipped self in the loop, which made worker w.id+1 the
+// first probe twice as often as any other victim. The victim lists now
+// exclude self by construction and the start is drawn over the list, so
+// with every victim holding work, each must win the first steal of a
+// sweep with equal probability. The pool RNG is seeded, so the observed
+// counts are deterministic — a reintroduced bias fails every run.
+func TestFirstProbeDistributionUniform(t *testing.T) {
+	const p = 8
+	pool := NewPool(p, 99)
+	defer pool.Close()
+	waitAllParked(t, pool)
+
+	w := pool.workers[0]
+	local, remote := w.Victims()
+	if len(local) != p-1 || len(remote) != 0 {
+		t.Fatalf("flat pool victim lists: %d local, %d remote, want %d local, 0 remote",
+			len(local), len(remote), p-1)
+	}
+	for _, v := range local {
+		if v.id == w.id {
+			t.Fatalf("worker %d appears in its own victim list", w.id)
+		}
+	}
+
+	g := &Group{}
+	noop := RangeTask(func(*Worker, int, int) {})
+	counts := make([]int, p)
+	const rounds = 14000
+	for r := 0; r < rounds; r++ {
+		for _, v := range local {
+			pushVictimTask(t, g, noop, v)
+		}
+		// Every victim is non-empty, so the first successful steal IS the
+		// first probe of the rotation.
+		first, ok := w.sweepSteal(local, false)
+		if !ok {
+			t.Fatalf("round %d: sweep failed with every victim non-empty", r)
+		}
+		counts[first.lo]++
+		// Drain the remainder so the next round starts clean (and so no
+		// surplus survives to the workers woken at pool close).
+		for i := 1; i < len(local); i++ {
+			if _, ok := w.sweepSteal(local, false); !ok {
+				t.Fatalf("round %d: drain steal %d failed", r, i)
+			}
+		}
+	}
+
+	if counts[w.id] != 0 {
+		t.Fatalf("worker %d first-stole from itself %d times", w.id, counts[w.id])
+	}
+	want := rounds / (p - 1)
+	for id := 1; id < p; id++ {
+		if c := counts[id]; c < want*9/10 || c > want*11/10 {
+			t.Errorf("victim %d first-probed %d times, want ~%d (±10%%) — rotation start is biased",
+				id, c, want)
+		}
+	}
+}
+
+// TestPlacementVictimLists pins the victim-list construction under a
+// placement: ascending IDs, self excluded, same-socket workers in the
+// local tier and everyone else in the remote tier.
+func TestPlacementVictimLists(t *testing.T) {
+	pool := NewPoolPlaced(4, 7, false, CompactPlacement(2, 2))
+	defer pool.Close()
+
+	if got := pool.Placement().Sockets(); got != 2 {
+		t.Fatalf("Placement().Sockets() = %d, want 2", got)
+	}
+	wantSocket := []int{0, 0, 1, 1}
+	wantLocal := [][]int{{1}, {0}, {3}, {2}}
+	wantRemote := [][]int{{2, 3}, {2, 3}, {0, 1}, {0, 1}}
+	ids := func(ws []*Worker) []int {
+		out := make([]int, len(ws))
+		for i, v := range ws {
+			out[i] = v.id
+		}
+		return out
+	}
+	eq := func(a, b []int) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < pool.P(); i++ {
+		w := pool.workers[i]
+		if w.Socket() != wantSocket[i] {
+			t.Errorf("worker %d on socket %d, want %d", i, w.Socket(), wantSocket[i])
+		}
+		local, remote := w.Victims()
+		if got := ids(local); !eq(got, wantLocal[i]) {
+			t.Errorf("worker %d local victims %v, want %v", i, got, wantLocal[i])
+		}
+		if got := ids(remote); !eq(got, wantRemote[i]) {
+			t.Errorf("worker %d remote victims %v, want %v", i, got, wantRemote[i])
+		}
+	}
+}
+
+// TestTryStealPrefersLocalVictim drives the hierarchical sweep against a
+// parked 2×2 pool: with both a same-socket and a cross-socket victim
+// holding work, trySteal must always take the local task first and only
+// then cross the socket boundary — and the distance counters must
+// attribute exactly the cross-socket steals as remote.
+func TestTryStealPrefersLocalVictim(t *testing.T) {
+	pool := NewPoolPlaced(4, 7, false, CompactPlacement(2, 2))
+	defer pool.Close()
+	waitAllParked(t, pool)
+	pool.ResetStats()
+
+	w := pool.workers[0] // socket 0; local victim 1, remote victims 2, 3
+	g := &Group{}
+	noop := RangeTask(func(*Worker, int, int) {})
+	const rounds = 50
+	for r := 0; r < rounds; r++ {
+		pushVictimTask(t, g, noop, pool.workers[1])
+		pushVictimTask(t, g, noop, pool.workers[2])
+		s, ok := w.trySteal()
+		if !ok || s.lo != 1 {
+			t.Fatalf("round %d: first steal came from worker %d (ok=%v), want local victim 1",
+				r, s.lo, ok)
+		}
+		s, ok = w.trySteal()
+		if !ok || s.lo != 2 {
+			t.Fatalf("round %d: second steal came from worker %d (ok=%v), want remote victim 2",
+				r, s.lo, ok)
+		}
+	}
+
+	st := pool.Stats()
+	if st.Steals != 2*rounds || st.RemoteSteals != rounds {
+		t.Fatalf("Stats: Steals=%d RemoteSteals=%d, want %d and %d",
+			st.Steals, st.RemoteSteals, 2*rounds, rounds)
+	}
+}
+
+// TestStealWakeChainingUsesSnapshot pins the phantom-notify fix: the
+// post-steal wake decision comes from the steal's own validated snapshot
+// (Deque.Steal's more result), never a separate Empty() probe. Stealing
+// a victim's only task must wake nobody; stealing one of two must chain
+// a wakeup to a parked worker, which then finds and runs the survivor.
+func TestStealWakeChainingUsesSnapshot(t *testing.T) {
+	pool := NewPool(3, 5)
+	defer pool.Close()
+	waitAllParked(t, pool)
+	pool.ResetStats()
+
+	g := &Group{}
+	noop := RangeTask(func(*Worker, int, int) {})
+	victim, thief := pool.workers[1], pool.workers[2]
+
+	// Singleton steal: more=false, so no notify may fire.
+	pushVictimTask(t, g, noop, victim)
+	if _, ok := thief.sweepSteal(thief.localVictims, false); !ok {
+		t.Fatal("steal of the victim's only task failed")
+	}
+	time.Sleep(50 * time.Millisecond)
+	if parked := pool.ParkedWorkers(); parked != pool.P() {
+		t.Fatalf("stealing a victim's last task woke a worker: %d/%d parked",
+			parked, pool.P())
+	}
+	if st := pool.Stats(); st.Tasks != 0 {
+		t.Fatalf("%d tasks ran with no work outstanding", st.Tasks)
+	}
+
+	// Surplus steal: the snapshot sees a second queued element behind the
+	// stolen one, so the thief must chain a wakeup; the woken worker finds
+	// the survivor and runs it, then the pool quiesces again.
+	pushVictimTask(t, g, noop, victim)
+	pushVictimTask(t, g, noop, victim)
+	if _, ok := thief.sweepSteal(thief.localVictims, false); !ok {
+		t.Fatal("steal with surplus queued failed")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for pool.Stats().Tasks != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("woken worker never ran the surviving task (Tasks=%d)",
+				pool.Stats().Tasks)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	waitAllParked(t, pool)
+}

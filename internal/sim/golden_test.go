@@ -3,11 +3,13 @@ package sim_test
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
 	"testing"
 
+	"hybridloop/internal/loop"
 	"hybridloop/internal/sim"
 	"hybridloop/internal/topology"
 )
@@ -17,7 +19,15 @@ var updateGolden = flag.Bool("update", false, "regenerate testdata golden datase
 // goldenSimEntry pins one simulator run exactly. Floats are stored as
 // hex strings (strconv 'x' format) so the JSON round-trip is bit-exact —
 // the point of a golden test is exact match, not tolerance.
+//
+// Entries are keyed by (machine, victim, strategy, p): machine is the
+// socket layout ("4x8" is the paper testbed, "8x8"/"8x32" the scaled
+// 64/256-core grids) and victim the steal victim-ordering policy. The
+// key is what lets new topology grids extend the dataset without
+// touching existing rows — see TestGoldenEquivalence.
 type goldenSimEntry struct {
+	Machine      string `json:"machine"`
+	Victim       string `json:"victim"`
 	Strategy     string `json:"strategy"`
 	P            int    `json:"p"`
 	Cycles       string `json:"cycles_hex"`
@@ -25,34 +35,90 @@ type goldenSimEntry struct {
 	Affinity     string `json:"affinity_hex"`
 	Steals       int64  `json:"steals"`
 	FailedSteals int64  `json:"failed_steals"`
+	RemoteSteals int64  `json:"remote_steals"`
 	Claims       int64  `json:"claims"`
 	FailedClaims int64  `json:"failed_claims"`
 	Chunks       int64  `json:"chunks"`
 }
 
+// key identifies the run configuration an entry pins; everything else in
+// the entry is the pinned outcome.
+func (e goldenSimEntry) key() string {
+	return fmt.Sprintf("%s/%s/%s/p%d", e.Machine, e.Victim, e.Strategy, e.P)
+}
+
 func hexFloat(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+// goldenSimCase is one grid point: a machine shape plus the run config.
+type goldenSimCase struct {
+	machineName string
+	machine     topology.Machine
+	victim      sim.VictimPolicy
+	strategy    loop.Strategy
+	p           int
+}
+
+// goldenSimGrid enumerates the pinned configurations:
+//
+//   - The paper's 4×8 testbed, uniform victim policy, every strategy at
+//     P ∈ {4, 32} — the original seeded rows, whose values must never
+//     change without a deliberate regen.
+//   - Scaled 8-socket machines (8×8 = 64 cores, 8×32 = 256 cores), both
+//     victim policies, for the two strategies that steal (vanilla work
+//     stealing and the hybrid scheme) at full machine width — the grids
+//     behind the hierarchical-stealing experiment in EXPERIMENTS.md.
+func goldenSimGrid() []goldenSimCase {
+	var cases []goldenSimCase
+	for _, s := range allStrategies() {
+		for _, p := range []int{4, 32} {
+			cases = append(cases, goldenSimCase{
+				machineName: "4x8", machine: topology.Paper(),
+				victim: sim.VictimUniform, strategy: s, p: p,
+			})
+		}
+	}
+	for _, m := range []struct {
+		name             string
+		sockets, percore int
+	}{{"8x8", 8, 8}, {"8x32", 8, 32}} {
+		for _, v := range []sim.VictimPolicy{sim.VictimUniform, sim.VictimHierarchical} {
+			for _, s := range []loop.Strategy{loop.DynamicStealing, loop.Hybrid} {
+				cases = append(cases, goldenSimCase{
+					machineName: m.name,
+					machine:     topology.Scaled(m.sockets, m.percore),
+					victim:      v, strategy: s, p: m.sockets * m.percore,
+				})
+			}
+		}
+	}
+	return cases
+}
 
 func goldenSimRuns() []goldenSimEntry {
 	// Unbalanced micro workload: exercises stealing, claims, and the
 	// hybrid fallback — the interesting scheduling behaviour to pin.
 	w := microWorkload(false, 8)
 	var out []goldenSimEntry
-	for _, s := range allStrategies() {
-		for _, p := range []int{4, 32} {
-			r := sim.Run(sim.Config{Machine: topology.Paper(), P: p, Strategy: s, Seed: 7}, w)
-			out = append(out, goldenSimEntry{
-				Strategy:     s.String(),
-				P:            p,
-				Cycles:       hexFloat(r.Cycles),
-				Accesses:     r.Counts.Total(),
-				Affinity:     hexFloat(r.Affinity),
-				Steals:       r.Steals,
-				FailedSteals: r.FailedSteals,
-				Claims:       r.Claims,
-				FailedClaims: r.FailedClaims,
-				Chunks:       r.Chunks,
-			})
-		}
+	for _, c := range goldenSimGrid() {
+		r := sim.Run(sim.Config{
+			Machine: c.machine, P: c.p, Strategy: c.strategy,
+			Victim: c.victim, Seed: 7,
+		}, w)
+		out = append(out, goldenSimEntry{
+			Machine:      c.machineName,
+			Victim:       c.victim.String(),
+			Strategy:     c.strategy.String(),
+			P:            c.p,
+			Cycles:       hexFloat(r.Cycles),
+			Accesses:     r.Counts.Total(),
+			Affinity:     hexFloat(r.Affinity),
+			Steals:       r.Steals,
+			FailedSteals: r.FailedSteals,
+			RemoteSteals: r.RemoteSteals,
+			Claims:       r.Claims,
+			FailedClaims: r.FailedClaims,
+			Chunks:       r.Chunks,
+		})
 	}
 	return out
 }
@@ -64,12 +130,35 @@ func goldenSimRuns() []goldenSimEntry {
 // deliberately (go test ./internal/sim -run Golden -update, or
 // make golden-regen) and justify the diff — "tests still pass" is not
 // evidence the policies are unchanged.
+//
+// Entries are matched by key (machine/victim/strategy/p), and -update
+// MERGES rather than rewrites: rows whose key is in the current grid are
+// regenerated, rows whose key has left the grid are preserved (and
+// logged) so extending the grid — adding a machine shape or victim
+// policy — can never silently invalidate previously pinned rows.
 func TestGoldenEquivalence(t *testing.T) {
 	path := filepath.Join("testdata", "golden_sim.json")
 	got := goldenSimRuns()
 
 	if *updateGolden {
-		data, err := json.MarshalIndent(got, "", "  ")
+		merged := got
+		byKey := map[string]bool{}
+		for _, e := range got {
+			byKey[e.key()] = true
+		}
+		if data, err := os.ReadFile(path); err == nil {
+			var old []goldenSimEntry
+			if err := json.Unmarshal(data, &old); err != nil {
+				t.Fatalf("parse existing %s before merge: %v", path, err)
+			}
+			for _, e := range old {
+				if !byKey[e.key()] {
+					t.Logf("preserving row %s (no longer in the grid)", e.key())
+					merged = append(merged, e)
+				}
+			}
+		}
+		data, err := json.MarshalIndent(merged, "", "  ")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,7 +168,7 @@ func TestGoldenEquivalence(t *testing.T) {
 		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("regenerated %s with %d runs", path, len(got))
+		t.Logf("regenerated %s with %d runs (%d from the current grid)", path, len(merged), len(got))
 		return
 	}
 
@@ -91,28 +180,46 @@ func TestGoldenEquivalence(t *testing.T) {
 	if err := json.Unmarshal(data, &want); err != nil {
 		t.Fatalf("parse %s: %v", path, err)
 	}
-	if len(want) != len(got) {
-		t.Fatalf("golden dataset has %d runs, harness produced %d — regenerate with -update", len(want), len(got))
+	byKey := map[string]goldenSimEntry{}
+	for _, e := range want {
+		if prev, dup := byKey[e.key()]; dup && prev != e {
+			t.Errorf("golden dataset has conflicting rows for %s", e.key())
+		}
+		byKey[e.key()] = e
 	}
-	for i := range got {
-		if got[i] != want[i] {
-			t.Errorf("run %s/P=%d diverged from golden:\n got %+v\nwant %+v",
-				got[i].Strategy, got[i].P, got[i], want[i])
+	for _, g := range got {
+		w, ok := byKey[g.key()]
+		if !ok {
+			t.Errorf("run %s not pinned in the golden dataset — regenerate with -update", g.key())
+			continue
+		}
+		if g != w {
+			t.Errorf("run %s diverged from golden:\n got %+v\nwant %+v", g.key(), g, w)
 		}
 	}
 }
 
 // TestGoldenCoversAllStrategies guards the harness itself: every policy
 // in the simulator's strategy set must appear in the pinned grid, so a
-// newly added strategy cannot silently ship unpinned.
+// newly added strategy cannot silently ship unpinned; likewise both
+// victim policies must be pinned on an 8-socket machine.
 func TestGoldenCoversAllStrategies(t *testing.T) {
-	seen := map[string]bool{}
+	strategies := map[string]bool{}
+	victims := map[string]bool{}
 	for _, e := range goldenSimRuns() {
-		seen[e.Strategy] = true
+		strategies[e.Strategy] = true
+		if e.Machine != "4x8" {
+			victims[e.Victim] = true
+		}
 	}
 	for _, s := range allStrategies() {
-		if !seen[s.String()] {
+		if !strategies[s.String()] {
 			t.Errorf("strategy %v missing from the golden grid", s)
+		}
+	}
+	for _, v := range []sim.VictimPolicy{sim.VictimUniform, sim.VictimHierarchical} {
+		if !victims[v.String()] {
+			t.Errorf("victim policy %v missing from the scaled golden grids", v)
 		}
 	}
 }

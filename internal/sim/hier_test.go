@@ -1,0 +1,59 @@
+package sim_test
+
+import (
+	"testing"
+
+	"hybridloop/internal/loop"
+	"hybridloop/internal/sim"
+	"hybridloop/internal/topology"
+)
+
+// TestHierarchicalReducesRemoteSteals is the simulated-scale experiment
+// behind the hierarchical victim policy, pinned as a test: on 8-socket
+// machines (64 and 256 cores) running the unbalanced micro workload
+// under vanilla work stealing, socket-local-first victim ordering must
+// cut the fraction of steals that cross a socket to less than half of
+// what uniform victim selection produces — while still completing the
+// identical workload. The run is seeded, so the comparison is exact and
+// deterministic; EXPERIMENTS.md quotes the same numbers.
+func TestHierarchicalReducesRemoteSteals(t *testing.T) {
+	w := microWorkload(false, 8)
+	for _, m := range []struct {
+		name             string
+		sockets, percore int
+	}{{"8x8", 8, 8}, {"8x32", 8, 32}} {
+		t.Run(m.name, func(t *testing.T) {
+			run := func(v sim.VictimPolicy) sim.Result {
+				return sim.Run(sim.Config{
+					Machine:  topology.Scaled(m.sockets, m.percore),
+					P:        m.sockets * m.percore,
+					Strategy: loop.DynamicStealing,
+					Victim:   v,
+					Seed:     7,
+				}, w)
+			}
+			u := run(sim.VictimUniform)
+			h := run(sim.VictimHierarchical)
+
+			if u.Counts.Total() != h.Counts.Total() {
+				t.Fatalf("policies completed different workloads: %d vs %d accesses",
+					u.Counts.Total(), h.Counts.Total())
+			}
+			if u.Steals == 0 || u.RemoteSteals == 0 {
+				t.Fatalf("uniform baseline stole %d (remote %d) — comparison is vacuous",
+					u.Steals, u.RemoteSteals)
+			}
+			if h.Steals == 0 {
+				t.Fatal("hierarchical policy never stole — comparison is vacuous")
+			}
+			uFrac := float64(u.RemoteSteals) / float64(u.Steals)
+			hFrac := float64(h.RemoteSteals) / float64(h.Steals)
+			t.Logf("remote-steal fraction: uniform %d/%d (%.0f%%), hierarchical %d/%d (%.0f%%)",
+				u.RemoteSteals, u.Steals, 100*uFrac, h.RemoteSteals, h.Steals, 100*hFrac)
+			if hFrac*2 >= uFrac {
+				t.Errorf("hierarchical remote fraction %.2f is not under half of uniform's %.2f",
+					hFrac, uFrac)
+			}
+		})
+	}
+}

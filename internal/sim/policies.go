@@ -57,6 +57,20 @@ func (s *span) stealHalf() span {
 	return st
 }
 
+// stealBack removes and returns the upper num/den fraction of the span
+// (at least one iteration, never the whole span) — the larger transfer a
+// cross-socket thief takes under the hierarchical policy, mirroring
+// deque.RangeSlot.StealBack.
+func (s *span) stealBack(num, den int) span {
+	take := (s.end - s.next) * num / den
+	if take < 1 {
+		take = 1
+	}
+	st := span{s.end - take, s.end}
+	s.end -= take
+	return st
+}
+
 // --- static -----------------------------------------------------------
 
 // staticPol: OpenMP schedule(static) / FastFlow static. Core c owns the
@@ -216,12 +230,24 @@ func (p *stealPol) step(core int) bool {
 	return true
 }
 
-// stealRound performs one randomized steal round for core: probe victims
-// in a random rotation, stealing the upper half of the first victim whose
-// span is worth splitting (more than chunk iterations). Each probe costs
-// StealAttempt; success costs StealSuccess extra; an empty-handed round
-// costs a backoff before the next retry.
+// stealRound performs one steal round for core under the configured
+// victim policy. Each probe costs StealAttempt; success costs
+// StealSuccess extra; an empty-handed round costs a backoff before the
+// next retry.
 func stealRound(e *engine, core int, spans []span, chunk int) bool {
+	if e.cfg.Victim == VictimHierarchical {
+		return stealRoundHier(e, core, spans, chunk)
+	}
+	return stealRoundUniform(e, core, spans, chunk)
+}
+
+// stealRoundUniform probes all other cores in one random rotation,
+// stealing the upper half of the first victim whose span is worth
+// splitting (more than chunk iterations). Kept bit-identical to the
+// pre-topology behaviour — RNG draws, costs, and rotation (including its
+// first-probe bias) — so seeded golden runs are unchanged; remote-steal
+// attribution is the only addition (a counter, no cost).
+func stealRoundUniform(e *engine, core int, spans []span, chunk int) bool {
 	n := len(spans)
 	start := e.gen.Intn(n)
 	probes := 0
@@ -243,7 +269,58 @@ func stealRound(e *engine, core int, spans []span, chunk int) bool {
 			spans[core] = stolen
 			e.clock[core] += float64(probes)*e.m.Cost.StealAttempt + e.m.Cost.StealSuccess
 			e.steals++
+			if e.m.Socket(v) != e.m.Socket(core) {
+				e.remoteSteals++
+			}
 			return true
+		}
+	}
+	e.clock[core] += float64(probes)*e.m.Cost.StealAttempt + e.m.Cost.StealBackoff
+	e.failedSteals++
+	return false
+}
+
+// stealRoundHier sweeps hierarchically: own-socket victims first, then
+// remote sockets, each tier rotating from a uniformly drawn start over
+// its precomputed self-free list (so every victim is first-probed with
+// equal probability — no rotation bias). A cross-socket steal transfers
+// ¾ of the victim's remainder instead of half, amortizing the remote-L3
+// line cost over more iterations per transfer; the StealChunk ablation
+// keeps its one-chunk transfers at either distance.
+func stealRoundHier(e *engine, core int, spans []span, chunk int) bool {
+	probes := 0
+	for tier, victims := range [2][]int{e.localV[core], e.remoteV[core]} {
+		n := len(victims)
+		if n == 0 {
+			continue
+		}
+		remote := tier == 1
+		start := 0
+		if n > 1 {
+			start = e.gen.Intn(n)
+		}
+		for k := 0; k < n; k++ {
+			v := victims[(start+k)%n]
+			probes++
+			if spans[v].len() > chunk {
+				var stolen span
+				switch {
+				case e.cfg.Steal == StealChunk:
+					stolen = span{spans[v].end - chunk, spans[v].end}
+					spans[v].end -= chunk
+				case remote:
+					stolen = spans[v].stealBack(3, 4)
+				default:
+					stolen = spans[v].stealHalf()
+				}
+				spans[core] = stolen
+				e.clock[core] += float64(probes)*e.m.Cost.StealAttempt + e.m.Cost.StealSuccess
+				e.steals++
+				if remote {
+					e.remoteSteals++
+				}
+				return true
+			}
 		}
 	}
 	e.clock[core] += float64(probes)*e.m.Cost.StealAttempt + e.m.Cost.StealBackoff
@@ -382,6 +459,9 @@ func (p *hybridPol) stealHoard(core int) bool {
 			p.hoard[v] = p.hoard[v][:last]
 			p.e.clock[core] += float64(probes)*p.e.m.Cost.StealAttempt + p.e.m.Cost.StealSuccess
 			p.e.steals++
+			if p.e.m.Socket(v) != p.e.m.Socket(core) {
+				p.e.remoteSteals++
+			}
 			return true
 		}
 	}

@@ -92,6 +92,11 @@ type Result struct {
 	// rounds; Claims / FailedClaims count hybrid claim attempts.
 	Steals       int64
 	FailedSteals int64
+	// RemoteSteals is the subset of Steals whose victim sat on a different
+	// socket than the thief (compact pinning). Tracked under every victim
+	// policy — attribution only, no cost-model change — so uniform and
+	// hierarchical runs are directly comparable.
+	RemoteSteals int64
 	Claims       int64
 	FailedClaims int64
 	// Chunks is the number of scheduled chunks (parallel overhead proxy).
@@ -149,6 +154,32 @@ const (
 	StealChunk
 )
 
+// VictimPolicy selects how a thief orders its steal probes.
+type VictimPolicy int
+
+const (
+	// VictimUniform probes all other cores in one random rotation — the
+	// pre-topology runtime behaviour (including its first-probe bias,
+	// kept verbatim so seeded runs stay bit-identical with old goldens).
+	VictimUniform VictimPolicy = iota
+	// VictimHierarchical probes own-socket victims first (unbiased
+	// rotation over the self-free list), then remote sockets, and a
+	// cross-socket steal transfers ¾ of the victim's remainder instead of
+	// half — the topology-aware policy the real runtime implements via
+	// sched.Placement.
+	VictimHierarchical
+)
+
+func (v VictimPolicy) String() string {
+	switch v {
+	case VictimUniform:
+		return "uniform"
+	case VictimHierarchical:
+		return "hierarchical"
+	}
+	return fmt.Sprintf("VictimPolicy(%d)", int(v))
+}
+
 // Config configures a simulated run.
 type Config struct {
 	Machine  topology.Machine
@@ -176,6 +207,9 @@ type Config struct {
 	Timeline bool
 	// Claim selects the hybrid claim discipline (see ClaimMode).
 	Claim ClaimMode
+	// Victim selects the steal victim-ordering policy (see VictimPolicy).
+	// The zero value is the uniform-random legacy behaviour.
+	Victim VictimPolicy
 }
 
 // ClaimMode selects how a hybrid worker's claim loop interleaves with
@@ -219,6 +253,9 @@ func Run(cfg Config, w Workload) Result {
 	}
 	e := newEngine(m, p, cfg.Seed)
 	e.cfg = cfg
+	if cfg.Victim == VictimHierarchical {
+		e.buildVictimLists()
+	}
 	for _, size := range w.Regions {
 		e.regions = append(e.regions, e.alloc.Alloc(size))
 	}
@@ -245,6 +282,7 @@ func Run(cfg Config, w Workload) Result {
 		AffinityLoops: e.affin.Loops(),
 		Steals:        e.steals,
 		FailedSteals:  e.failedSteals,
+		RemoteSteals:  e.remoteSteals,
 		Claims:        e.claims,
 		FailedClaims:  e.failedClaims,
 		Chunks:        e.chunks,
@@ -304,9 +342,16 @@ type engine struct {
 
 	steals       int64
 	failedSteals int64
+	remoteSteals int64
 	claims       int64
 	failedClaims int64
 	chunks       int64
+
+	// localV/remoteV are per-core victim lists under VictimHierarchical:
+	// same-socket cores first, then every other core, ascending IDs with
+	// self excluded (mirroring sched's precomputed Worker victim lists).
+	// Nil under VictimUniform.
+	localV, remoteV [][]int
 }
 
 type spaceKey struct{ space, n int }
@@ -325,8 +370,28 @@ func newEngine(m topology.Machine, p int, seed uint64) *engine {
 	}
 }
 
+// buildVictimLists precomputes the hierarchical victim order for each of
+// the p cores in use, under the machine's compact pinning.
+func (e *engine) buildVictimLists() {
+	e.localV = make([][]int, e.p)
+	e.remoteV = make([][]int, e.p)
+	for c := 0; c < e.p; c++ {
+		for v := 0; v < e.p; v++ {
+			if v == c {
+				continue
+			}
+			if e.m.Socket(v) == e.m.Socket(c) {
+				e.localV[c] = append(e.localV[c], v)
+			} else {
+				e.remoteV[c] = append(e.remoteV[c], v)
+			}
+		}
+	}
+}
+
 func (e *engine) resetStats() {
 	e.steals, e.failedSteals, e.claims, e.failedClaims, e.chunks = 0, 0, 0, 0, 0
+	e.remoteSteals = 0
 	e.affin = affinity.MeanSame{}
 	for i := range e.busy {
 		e.busy[i] = 0

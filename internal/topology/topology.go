@@ -161,6 +161,21 @@ func Paper() Machine {
 	}
 }
 
+// Scaled returns a machine with the requested socket/core layout and the
+// paper testbed's per-core caches, latencies, and scheduler costs — the
+// "what if the paper's machine were bigger" topology behind the simulated
+// 64–256-core runs. Per-core L1/L2 and per-socket L3 stay at the paper's
+// sizes (adding sockets adds L3+DRAM domains; it does not grow any one
+// cache), and the Figure 5 latencies carry over unchanged: scaling the
+// interconnect would change the remote constants in ways the paper gives
+// no data for, so holding them fixed isolates the scheduling effect.
+func Scaled(sockets, coresPerSocket int) Machine {
+	m := Paper()
+	m.Sockets = sockets
+	m.CoresPerSocket = coresPerSocket
+	return m
+}
+
 // P returns the total number of cores.
 func (m Machine) P() int { return m.Sockets * m.CoresPerSocket }
 

@@ -50,6 +50,14 @@ const (
 	// counter. One loop cancellation typically produces several Cancel
 	// events, one per abandoning worker or drained partition.
 	Cancel
+	// RangeSplitRemote is a cross-socket lazy split: the thief and the
+	// victim sit on different placement sockets, so the thief CASed off
+	// the larger remote fraction [A, B) of the victim's published range.
+	// Disjoint from RangeSplit — the scheduler's Stats.RangeSteals delta
+	// equals the RangeSplit + RangeSplitRemote count, and its
+	// Stats.RemoteRangeSteals delta equals the RangeSplitRemote count
+	// alone, when every loop is traced.
+	RangeSplitRemote
 )
 
 // String returns a short label for the event kind.
@@ -69,6 +77,8 @@ func (k Kind) String() string {
 		return "chunk"
 	case RangeSplit:
 		return "range-split"
+	case RangeSplitRemote:
+		return "range-split-remote"
 	case TuneDecision:
 		return "tune"
 	case Cancel:
@@ -141,14 +151,18 @@ func (l *Log) Reset() {
 
 // WorkerSummary aggregates one worker's activity.
 type WorkerSummary struct {
-	Worker        int
-	Chunks        int
-	Iterations    int64
-	Claims        int
-	FailedClaims  int
-	StealEntries  int
-	RangeSplits   int
-	TuneDecisions int
+	Worker       int
+	Chunks       int
+	Iterations   int64
+	Claims       int
+	FailedClaims int
+	StealEntries int
+	RangeSplits  int
+	// RangeSplitsRemote counts the cross-socket subset separately (a
+	// RangeSplitRemote event does NOT also count as a RangeSplit; sum the
+	// two fields for total lazy splits).
+	RangeSplitsRemote int
+	TuneDecisions     int
 	// Cancels counts Cancel events; AbandonedIters sums their ranges —
 	// iterations this worker gave up unexecuted after its loop's token
 	// tripped.
@@ -177,6 +191,8 @@ func (l *Log) Summary() []WorkerSummary {
 			s.StealEntries++
 		case RangeSplit:
 			s.RangeSplits++
+		case RangeSplitRemote:
+			s.RangeSplitsRemote++
 		case TuneDecision:
 			s.TuneDecisions++
 		case Cancel:
