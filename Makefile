@@ -13,7 +13,11 @@ STRESS_PATTERN := TestCancel|TestPanickingOwner|TestDemandRetiredOnPark|TestDema
 # Packages carrying seeded golden datasets (testdata/golden_*.json).
 GOLDEN_PKGS := ./internal/sim/ ./internal/nas/
 
-.PHONY: check race bench benchdiff benchgate stress lint servertest golden golden-regen repro
+.PHONY: check race bench benchdiff benchgate stress lint protodoc servertest golden golden-regen repro
+
+# Every registered schedlint analyzer; `make lint` fails if a
+# registration regression drops one.
+LINT_ANALYZERS := 8
 
 ## check: vet, build and test everything (tier-1 gate)
 check:
@@ -22,11 +26,23 @@ check:
 	$(GO) test ./...
 
 ## lint: vet plus the module's own concurrency-invariant analyzers
-## (atomicmix, cacheline, loopcapture, looperr, metricsample — see
-## cmd/schedlint)
+## (atomicmix, cacheline, lockorder, loopcapture, looperr,
+## metricsample, noalloc, protocol — see cmd/schedlint). Asserts the
+## registered-analyzer count first, so a registration regression fails
+## loudly instead of silently checking less.
 lint:
 	$(GO) vet ./...
+	@n=$$($(GO) run ./cmd/schedlint -list | wc -l); \
+	if [ "$$n" -ne "$(LINT_ANALYZERS)" ]; then \
+		echo "lint: expected $(LINT_ANALYZERS) registered analyzers, schedlint -list reports $$n" >&2; \
+		exit 1; \
+	fi
 	$(GO) run ./cmd/schedlint ./...
+
+## protodoc: regenerate the protocol tables in DESIGN.md from the
+## //sched:protocol annotations (checked in CI by TestProtodocInSync)
+protodoc:
+	$(GO) run ./cmd/schedlint -protodoc DESIGN.md ./...
 
 ## race: race-detect the scheduler hot path and the metrics plane
 ## (includes the stress tests)

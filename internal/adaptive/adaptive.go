@@ -434,6 +434,8 @@ func (t *Tuner) lookup(pc uintptr, n int) *site {
 // one hash probe, one pointer load, one counter increment, no mutex.
 // Every fastSamplePeriod-th play falls through to the locked path to be
 // observed, keeping the drift and re-exploration machinery alive.
+//
+//sched:noalloc
 func (t *Tuner) Decide(pc uintptr, n, baseChunk int) Decision {
 	sampled := int64(0)
 	if tab := t.table.Load(); tab != nil {

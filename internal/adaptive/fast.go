@@ -47,6 +47,8 @@ type fastDecision struct {
 // decision materializes an unobserved Decision for a loop of n iterations
 // with base chunk baseChunk. site is left nil: Report/Discard on it are
 // no-ops, and Observe tells the caller to skip measurement entirely.
+//
+//sched:noalloc
 func (fd *fastDecision) decision(n, baseChunk int) Decision {
 	d := Decision{
 		Arm:            fd.arm,

@@ -80,6 +80,16 @@ func (r Range) Split(n int) []Range {
 //
 //sched:cacheline
 type ClaimFlag struct {
+	// v is the claim latch of Algorithm 1: Swap(1) owns the transition —
+	// exactly one worker observes the 0 return and executes the
+	// partition. An unconditional write, so the spec's only transition
+	// is any→claimed; there is no way back to unclaimed within one
+	// dynamic execution (the set is reallocated per run).
+	//
+	//sched:protocol claim
+	//sched:state unclaimed = 0
+	//sched:state claimed = 1
+	//sched:trans any -> claimed
 	v atomic.Uint32 // 0 = unclaimed, 1 = claimed
 	_ [60]byte
 }
@@ -156,6 +166,8 @@ func (ps *PartitionSet) FailedClaims() int64 { return ps.failed.Load() }
 // index i, namely r = i XOR w. It returns the partition number and whether
 // the claim succeeded. The fetch-and-or of the paper is realized as an
 // atomic swap, which has the identical owns-the-transition property.
+//
+//sched:noalloc
 func (ps *PartitionSet) Claim(i, w int) (r int, ok bool) {
 	r = (i ^ w) & (len(ps.parts) - 1)
 	if ps.flags[r].v.Swap(1) != 0 {
@@ -174,6 +186,8 @@ func (ps *PartitionSet) Unclaimed() int {
 
 // ClaimPartition attempts to claim partition r directly (used by the steal
 // protocol, which probes a thief's designated partition r = w XOR 0 = w).
+//
+//sched:noalloc
 func (ps *PartitionSet) ClaimPartition(r int) bool {
 	if ps.flags[r].v.Swap(1) != 0 {
 		ps.failed.Add(1)
@@ -187,6 +201,8 @@ func (ps *PartitionSet) ClaimPartition(r int) bool {
 // (worker w's designated partition) is already claimed. The steal protocol
 // of Section III uses this read to decide whether a thief enters the loop
 // with its own worker ID or performs an ordinary random steal.
+//
+//sched:noalloc
 func (ps *PartitionSet) PeekClaimed(w int) bool {
 	return ps.flags[w&(len(ps.parts)-1)].v.Load() != 0
 }

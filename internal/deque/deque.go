@@ -64,6 +64,7 @@ func newRing(capacity int64) *ring {
 	return &ring{buf: make([]slot, capacity), mask: capacity - 1}
 }
 
+//sched:noalloc
 func (r *ring) get(i int64) (v, arg any, ab int64) {
 	s := &r.buf[i&r.mask]
 	ab = s.ab.Load()
@@ -75,6 +76,7 @@ func (r *ring) get(i int64) (v, arg any, ab int64) {
 	return v, s.arg.Load(), ab
 }
 
+//sched:noalloc
 func (r *ring) put(i int64, v, arg any, ab int64) {
 	s := &r.buf[i&r.mask]
 	// Skip stores whose slot already holds the value: a loop pushing
@@ -159,8 +161,10 @@ func New(zeroFn, zeroAlt, zeroArg any) *Deque {
 // PushBottom adds the element (v, arg, ab) at the bottom of the deque.
 // Owner only. ab selects v's concrete type: pass 0 for the primary type
 // and any non-zero value for the alternate. Does not allocate (outside
-// amortized ring growth) when v and arg are pointer-shaped values of the
-// deque's fixed concrete types.
+// amortized ring growth, which lives in the unannotated grow) when v and
+// arg are pointer-shaped values of the deque's fixed concrete types.
+//
+//sched:noalloc
 func (d *Deque) PushBottom(v, arg any, ab int64) {
 	b := d.bottom.Load()
 	tp := d.top.Load()
@@ -182,6 +186,8 @@ func (d *Deque) PushBottom(v, arg any, ab int64) {
 
 // PopBottom removes and returns the most recently pushed element, or
 // ok == false if the deque is empty. Owner only.
+//
+//sched:noalloc
 func (d *Deque) PopBottom() (v, arg any, ab int64, ok bool) {
 	b := d.bottom.Load() - 1
 	r := d.active.Load()
@@ -214,6 +220,8 @@ func (d *Deque) PopBottom() (v, arg any, ab int64, ok bool) {
 // capacity either way. Doomed thieves may read a slot mid-clean; their
 // validating CAS fails (top == bottom here, so any index they could have
 // read is already claimed or out of range) and the torn read is discarded.
+//
+//sched:noalloc
 func (d *Deque) Clean() {
 	b := d.bottom.Load()
 	if d.top.Load() != b {
@@ -246,6 +254,8 @@ func (d *Deque) Clean() {
 // worker into a guaranteed-failed sweep (and, with live loops registered,
 // a phantom demand unit); the snapshot cannot name surplus that was not
 // really queued behind the stolen element.
+//
+//sched:noalloc
 func (d *Deque) Steal() (v, arg any, ab int64, ok, more bool) {
 	tp := d.top.Load()
 	b := d.bottom.Load()

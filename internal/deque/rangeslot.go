@@ -35,6 +35,20 @@ import "sync/atomic"
 //
 //sched:cacheline
 type RangeSlot struct {
+	// v is the packed [lo,hi) word. Every occupied value is "published";
+	// the canonical empty word 0 is the only sentinel, so the protocol
+	// has one dynamic state and one constant one. Shrinks from either
+	// end (TakeFront, StealBack) are published→published CASes; the
+	// final take's published→empty CAS and the Reset/Abandon poison
+	// writes are the only ways back to empty.
+	//
+	//sched:protocol rangeslot
+	//sched:state empty = 0
+	//sched:state published = dyn
+	//sched:trans empty -> published
+	//sched:trans published -> published
+	//sched:trans published -> empty
+	//sched:trans any -> empty
 	v atomic.Uint64
 	_ [56]byte
 }
@@ -57,6 +71,8 @@ func unpackSlotRange(w uint64) (lo, hi int) {
 // storing anything) if either bound exceeds int32, or if the slot is
 // already occupied — the caller must then fall back to eager splitting.
 // Owner only.
+//
+//sched:noalloc
 func (s *RangeSlot) Publish(lo, hi int) bool {
 	if hi <= lo {
 		return false
@@ -72,6 +88,8 @@ func (s *RangeSlot) Publish(lo, hi int) bool {
 // front of the published range, or ok == false if the slot is empty.
 // Owner only (thieves must use StealHalf); the CAS loop is still required
 // because thieves concurrently shrink the back.
+//
+//sched:noalloc
 func (s *RangeSlot) TakeFront(n int) (lo, hi int, ok bool) {
 	if n < 1 {
 		n = 1
@@ -102,6 +120,8 @@ func (s *RangeSlot) TakeFront(n int) (lo, hi int, ok bool) {
 // always keeps at least one iteration, so only the owner ever empties the
 // slot). Callable from any goroutine. A single successful CAS transfers
 // the half; there is no per-split deque traffic.
+//
+//sched:noalloc
 func (s *RangeSlot) StealHalf(min int) (lo, hi int, ok bool) {
 	return s.StealBack(min, 1, 2)
 }
@@ -115,6 +135,8 @@ func (s *RangeSlot) StealHalf(min int) (lo, hi int, ok bool) {
 // share rounds down, so take < h-l and l < mid < h always hold — the
 // owner keeps at least one iteration, preserving the invariant that only
 // the owner ever empties the slot. Callable from any goroutine.
+//
+//sched:noalloc
 func (s *RangeSlot) StealBack(min, num, den int) (lo, hi int, ok bool) {
 	for {
 		w := s.v.Load()
@@ -142,6 +164,8 @@ func (s *RangeSlot) StealBack(min, num, den int) (lo, hi int, ok bool) {
 // Remaining returns the number of unconsumed iterations at some recent
 // moment. Cheap (one load); used by owners to decide whether surplus
 // remains worth advertising and by thieves to skip empty slots.
+//
+//sched:noalloc
 func (s *RangeSlot) Remaining() int {
 	w := s.v.Load()
 	if w == 0 {
@@ -156,6 +180,8 @@ func (s *RangeSlot) Remaining() int {
 // stealable work. A thief racing with Reset either completed its CAS
 // first (and owns its half) or fails it (the word changed) — no interval
 // is ever handed out twice.
+//
+//sched:noalloc
 func (s *RangeSlot) Reset() { s.v.Store(0) }
 
 // Abandon atomically empties the slot and returns the range it held, or
@@ -165,6 +191,8 @@ func (s *RangeSlot) Reset() { s.v.Store(0) }
 // while a StealHalf whose CAS completed before the swap owns its half
 // exactly as usual — the returned range then reflects the post-steal
 // remainder, so no iteration is reported abandoned and stolen at once.
+//
+//sched:noalloc
 func (s *RangeSlot) Abandon() (lo, hi int, ok bool) {
 	w := s.v.Swap(0)
 	if w == 0 {

@@ -1,0 +1,376 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the intra-procedural control-flow core shared by the
+// dataflow-capable analyzers (lockorder's held-lock analysis; protocol
+// and noalloc reuse the constant-propagation half in constprop.go). It
+// deliberately implements only what a lint pass needs: basic blocks of
+// *leaf* nodes — simple statements and the condition/range expressions
+// of compound ones — connected by may-execute edges. Compound statements
+// (if/for/switch/select) never appear in a block themselves; their
+// pieces are distributed into the blocks that actually execute them, so
+// a transfer function can ast.Inspect every node of a block without
+// double-visiting a nested branch.
+//
+// Unsupported control flow degrades safely rather than wrongly: a goto
+// is modeled as an edge to the exit block (the repository has none; a
+// fixture that acquires a lock and gotos away simply isn't tracked past
+// the jump), and a call to the panic builtin terminates its path.
+
+// cfgBlock is one basic block. nodes holds leaf statements and
+// standalone expressions (an if condition, a range operand) in execution
+// order; succs are the possible successors.
+type cfgBlock struct {
+	index int
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+// funcCFG is the control-flow graph of one function body. Entry is the
+// first block executed; exit is a virtual block reached by every return,
+// every fall-off-the-end path, and every modeled panic.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock // all blocks, entry first, exit last
+}
+
+// buildCFG constructs the control-flow graph of body. The builder keeps
+// a current block; statements append to it, and compound statements
+// split it. A nil current block means the remaining statements of the
+// enclosing block are unreachable (after return/break/continue); they
+// are still parsed but contribute no nodes.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{cfg: &funcCFG{}}
+	b.cfg.entry = b.newBlock()
+	b.cfg.exit = &cfgBlock{}
+	b.cur = b.cfg.entry
+	b.stmtList(body.List)
+	if b.cur != nil { // fall off the end of the body
+		b.edge(b.cur, b.cfg.exit)
+	}
+	b.cfg.exit.index = len(b.cfg.blocks)
+	b.cfg.blocks = append(b.cfg.blocks, b.cfg.exit)
+	return b.cfg
+}
+
+type cfgBuilder struct {
+	cfg *funcCFG
+	cur *cfgBlock
+
+	// loop/switch context for break and continue, innermost last. The
+	// label (if any) the construct was declared under rides along so
+	// labeled branches resolve without a separate pass.
+	breaks    []branchTarget
+	continues []branchTarget
+
+	// pendingLabel is the label of a LabeledStmt whose statement is about
+	// to be built (so `outer: for {...}` registers its targets as outer).
+	pendingLabel string
+}
+
+type branchTarget struct {
+	label string
+	block *cfgBlock
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	nb := &cfgBlock{index: len(b.cfg.blocks)}
+	b.cfg.blocks = append(b.cfg.blocks, nb)
+	return nb
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+// add appends a leaf node to the current block (dropped if unreachable).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.nodes = append(b.cur.nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// findTarget resolves a break/continue to its block: the innermost
+// target when the branch is unlabeled, the matching label otherwise.
+func findTarget(stack []branchTarget, label string) *cfgBlock {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// isPanicCall reports whether s is a statement-level call to the panic
+// builtin, which terminates the path.
+func isPanicCall(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic" && id.Obj == nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = st.Label.Name
+		b.stmt(st.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(st)
+		if b.cur != nil {
+			b.edge(b.cur, b.cfg.exit)
+			b.cur = nil
+		}
+
+	case *ast.BranchStmt:
+		lbl := ""
+		if st.Label != nil {
+			lbl = st.Label.Name
+		}
+		switch st.Tok {
+		case token.BREAK:
+			if t := findTarget(b.breaks, lbl); t != nil && b.cur != nil {
+				b.edge(b.cur, t)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if t := findTarget(b.continues, lbl); t != nil && b.cur != nil {
+				b.edge(b.cur, t)
+			}
+			b.cur = nil
+		case token.GOTO:
+			// Conservative: the jump leaves the analyzed region.
+			if b.cur != nil {
+				b.edge(b.cur, b.cfg.exit)
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled structurally by the switch construction: the case
+			// body's current block falls into the next clause's block.
+		}
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.add(st.Init)
+		}
+		b.add(st.Cond)
+		if b.cur == nil {
+			return
+		}
+		head := b.cur
+		join := b.newBlock()
+		b.cur = b.newBlock()
+		b.edge(head, b.cur)
+		b.stmt(st.Body)
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+		if st.Else != nil {
+			b.cur = b.newBlock()
+			b.edge(head, b.cur)
+			b.stmt(st.Else)
+			if b.cur != nil {
+				b.edge(b.cur, join)
+			}
+		} else {
+			b.edge(head, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			b.add(st.Init)
+		}
+		if b.cur == nil {
+			return
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		if st.Cond != nil {
+			b.add(st.Cond)
+		}
+		join := b.newBlock()
+		post := b.newBlock()
+		if st.Cond != nil {
+			b.edge(head, join) // condition false
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.breaks = append(b.breaks, branchTarget{label, join})
+		b.continues = append(b.continues, branchTarget{label, post})
+		b.cur = body
+		b.stmt(st.Body)
+		if b.cur != nil {
+			b.edge(b.cur, post)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.cur = post
+		if st.Post != nil {
+			b.add(st.Post)
+		}
+		b.edge(post, head)
+		b.cur = join
+
+	case *ast.RangeStmt:
+		b.add(st.X)
+		if b.cur == nil {
+			return
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		join := b.newBlock()
+		b.edge(head, join) // range exhausted
+		body := b.newBlock()
+		b.edge(head, body)
+		b.breaks = append(b.breaks, branchTarget{label, join})
+		b.continues = append(b.continues, branchTarget{label, head})
+		b.cur = body
+		b.stmt(st.Body)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			b.add(st.Init)
+		}
+		if st.Tag != nil {
+			b.add(st.Tag)
+		}
+		b.switchClauses(st.Body.List, label, false)
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			b.add(st.Init)
+		}
+		b.add(st.Assign)
+		b.switchClauses(st.Body.List, label, false)
+
+	case *ast.SelectStmt:
+		b.switchClauses(st.Body.List, label, true)
+
+	case *ast.GoStmt, *ast.DeferStmt, *ast.ExprStmt, *ast.AssignStmt,
+		*ast.IncDecStmt, *ast.SendStmt, *ast.DeclStmt, *ast.EmptyStmt:
+		b.add(s)
+		if isPanicCall(s) {
+			if b.cur != nil {
+				b.edge(b.cur, b.cfg.exit)
+			}
+			b.cur = nil
+		}
+
+	default:
+		b.add(s)
+	}
+}
+
+// switchClauses builds the clause bodies of a switch/type-switch/select.
+// Each clause starts from the head; a clause without a terminating jump
+// falls to the join. A switch with no default clause may skip every
+// clause, so the head also edges to the join. comm marks a select, whose
+// clauses carry a communication statement instead of expressions. The
+// bodies of case clauses chain for fallthrough: clause i's current block
+// gets an edge to clause i+1's block when its last statement is a
+// fallthrough (Go restricts fallthrough to the final statement).
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, label string, comm bool) {
+	if b.cur == nil {
+		return
+	}
+	head := b.cur
+	join := b.newBlock()
+	b.breaks = append(b.breaks, branchTarget{label, join})
+	hasDefault := false
+	blocks := make([]*cfgBlock, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+	}
+	for i, c := range clauses {
+		b.cur = blocks[i]
+		var body []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				b.add(e)
+			}
+			body = cc.Body
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				b.add(cc.Comm)
+			}
+			body = cc.Body
+		}
+		fallsThrough := false
+		if !comm && len(body) > 0 {
+			if br, ok := body[len(body)-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+		}
+		b.stmtList(body)
+		if b.cur != nil {
+			if fallsThrough && i+1 < len(blocks) {
+				b.edge(b.cur, blocks[i+1])
+			} else {
+				b.edge(b.cur, join)
+			}
+		}
+	}
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = join
+}
+
+// inspectLeaf walks the leaf node n calling fn on every descendant,
+// pruning nested function literals: a closure's body executes at some
+// later call, not at this program point, so its effects (locks, atomic
+// transitions, allocations) belong to the closure, never to the block
+// that merely creates it.
+func inspectLeaf(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(x)
+	})
+}

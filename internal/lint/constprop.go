@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Lightweight constant propagation for the protocol analyzer. go/types
+// already folds untyped and declared constants (wParked, iota chains,
+// 1<<3 | 2); what it cannot fold is the common runtime idiom of staging
+// a transition argument through a local:
+//
+//	next := wNotified
+//	w.state.CompareAndSwap(wParking, next)
+//
+// constValueOf recovers exactly that case — a local variable assigned
+// precisely once in the enclosing function, from an expression that
+// itself folds to a constant — and nothing more. A variable written
+// twice, written through a pointer, or fed from a call stays
+// non-constant, which the protocol analyzer maps to the spec's dynamic
+// state (if declared) or a finding (if not).
+
+// constValueOf resolves expr to a constant value, using go/types
+// folding first and single-assignment local propagation second. fn is
+// the enclosing function body used to enumerate assignments; it may be
+// nil, which disables local propagation.
+func constValueOf(pkg *Package, fn *ast.BlockStmt, expr ast.Expr) (constant.Value, bool) {
+	return constValueRec(pkg, fn, expr, 0)
+}
+
+func constValueRec(pkg *Package, fn *ast.BlockStmt, expr ast.Expr, depth int) (constant.Value, bool) {
+	expr = ast.Unparen(expr)
+	if tv, ok := pkg.Info.Types[expr]; ok && tv.Value != nil {
+		return tv.Value, true
+	}
+	if depth > 4 { // defensive bound; real chains are one or two hops
+		return nil, false
+	}
+	id, ok := expr.(*ast.Ident)
+	if !ok || fn == nil {
+		return nil, false
+	}
+	obj, ok := pkg.Info.Uses[id].(*types.Var)
+	if !ok || obj.IsField() {
+		return nil, false
+	}
+	// Only locals of the enclosing function: the declaration must sit
+	// inside the body's extent.
+	if obj.Pos() < fn.Pos() || obj.Pos() >= fn.End() {
+		return nil, false
+	}
+	rhs, n := soleAssignment(pkg, fn, obj)
+	if n != 1 || rhs == nil {
+		return nil, false
+	}
+	return constValueRec(pkg, fn, rhs, depth+1)
+}
+
+// soleAssignment finds the expressions assigned to obj anywhere in fn
+// (including its nested closures — a closure write makes the variable
+// multi-assigned from this analysis' point of view) and returns the
+// single RHS if there is exactly one, along with the assignment count.
+// Address-taking counts as an assignment of unknown value.
+func soleAssignment(pkg *Package, fn *ast.BlockStmt, obj *types.Var) (ast.Expr, int) {
+	var rhs ast.Expr
+	count := 0
+	record := func(e ast.Expr) {
+		count++
+		rhs = e
+	}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if pkg.Info.Defs[id] == obj || pkg.Info.Uses[id] == obj {
+					if len(st.Lhs) == len(st.Rhs) {
+						record(st.Rhs[i])
+					} else {
+						record(nil) // multi-value: not propagatable
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range st.Names {
+				if pkg.Info.Defs[name] != obj {
+					continue
+				}
+				if i < len(st.Values) {
+					record(st.Values[i])
+				} else if len(st.Values) == 1 && len(st.Names) > 1 {
+					record(nil)
+				}
+				// `var x T` with no value: the zero value. Leave it
+				// unrecorded; a later assignment becomes the sole one.
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(st.X).(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+				record(nil)
+			}
+		case *ast.UnaryExpr:
+			if st.Op == token.AND {
+				if id, ok := ast.Unparen(st.X).(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+					record(nil) // escaped: anything may write it
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{st.Key, st.Value} {
+				if id, ok := e.(*ast.Ident); ok && (pkg.Info.Defs[id] == obj || pkg.Info.Uses[id] == obj) {
+					record(nil)
+				}
+			}
+		}
+		return true
+	})
+	return rhs, count
+}

@@ -26,13 +26,29 @@
 //   - metricsample: a word registered with the metrics registry's
 //     pointer-sampling collectors (metrics.SampleInt64) is read with
 //     sync/atomic at scrape time, so it must never be plainly written.
+//   - protocol: atomic fields annotated //sched:protocol carry a
+//     declared state machine; every CompareAndSwap/Store/Swap on the
+//     field, module-wide, must perform a declared transition between
+//     declared states (arguments are constant-folded through go/types
+//     and single-assignment locals).
+//   - noalloc: functions annotated //sched:noalloc must contain no
+//     allocating construct — escaping composite literals, make/append,
+//     map writes, string concatenation, value-to-interface boxing,
+//     capturing closures.
+//   - lockorder: the module-wide mutex-acquisition graph must be
+//     acyclic (a cycle is a potential deadlock), and every acquired
+//     lock must be released on every return path.
 //
 // Deliberate violations are annotated in the source with
 //
-//	//lint:ignore <analyzer> <reason>
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
 //
-// on the offending line or the line directly above it; the reason is
-// mandatory, so every suppression documents why the code is safe.
+// on the offending line or a directive line directly above it
+// (consecutive directive lines stack); the reason is mandatory, so
+// every suppression documents why the code is safe. The engine keeps
+// the suppressions honest in both directions: a directive naming an
+// analyzer that is not registered, and a directive that no longer
+// matches any finding (stale), are themselves findings.
 package lint
 
 import (
@@ -68,9 +84,12 @@ type Analyzer struct {
 var Analyzers = []*Analyzer{
 	AtomicMix,
 	CacheLine,
+	LockOrder,
 	LoopCapture,
 	LoopErr,
 	MetricSample,
+	NoAlloc,
+	Protocol,
 }
 
 // Context carries the loaded module through the analyzers and collects
@@ -101,11 +120,35 @@ func Run(ctx *Context, analyzers []*Analyzer) []Diagnostic {
 		a.Run(ctx)
 	}
 	ctx.current = nil
-	sup := collectSuppressions(ctx)
+	known := map[string]bool{"lint": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	sup := collectSuppressions(ctx, known)
 	kept := ctx.diags[:0]
 	for _, d := range ctx.diags {
 		if !sup.suppressed(d) {
 			kept = append(kept, d)
+		}
+	}
+	// Stale pass: every suppression must have earned its keep. A
+	// directive (or one name of a multi-analyzer directive) that removed
+	// no finding this run is dead weight at best and a masked regression
+	// at worst — the code it excused has changed, so the excuse must be
+	// re-justified or deleted.
+	for _, dir := range sup.all {
+		for _, name := range dir.analyzers {
+			if dir.used[name] {
+				continue
+			}
+			stale := Diagnostic{
+				Analyzer: "lint",
+				Pos:      dir.pos,
+				Message:  fmt.Sprintf("stale suppression: no %s finding matches this //lint:ignore; remove or re-justify it", name),
+			}
+			if !sup.suppressed(stale) {
+				kept = append(kept, stale)
+			}
 		}
 	}
 	sort.Slice(kept, func(i, j int) bool {
@@ -125,15 +168,30 @@ func Run(ctx *Context, analyzers []*Analyzer) []Diagnostic {
 	return kept
 }
 
-// suppressions maps (file, line) to the analyzer names ignored there.
-type suppressions map[string]map[int][]string
+// directive is one parsed //lint:ignore comment. used tracks, per
+// analyzer name, whether the directive suppressed at least one finding
+// this run — the input to the stale-suppression check.
+type directive struct {
+	pos       token.Position
+	analyzers []string
+	used      map[string]bool
+}
+
+// suppressions indexes the parsed directives by file and line.
+type suppressions struct {
+	byLine map[string]map[int][]*directive
+	all    []*directive
+}
 
 // collectSuppressions scans every file's comments for
-// //lint:ignore <analyzer> <reason> directives. A directive with no
-// reason is itself a finding: an undocumented suppression defeats the
-// point of requiring one.
-func collectSuppressions(ctx *Context) suppressions {
-	sup := suppressions{}
+// //lint:ignore <analyzer>[,<analyzer>...] <reason> directives. Three
+// malformations are themselves findings: a directive with no reason (an
+// undocumented suppression defeats the point of requiring one), an
+// empty name in the comma list, and a name that matches no analyzer in
+// this run (a typo there silently un-suppresses nothing and suppresses
+// nothing — loud is the only safe behavior).
+func collectSuppressions(ctx *Context, known map[string]bool) *suppressions {
+	sup := &suppressions{byLine: map[string]map[int][]*directive{}}
 	for _, pkg := range ctx.Pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
@@ -153,12 +211,33 @@ func collectSuppressions(ctx *Context) suppressions {
 						})
 						continue
 					}
-					byLine := sup[pos.Filename]
-					if byLine == nil {
-						byLine = map[int][]string{}
-						sup[pos.Filename] = byLine
+					dir := &directive{pos: pos, used: map[string]bool{}}
+					for _, name := range strings.Split(fields[1], ",") {
+						if name == "" {
+							ctx.diags = append(ctx.diags, Diagnostic{
+								Analyzer: "lint",
+								Pos:      pos,
+								Message:  "malformed directive: empty analyzer name in //lint:ignore list",
+							})
+							continue
+						}
+						if !known[name] {
+							ctx.diags = append(ctx.diags, Diagnostic{
+								Analyzer: "lint",
+								Pos:      pos,
+								Message:  fmt.Sprintf("unknown analyzer %q in //lint:ignore (run `schedlint -list` for the registered names)", name),
+							})
+							continue
+						}
+						dir.analyzers = append(dir.analyzers, name)
 					}
-					byLine[pos.Line] = append(byLine[pos.Line], fields[1])
+					byLine := sup.byLine[pos.Filename]
+					if byLine == nil {
+						byLine = map[int][]*directive{}
+						sup.byLine[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], dir)
+					sup.all = append(sup.all, dir)
 				}
 			}
 		}
@@ -166,18 +245,33 @@ func collectSuppressions(ctx *Context) suppressions {
 	return sup
 }
 
-// suppressed reports whether a matching ignore directive sits on the
-// diagnostic's line or the line directly above it.
-func (s suppressions) suppressed(d Diagnostic) bool {
-	byLine := s[d.Pos.Filename]
+// suppressed reports whether a matching ignore directive covers the
+// diagnostic: on its own line, or on the directive line(s) directly
+// above it — consecutive directive lines stack, so several analyzers
+// can be suppressed above one statement without sharing a line.
+// Matching marks the directive used for the stale check.
+func (s *suppressions) suppressed(d Diagnostic) bool {
+	byLine := s.byLine[d.Pos.Filename]
 	if byLine == nil {
 		return false
 	}
-	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		for _, name := range byLine[line] {
-			if name == d.Analyzer {
-				return true
+	match := func(line int) bool {
+		for _, dir := range byLine[line] {
+			for _, name := range dir.analyzers {
+				if name == d.Analyzer {
+					dir.used[name] = true
+					return true
+				}
 			}
+		}
+		return false
+	}
+	if match(d.Pos.Line) {
+		return true
+	}
+	for line := d.Pos.Line - 1; len(byLine[line]) > 0; line-- {
+		if match(line) {
+			return true
 		}
 	}
 	return false

@@ -21,7 +21,7 @@ var update = flag.Bool("update", false, "rewrite the golden files under testdata
 //
 // Regenerate with: go test ./internal/lint -run TestGolden -update
 func TestGolden(t *testing.T) {
-	fixtures := []string{"atomicmix", "cacheline", "loopcapture", "looperr", "metricsample", "suppress"}
+	fixtures := []string{"atomicmix", "cacheline", "lockorder", "loopcapture", "looperr", "metricsample", "noalloc", "protocol", "suppress"}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
 			root := moduleRoot(t)
@@ -66,7 +66,7 @@ func TestGolden(t *testing.T) {
 // analyzer went blind, which a pure golden comparison would happily
 // pin as the new expected output via -update.
 func TestGoldenHasFindings(t *testing.T) {
-	for _, name := range []string{"atomicmix", "cacheline", "loopcapture", "looperr", "metricsample", "suppress"} {
+	for _, name := range []string{"atomicmix", "cacheline", "lockorder", "loopcapture", "looperr", "metricsample", "noalloc", "protocol", "suppress"} {
 		data, err := os.ReadFile(filepath.Join("testdata", "golden", name+".txt"))
 		if err != nil {
 			t.Fatalf("reading golden for %s: %v", name, err)
@@ -96,6 +96,89 @@ func TestRepoIsClean(t *testing.T) {
 	diags := Run(ctx, Analyzers)
 	for _, d := range diags {
 		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestLoadFailureIsLoud pins the loader's failure mode: a package that
+// does not compile must fail the whole run with a diagnostic naming the
+// problem — never silently shrink the analyzed set, which would turn
+// "the linter saw nothing" into "the linter saw nothing it could load".
+func TestLoadFailureIsLoud(t *testing.T) {
+	_, err := Load(moduleRoot(t), []string{"./internal/lint/testdata/src/broken"}, false)
+	if err == nil {
+		t.Fatal("Load succeeded on a package that does not type-check")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "refusing to analyze a reduced set") {
+		t.Errorf("error does not state the refusal policy: %v", err)
+	}
+	if !strings.Contains(msg, "broken.go") {
+		t.Errorf("error does not name the offending file: %v", err)
+	}
+}
+
+// TestSuppressionEdgeCases spells out the engine behaviors the suppress
+// golden file pins implicitly, so a regression names the broken rule
+// instead of showing a wall of golden diff.
+func TestSuppressionEdgeCases(t *testing.T) {
+	ctx, err := Load(moduleRoot(t), []string{"./internal/lint/testdata/src/suppress"}, false)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	var got []string
+	for _, d := range Run(ctx, Analyzers) {
+		got = append(got, fmt.Sprintf("%s: %s", d.Analyzer, d.Message))
+	}
+	all := strings.Join(got, "\n")
+
+	contains := func(what, substr string) {
+		t.Helper()
+		if !strings.Contains(all, substr) {
+			t.Errorf("no %s finding (want substring %q) in:\n%s", what, substr, all)
+		}
+	}
+	contains("unknown-analyzer", `unknown analyzer "nosuchanalyzer"`)
+	contains("stale-suppression", "stale suppression")
+	// The wrong-analyzer directive must not have eaten the cacheline
+	// finding on the mismatch type.
+	contains("surviving cacheline", "cacheline: ")
+
+	// Per-name bookkeeping: the used cacheline name in the comma list
+	// must NOT be stale, so exactly the two unused names (the mismatch
+	// atomicmix and the stacked/comma looperr directives) plus nothing
+	// else may go stale.
+	stale := 0
+	for _, g := range got {
+		if strings.Contains(g, "stale suppression") {
+			stale++
+		}
+	}
+	if stale != 3 {
+		t.Errorf("want exactly 3 stale-suppression findings (atomicmix mismatch, comma-list looperr, stacked looperr), got %d in:\n%s", stale, all)
+	}
+}
+
+// TestProtodocInSync guards the generated section of DESIGN.md: the
+// committed tables must match what schedlint -protodoc would write for
+// the current source, or the docs describe a protocol nobody runs.
+func TestProtodocInSync(t *testing.T) {
+	root := moduleRoot(t)
+	ctx, err := Load(root, []string{"./..."}, false)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	section := ProtocolDoc(ctx)
+	design := filepath.Join(root, "DESIGN.md")
+	content, err := os.ReadFile(design)
+	if err != nil {
+		t.Fatalf("reading DESIGN.md: %v", err)
+	}
+	want, err := SpliceProtocolDoc(string(content), section)
+	if err != nil {
+		t.Fatalf("splicing: %v", err)
+	}
+	if string(content) != want {
+		t.Error("DESIGN.md protocol tables are out of date: run `go run ./cmd/schedlint -protodoc DESIGN.md ./...`")
 	}
 }
 

@@ -45,6 +45,13 @@ type listedPackage struct {
 // stdlib source importer, so the loader needs nothing outside the
 // standard library and the go tool already on PATH. includeTests adds
 // each package's in-package _test.go files to the check.
+//
+// Failures are loud and complete: a package that fails go list,
+// parsing, or type-checking does not silently drop out of the analyzed
+// set — every broken package's diagnostics are aggregated into the
+// returned error, and no Context is returned. Analyzing a reduced
+// package set would report "clean" for code that was never looked at,
+// which is worse than failing.
 func Load(dir string, patterns []string, includeTests bool) (*Context, error) {
 	listed, err := goList(dir, patterns)
 	if err != nil {
@@ -56,9 +63,14 @@ func Load(dir string, patterns []string, includeTests bool) (*Context, error) {
 	imp := importer.ForCompiler(fset, "source", nil)
 	sizes := types.SizesFor("gc", runtime.GOARCH)
 	ctx := &Context{Fset: fset}
+	var broken []string
+	fail := func(format string, args ...any) {
+		broken = append(broken, fmt.Sprintf(format, args...))
+	}
 	for _, lp := range listed {
 		if lp.Error != nil {
-			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+			fail("%s: %s", lp.ImportPath, strings.TrimSpace(lp.Error.Err))
+			continue
 		}
 		names := append([]string{}, lp.GoFiles...)
 		names = append(names, lp.CgoFiles...)
@@ -69,12 +81,18 @@ func Load(dir string, patterns []string, includeTests bool) (*Context, error) {
 			continue
 		}
 		var files []*ast.File
+		parseFailed := false
 		for _, name := range names {
 			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
 			if err != nil {
-				return nil, err
+				fail("%v", err)
+				parseFailed = true
+				continue
 			}
 			files = append(files, f)
+		}
+		if parseFailed {
+			continue
 		}
 		info := &types.Info{
 			Types:      map[ast.Expr]types.TypeAndValue{},
@@ -92,7 +110,10 @@ func Load(dir string, patterns []string, includeTests bool) (*Context, error) {
 		}
 		tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
 		if len(typeErrs) > 0 {
-			return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, typeErrs[0])
+			for _, te := range typeErrs {
+				fail("type-checking %s: %v", lp.ImportPath, te)
+			}
+			continue
 		}
 		ctx.Pkgs = append(ctx.Pkgs, &Package{
 			PkgPath: lp.ImportPath,
@@ -103,12 +124,19 @@ func Load(dir string, patterns []string, includeTests bool) (*Context, error) {
 			Sizes:   sizes,
 		})
 	}
+	if len(broken) > 0 {
+		return nil, fmt.Errorf("%d package(s) failed to load; refusing to analyze a reduced set:\n\t%s",
+			len(broken), strings.Join(broken, "\n\t"))
+	}
 	return ctx, nil
 }
 
 // goList expands patterns into package metadata via the go tool.
 func goList(dir string, patterns []string) ([]*listedPackage, error) {
-	args := append([]string{"list", "-json", "--"}, patterns...)
+	// -e keeps broken packages in the output with their Error field set
+	// instead of aborting the listing: Load aggregates and reports every
+	// broken package rather than whichever one go list hit first.
+	args := append([]string{"list", "-e", "-json", "--"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer

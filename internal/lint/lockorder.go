@@ -1,0 +1,565 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the module-wide mutex-acquisition graph and reports
+// order cycles — the static shadow of a deadlock — plus locks that may
+// not be released on every return path. Lock identity is the mutex
+// *declaration* (the struct field or package-level var), not the
+// instance: "injectMu is taken before loopsMu" is a property of the
+// code, and one pair of functions disagreeing about the order is a
+// deadlock waiting for the scheduler to interleave them.
+//
+// The analysis runs the shared CFG (cfg.go) with a may-held dataflow:
+// Lock/RLock/TryLock add the class to the held set, Unlock/RUnlock
+// remove it, joins union. While a class is held, acquiring another adds
+// an order edge; calling a module function adds edges to every class
+// that callee may transitively acquire (a fixpoint over the call
+// graph). Deferred unlocks — including those inside deferred closures —
+// count as releases on every return path. Calls through interfaces,
+// function values, and closures are not resolved; a lock handed across
+// such a boundary needs a //lint:ignore lockorder <reason> where the
+// analyzer misjudges it.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "reports mutex acquisition-order cycles and locks not released on every return path",
+	Run:  runLockOrder,
+}
+
+// lockEvent is one lock-relevant action inside a basic block, in
+// program order: an acquisition or release of a lock class, or a call
+// to a (resolvable) module function.
+type lockEvent struct {
+	kind   int // evAcquire, evRelease, evCall
+	key    string
+	name   string
+	callee string // evCall: funcKey of the callee
+	cname  string // evCall: display name
+	pos    token.Pos
+}
+
+const (
+	evAcquire = iota
+	evRelease
+	evCall
+)
+
+// lockEdge is one observed ordering: to was acquired while from was
+// held, at pos (via desc, for call-mediated edges).
+type lockEdge struct {
+	from, to         string
+	fromName, toName string
+	pos              token.Position
+	desc             string
+}
+
+type lockFunc struct {
+	pkg  *Package
+	key  string // funcKey; "" for function literals
+	name string // display name for messages
+	body *ast.BlockStmt
+	decl *ast.FuncDecl // nil for literals
+	pos  token.Pos
+}
+
+func runLockOrder(ctx *Context) {
+	fns := collectLockFuncs(ctx)
+
+	// Interprocedural fixpoint: the set of lock classes each named
+	// function may acquire, directly or through its callees. Monotone
+	// (sets only grow), so iterate until stable.
+	direct := map[string]map[string]string{} // funcKey -> lockKey -> name
+	calls := map[string]map[string]bool{}    // funcKey -> callee funcKeys
+	events := map[*lockFunc][]blockEvents{}
+	for _, fn := range fns {
+		evs := lockEventsOf(ctx, fn)
+		events[fn] = evs
+		if fn.key == "" {
+			continue
+		}
+		d := map[string]string{}
+		c := map[string]bool{}
+		for _, be := range evs {
+			for _, e := range be.events {
+				switch e.kind {
+				case evAcquire:
+					d[e.key] = e.name
+				case evCall:
+					c[e.callee] = true
+				}
+			}
+		}
+		direct[fn.key] = d
+		calls[fn.key] = c
+	}
+	summary := map[string]map[string]string{}
+	for k, d := range direct {
+		s := map[string]string{}
+		for lk, n := range d {
+			s[lk] = n
+		}
+		summary[k] = s
+	}
+	for changed := true; changed; {
+		changed = false
+		for k := range summary {
+			for callee := range calls[k] {
+				for lk, n := range summary[callee] {
+					if _, ok := summary[k][lk]; !ok {
+						summary[k][lk] = n
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Per-function dataflow: compute may-held sets, then replay each
+	// block once for reporting and edge collection.
+	var edges []lockEdge
+	for _, fn := range fns {
+		edges = append(edges, analyzeLockFunc(ctx, fn, events[fn], summary)...)
+	}
+	reportLockCycles(ctx, edges)
+}
+
+// blockEvents pairs a CFG block with its extracted lock events and
+// whether the block ends in a panic (its exit edge is a crash, not a
+// return, so held locks there are not a release leak).
+type blockEvents struct {
+	block  *cfgBlock
+	events []lockEvent
+	panics bool
+	ret    *ast.ReturnStmt // last node if a return
+}
+
+func collectLockFuncs(ctx *Context) []*lockFunc {
+	var fns []*lockFunc
+	for _, pkg := range ctx.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				name := fd.Name.Name
+				key := ""
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					name = funcDisplay(obj)
+					key = ctx.Fset.Position(obj.Pos()).String()
+				}
+				fns = append(fns, &lockFunc{pkg: pkg, key: key, name: name, body: fd.Body, decl: fd, pos: fd.Pos()})
+				// Function literals are analyzed as their own frames: their
+				// bodies run at some later call site, with their own
+				// lock/unlock balance. They stay out of the interprocedural
+				// summaries (no caller can be resolved to them).
+				parent := name
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						fns = append(fns, &lockFunc{
+							pkg:  pkg,
+							name: "func literal in " + parent,
+							body: lit.Body,
+							pos:  lit.Pos(),
+						})
+					}
+					return true
+				})
+			}
+		}
+	}
+	return fns
+}
+
+// lockEventsOf builds the CFG and extracts per-block lock events.
+func lockEventsOf(ctx *Context, fn *lockFunc) []blockEvents {
+	cfg := buildCFG(fn.body)
+	out := make([]blockEvents, len(cfg.blocks))
+	for i, b := range cfg.blocks {
+		be := blockEvents{block: b}
+		for _, n := range b.nodes {
+			if st, ok := n.(ast.Stmt); ok && isPanicCall(st) {
+				be.panics = true
+			} else {
+				be.panics = false
+			}
+			if r, ok := n.(*ast.ReturnStmt); ok {
+				be.ret = r
+			} else {
+				be.ret = nil
+			}
+			inspectLeaf(n, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if e, ok := lockCallEvent(ctx, fn.pkg, call); ok {
+					be.events = append(be.events, e)
+					return true
+				}
+				if cf := calleeFunc(fn.pkg, call); cf != nil {
+					be.events = append(be.events, lockEvent{
+						kind:   evCall,
+						callee: ctx.Fset.Position(cf.Pos()).String(),
+						cname:  funcDisplay(cf),
+						pos:    call.Pos(),
+					})
+				}
+				return true
+			})
+		}
+		out[i] = be
+	}
+	return out
+}
+
+// lockCallEvent classifies call as a lock operation on a trackable
+// class: a sync.Mutex/RWMutex method whose receiver resolves to a
+// struct field or package-level variable.
+func lockCallEvent(ctx *Context, pkg *Package, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockEvent{}, false
+	}
+	var kind int
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		kind = evAcquire
+	case "Unlock", "RUnlock":
+		kind = evRelease
+	default:
+		return lockEvent{}, false
+	}
+	v := protoFieldOperand(pkg, sel.X)
+	if v == nil || !trackable(pkg, v) {
+		return lockEvent{}, false
+	}
+	return lockEvent{
+		kind: kind,
+		key:  ctx.Fset.Position(v.Pos()).String(),
+		name: displayName(pkg, ast.Unparen(sel.X), v),
+		pos:  call.Pos(),
+	}, true
+}
+
+// analyzeLockFunc runs the may-held dataflow over one function and
+// reports release leaks and recursive acquisitions; it returns the
+// order edges observed.
+func analyzeLockFunc(ctx *Context, fn *lockFunc, evs []blockEvents, summary map[string]map[string]string) []lockEdge {
+	if len(evs) == 0 {
+		return nil
+	}
+	// Deferred releases: every lock class unlocked by a defer statement
+	// (directly or inside a deferred closure) anywhere in the function.
+	// May-analysis keeps this function-wide: a conditional defer still
+	// releases on the paths that matter, and the cost of the
+	// approximation is a missed leak, never a false one.
+	deferred := map[string]bool{}
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		scan := ast.Node(ds.Call)
+		if lit, ok := ds.Call.Fun.(*ast.FuncLit); ok {
+			scan = lit.Body
+		}
+		ast.Inspect(scan, func(x ast.Node) bool {
+			if call, ok := x.(*ast.CallExpr); ok {
+				if e, ok := lockCallEvent(ctx, fn.pkg, call); ok && e.kind == evRelease {
+					deferred[e.key] = true
+				}
+			}
+			return true
+		})
+		return true
+	})
+
+	// Fixpoint: in[b] = union of out[preds]; out = transfer(in).
+	n := len(evs)
+	preds := make([][]int, n)
+	for i, be := range evs {
+		for _, s := range be.block.succs {
+			preds[s.index] = append(preds[s.index], i)
+		}
+	}
+	in := make([]map[string]token.Pos, n)
+	outs := make([]map[string]token.Pos, n)
+	for i := range in {
+		in[i] = map[string]token.Pos{}
+	}
+	transfer := func(i int) map[string]token.Pos {
+		cur := map[string]token.Pos{}
+		for k, p := range in[i] {
+			cur[k] = p
+		}
+		for _, e := range evs[i].events {
+			switch e.kind {
+			case evAcquire:
+				if _, held := cur[e.key]; !held {
+					cur[e.key] = e.pos
+				}
+			case evRelease:
+				delete(cur, e.key)
+			}
+		}
+		return cur
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			merged := map[string]token.Pos{}
+			for _, p := range preds[i] {
+				if outs[p] == nil {
+					continue
+				}
+				for k, pos := range outs[p] {
+					if old, ok := merged[k]; !ok || pos < old {
+						merged[k] = pos
+					}
+				}
+			}
+			if i == 0 { // entry keeps its (empty) boundary state
+				merged = map[string]token.Pos{}
+			}
+			grew := len(merged) != len(in[i])
+			if !grew {
+				for k := range merged {
+					if _, ok := in[i][k]; !ok {
+						grew = true
+						break
+					}
+				}
+			}
+			in[i] = merged
+			nout := transfer(i)
+			if outs[i] == nil || len(nout) != len(outs[i]) {
+				changed = true
+			} else {
+				for k := range nout {
+					if _, ok := outs[i][k]; !ok {
+						changed = true
+						break
+					}
+				}
+			}
+			outs[i] = nout
+		}
+	}
+
+	// Reporting replay.
+	var edges []lockEdge
+	names := map[string]string{}
+	reportedLeak := map[string]bool{}
+	reportedRec := map[string]bool{}
+	exitIdx := n - 1
+	for i, be := range evs {
+		cur := map[string]token.Pos{}
+		for k, p := range in[i] {
+			cur[k] = p
+		}
+		for _, e := range be.events {
+			switch e.kind {
+			case evAcquire:
+				names[e.key] = e.name
+				if _, held := cur[e.key]; held {
+					if !reportedRec[e.key] {
+						reportedRec[e.key] = true
+						ctx.Reportf(e.pos, "%s acquired in %s while it may already be held (acquired at %s): recursive locking self-deadlocks",
+							e.name, fn.name, ctx.Fset.Position(cur[e.key]))
+					}
+				} else {
+					for held := range cur {
+						edges = append(edges, lockEdge{
+							from: held, to: e.key,
+							fromName: names[held], toName: e.name,
+							pos:  ctx.Fset.Position(e.pos),
+							desc: "in " + fn.name,
+						})
+					}
+					cur[e.key] = e.pos
+				}
+			case evRelease:
+				delete(cur, e.key)
+			case evCall:
+				acq := summary[e.callee]
+				if len(acq) == 0 || len(cur) == 0 {
+					continue
+				}
+				for held := range cur {
+					for lk, ln := range acq {
+						names[lk] = ln
+						if lk == held {
+							if !reportedRec[lk] {
+								reportedRec[lk] = true
+								ctx.Reportf(e.pos, "%s held in %s across a call to %s, which may acquire it again: recursive locking self-deadlocks",
+									names[lk], fn.name, e.cname)
+							}
+							continue
+						}
+						edges = append(edges, lockEdge{
+							from: held, to: lk,
+							fromName: names[held], toName: ln,
+							pos:  ctx.Fset.Position(e.pos),
+							desc: fmt.Sprintf("in %s via call to %s", fn.name, e.cname),
+						})
+					}
+				}
+			}
+		}
+		// Release-leak check at blocks flowing into the virtual exit:
+		// anything still held that no defer releases may leak out of the
+		// function on some path. Panic-terminated blocks are crashes, not
+		// returns.
+		flowsToExit := false
+		for _, s := range be.block.succs {
+			if s.index == exitIdx {
+				flowsToExit = true
+			}
+		}
+		if !flowsToExit || be.panics {
+			continue
+		}
+		leakKeys := make([]string, 0, len(cur))
+		for k := range cur {
+			if !deferred[k] {
+				leakKeys = append(leakKeys, k)
+			}
+		}
+		sort.Strings(leakKeys)
+		for _, k := range leakKeys {
+			if reportedLeak[k] {
+				continue
+			}
+			reportedLeak[k] = true
+			ctx.Reportf(cur[k], "%s acquired in %s may not be released on every return path",
+				names[k], fn.name)
+		}
+	}
+	return edges
+}
+
+// reportLockCycles finds strongly connected components in the order
+// graph and reports each cycle once, at its earliest edge.
+func reportLockCycles(ctx *Context, edges []lockEdge) {
+	adj := map[string]map[string]*lockEdge{}
+	nodes := map[string]bool{}
+	for i := range edges {
+		e := &edges[i]
+		if e.from == e.to {
+			continue // self-edges were reported as recursive acquisition
+		}
+		nodes[e.from], nodes[e.to] = true, true
+		m := adj[e.from]
+		if m == nil {
+			m = map[string]*lockEdge{}
+			adj[e.from] = m
+		}
+		if old, ok := m[e.to]; !ok || posLess(e.pos, old.pos) {
+			m[e.to] = e
+		}
+	}
+	keys := make([]string, 0, len(nodes))
+	for k := range nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// Tarjan's SCC, iterative over the sorted node list for determinism.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		targets := make([]string, 0, len(adj[v]))
+		for t := range adj[v] {
+			targets = append(targets, t)
+		}
+		sort.Strings(targets)
+		for _, w := range targets {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	for _, k := range keys {
+		if _, seen := index[k]; !seen {
+			strongconnect(k)
+		}
+	}
+
+	for _, comp := range sccs {
+		in := map[string]bool{}
+		for _, k := range comp {
+			in[k] = true
+		}
+		var cycleEdges []*lockEdge
+		for _, from := range comp {
+			for to, e := range adj[from] {
+				if in[to] {
+					cycleEdges = append(cycleEdges, e)
+				}
+			}
+		}
+		sort.Slice(cycleEdges, func(i, j int) bool { return posLess(cycleEdges[i].pos, cycleEdges[j].pos) })
+		var parts []string
+		for _, e := range cycleEdges {
+			parts = append(parts, fmt.Sprintf("%s -> %s (%s at %s)", e.fromName, e.toName, e.desc, e.pos))
+		}
+		first := cycleEdges[0]
+		ctx.diags = append(ctx.diags, Diagnostic{
+			Analyzer: "lockorder",
+			Pos:      first.pos,
+			Message:  "lock-order cycle (potential deadlock): " + strings.Join(parts, "; "),
+		})
+	}
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}

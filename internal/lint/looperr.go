@@ -15,7 +15,7 @@ import (
 // discard the result by construction and are flagged too.
 var LoopErr = &Analyzer{
 	Name: "looperr",
-	Doc:  "flags ignored error results of ForErr/ForEachErr/ForCtx",
+	Doc:  "flags ignored error results of ForErr/ForEachErr/ForCtx/TryFor",
 	Run:  runLoopErr,
 }
 
@@ -25,6 +25,9 @@ var fallibleLoops = map[string]bool{
 	"(*hybridloop.Pool).ForErr":     true,
 	"(*hybridloop.Pool).ForEachErr": true,
 	"(*hybridloop.Pool).ForCtx":     true,
+	// TryFor's error is the admission verdict: dropping it turns "the
+	// gate rejected this loop, nothing ran" into "the loop completed".
+	"(*hybridloop.Pool).TryFor": true,
 }
 
 func runLoopErr(ctx *Context) {

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Markers delimiting the generated protocol section in DESIGN.md.
+// Everything between them is owned by `schedlint -protodoc`; hand edits
+// there are overwritten.
+const (
+	ProtoDocBegin = "<!-- BEGIN GENERATED: protocol-tables (schedlint -protodoc) -->"
+	ProtoDocEnd   = "<!-- END GENERATED: protocol-tables -->"
+)
+
+// ProtocolDoc renders the declared protocols and their observed atomic
+// operations as the markdown section DESIGN.md embeds. The tables are
+// generated from the same spec parse and op resolution the protocol
+// analyzer checks against, so the documentation cannot drift from what
+// is enforced. Observed operations are attributed to their enclosing
+// functions, not line numbers, so the section stays stable under
+// unrelated edits.
+func ProtocolDoc(ctx *Context) string {
+	specs := collectProtocolSpecs(ctx, false)
+	ops := resolveProtocolOps(ctx, specs, false)
+
+	ordered := make([]*protoSpec, 0, len(specs))
+	for _, sp := range specs {
+		ordered = append(ordered, sp)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].name < ordered[j].name })
+
+	// transition -> sorted unique "Kind in fn" attributions; plus the
+	// read-only observers per spec.
+	type transKey struct {
+		spec     *protoSpec
+		from, to string
+	}
+	attrib := map[transKey]map[string]bool{}
+	loads := map[*protoSpec]map[string]bool{}
+	for _, op := range ops {
+		if op.kind == "Load" {
+			if loads[op.spec] == nil {
+				loads[op.spec] = map[string]bool{}
+			}
+			loads[op.spec][op.fn] = true
+			continue
+		}
+		from := op.from
+		if from == "" {
+			from = "any"
+		}
+		k := transKey{op.spec, from, op.to}
+		if attrib[k] == nil {
+			attrib[k] = map[string]bool{}
+		}
+		attrib[k][fmt.Sprintf("`%s` in `%s`", op.kind, op.fn)] = true
+	}
+	sortedSet := func(m map[string]bool) []string {
+		out := make([]string, 0, len(m))
+		for s := range m {
+			out = append(out, s)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	var b strings.Builder
+	b.WriteString(ProtoDocBegin + "\n\n")
+	for _, sp := range ordered {
+		fmt.Fprintf(&b, "#### Protocol `%s` — `%s`\n\n", sp.name, sp.fieldName)
+		b.WriteString("| state | value |\n|---|---|\n")
+		for _, st := range sp.states {
+			fmt.Fprintf(&b, "| %s | `%s` |\n", st.name, st.raw)
+		}
+		b.WriteString("\n| transition | performed by |\n|---|---|\n")
+		// Declared transitions first, in declaration order; any observed
+		// `any ->` op not literally declared rides under its `any` row.
+		for _, tr := range sp.transList {
+			who := sortedSet(attrib[transKey{sp, tr[0], tr[1]}])
+			cell := "—"
+			if len(who) > 0 {
+				cell = strings.Join(who, ", ")
+			}
+			fmt.Fprintf(&b, "| %s → %s | %s |\n", tr[0], tr[1], cell)
+		}
+		if obs := sortedSet(loads[sp]); len(obs) > 0 {
+			fmt.Fprintf(&b, "\nRead-only observers (`Load`): %s.\n", strings.Join(obs, ", "))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString(ProtoDocEnd + "\n")
+	return b.String()
+}
+
+// SpliceProtocolDoc replaces the marked generated section inside a
+// DESIGN.md body with the given section, returning the new content. An
+// error means the markers are missing or out of order — the document
+// has no slot for the generated tables.
+func SpliceProtocolDoc(content, section string) (string, error) {
+	begin := strings.Index(content, ProtoDocBegin)
+	end := strings.Index(content, ProtoDocEnd)
+	if begin < 0 || end < 0 || end < begin {
+		return "", fmt.Errorf("missing or misordered %q / %q markers", ProtoDocBegin, ProtoDocEnd)
+	}
+	rest := strings.TrimPrefix(content[end+len(ProtoDocEnd):], "\n")
+	return content[:begin] + section + rest, nil
+}

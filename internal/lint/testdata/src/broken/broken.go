@@ -1,0 +1,8 @@
+// Package broken deliberately fails to type-check: the loader test
+// asserts that Load refuses to analyze a reduced package set and says
+// why, instead of silently dropping this package.
+package broken
+
+func oops() int {
+	return "not an int"
+}

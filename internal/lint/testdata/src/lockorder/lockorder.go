@@ -1,0 +1,88 @@
+// Package lockorder is the golden-file fixture for the lockorder
+// analyzer: an A->B / B->A ordering disagreement (reported once as a
+// cycle), a conditional return that leaks a lock, recursive
+// acquisition both directly and through a callee, and a deliberate
+// lock handoff under suppression.
+package lockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+func lockAB() { // establishes muA -> muB
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func lockBA() { // want: cycle with lockAB, reported at the earlier edge
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+func lockA() {
+	muA.Lock()
+	muA.Unlock()
+}
+
+func heldAcrossCall() { // want: muA held across a call that reacquires it
+	muA.Lock()
+	lockA()
+	muA.Unlock()
+}
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *box) leak(cond bool) { // want: not released on the early return
+	b.mu.Lock()
+	if cond {
+		return
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) deferred() int { // deferred unlock covers every path
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.n > 0 {
+		return b.n
+	}
+	return 0
+}
+
+func (b *box) deferredClosure() { // unlock inside a deferred closure counts
+	b.mu.Lock()
+	defer func() {
+		b.n++
+		b.mu.Unlock()
+	}()
+}
+
+func (b *box) recursive() { // want: second Lock self-deadlocks
+	b.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func (b *box) panics() { // a panic exit is a crash, not a leaked return
+	b.mu.Lock()
+	if b.n < 0 {
+		panic("negative")
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) handoff() {
+	//lint:ignore lockorder the lock is handed to the caller by contract
+	b.mu.Lock()
+}

@@ -32,6 +32,12 @@ func consumed(p *hybridloop.Pool, ctx context.Context, n int) error {
 	return err
 }
 
+func admission(p *hybridloop.Pool, n int) error {
+	p.TryFor(0, n, func(lo, hi int) {}) // want: the admission verdict is lost
+	// Consumed: rejection and completion stay distinguishable.
+	return p.TryFor(0, n, func(lo, hi int) {})
+}
+
 func suppressed(p *hybridloop.Pool, n int) {
 	//lint:ignore looperr error path exercised separately in tests
 	p.ForErr(0, n, func(lo, hi int) error { return nil })

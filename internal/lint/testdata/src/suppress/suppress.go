@@ -1,7 +1,9 @@
-// Package suppress exercises the suppression engine itself: a
-// malformed directive (missing the mandatory reason) is reported as a
-// finding, and a directive naming the wrong analyzer does not suppress
-// anything.
+// Package suppress exercises the suppression engine itself: malformed
+// and unknown-analyzer directives are reported as findings, a directive
+// naming the wrong analyzer does not suppress anything (and is reported
+// stale), a comma list binds several analyzers to one line with
+// per-name staleness, and stacked directive lines are transparent — a
+// directive reaches past other directives to the code below.
 package suppress
 
 import "sync/atomic"
@@ -9,12 +11,47 @@ import "sync/atomic"
 //lint:ignore cacheline
 // ^ malformed: no reason given; want a "lint" diagnostic.
 
-// mismatch stays flagged: the directive below names the wrong analyzer.
+// mismatch stays flagged: the directive below names the wrong analyzer,
+// which also makes the directive itself stale.
 //
 //sched:cacheline
 //lint:ignore atomicmix wrong analyzer name, must not suppress
-type mismatch struct { // want: cacheline finding survives
+type mismatch struct { // want: cacheline finding survives + stale directive
+	v atomic.Uint32
+}
+
+// unknownName stays flagged too, and the typoed analyzer name is its
+// own finding — a misspelled suppression must not fail silently.
+//
+//sched:cacheline
+//lint:ignore nosuchanalyzer typo in the analyzer name
+type unknownName struct { // want: cacheline survives + unknown analyzer
+	v atomic.Uint32
+}
+
+// commaList: one directive, two analyzers. cacheline is used by the
+// finding below; looperr matches nothing and is reported stale —
+// staleness is tracked per name, not per directive.
+//
+//sched:cacheline
+//lint:ignore cacheline,looperr alignment is a non-goal in this fixture
+type commaList struct {
+	v atomic.Uint32
+}
+
+// stacked: consecutive directive lines are transparent, so the first
+// directive still binds to the type declaration two lines down and
+// suppresses its cacheline finding; the second matches nothing and is
+// reported stale.
+//
+//sched:cacheline
+//lint:ignore cacheline alignment is a non-goal in this fixture
+//lint:ignore looperr stale on purpose: nothing fallible on this line
+type stacked struct {
 	v atomic.Uint32
 }
 
 var _ = mismatch{}
+var _ = unknownName{}
+var _ = commaList{}
+var _ = stacked{}

@@ -70,6 +70,8 @@ func (rs *rangeSet) init(p int, g *sched.Group, body BodyW, opts *Options, chunk
 // remainder. Falls back to the eager spawn lowering when the range does
 // not pack (int32 overflow) or the slot is occupied (re-entrant nested
 // entry).
+//
+//sched:noalloc
 func (rs *rangeSet) runOwned(w *sched.Worker, lo, hi int) {
 	cc := rs.opts.Cancel
 	if cc.Cancelled() {

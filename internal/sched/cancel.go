@@ -26,6 +26,14 @@ var ErrPanicked = errors.New("sched: loop body panicked")
 // supplied to Cancel is published before the word flips: any observer of
 // Cancelled() == true that then reads Err() sees the winning cause.
 type Canceller struct {
+	// word is the one-shot cancellation latch. The only legal move is the
+	// live→cancelled CAS in Cancel, whose success edge pays the one-time
+	// wake/trace work; there is no way back.
+	//
+	//sched:protocol cancel
+	//sched:state live = 0
+	//sched:state cancelled = 1
+	//sched:trans live -> cancelled
 	word  atomic.Uint32 // 0 = live, 1 = cancelled
 	cause atomic.Pointer[error]
 }

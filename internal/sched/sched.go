@@ -111,6 +111,8 @@ func (g *Group) Add(n int) { g.pending.Add(int64(n)) }
 // either Done sees the registered waiter or the waiter's post-announce
 // Finished check sees the zero — a lost wakeup would require both reads
 // to precede both writes, which no total order allows.
+//
+//sched:noalloc
 func (g *Group) Done() {
 	n := g.pending.Add(-1)
 	if n < 0 {
@@ -238,6 +240,11 @@ type Pool struct {
 	// worker checks it after winning its park transition (sequentially
 	// consistent with Close's store, so a worker that misses the wake pass
 	// still observes the flag before blocking) and on every wake.
+	//
+	//sched:protocol quitflag
+	//sched:state running = false
+	//sched:state quitting = true
+	//sched:trans any -> quitting
 	quitting atomic.Bool
 	wg       sync.WaitGroup
 	// rootCache is a single-slot cache for the per-Run scratch frame: the
@@ -687,6 +694,8 @@ func (r *taskRing) grow() {
 // (plus wake chaining) cannot lose a wakeup. A worker already in the
 // notified state counts as woken: the pending wake forces a full sweep
 // that is ordered after this producer's publication.
+//
+//sched:noalloc
 func (p *Pool) notify() {
 	if p.nparked.Load() == 0 {
 		return
@@ -875,6 +884,8 @@ const (
 // the wake was delivered, or one was already pending, and w's next full
 // sweep is ordered after the caller's work publication — and false if w
 // is active (running; it will announce-then-sweep before ever blocking).
+//
+//sched:noalloc
 func (w *Worker) wake() bool {
 	for {
 		switch w.state.Load() {
@@ -919,7 +930,22 @@ type Worker struct {
 	localVictims  []*Worker
 	remoteVictims []*Worker
 	park          chan struct{} // capacity-1 unblock channel (parked→notified only)
-	state         atomic.Uint32 // wActive/wParking/wParked/wNotified (see wake)
+	// state is the futex-style parking word; the spec below formalizes
+	// the narrative protocol at wake, and schedlint's protocol analyzer
+	// checks every atomic op on this field against it module-wide.
+	//
+	//sched:protocol parkword
+	//sched:state active = wActive
+	//sched:state parking = wParking
+	//sched:state parked = wParked
+	//sched:state notified = wNotified
+	//sched:trans any -> parking
+	//sched:trans parking -> parked
+	//sched:trans parking -> notified
+	//sched:trans parked -> notified
+	//sched:trans parked -> active
+	//sched:trans any -> active
+	state atomic.Uint32 // wActive/wParking/wParked/wNotified (see wake)
 	// handoff carries a task delivered by Pool.submit's direct-handoff
 	// fast path. Plain field: a producer writes it only between winning
 	// the exclusive wParked→wNotified reservation CAS and its token send,
@@ -1068,6 +1094,8 @@ func (w *Worker) Victims() (local, remote []*Worker) {
 // Spawn does not heap-allocate: the task function and group pointer are
 // stored directly in the deque, and the completion/panic bookkeeping runs
 // in the executing worker rather than in a per-spawn wrapper closure.
+//
+//sched:noalloc
 func (w *Worker) Spawn(g *Group, t Task) {
 	g.Add(1)
 	w.dq.PushBottom(t, g, 0)
@@ -1080,9 +1108,15 @@ func (w *Worker) Spawn(g *Group, t Task) {
 // are allocation-free. Ranges whose bounds exceed 32 bits fall back to a
 // heap-allocated wrapper — correct, merely slower, and unreachable for
 // any loop this repository runs.
+//
+//sched:noalloc
 func (w *Worker) SpawnRange(g *Group, rt RangeTask, lo, hi int) {
 	ab, ok := packRange(lo, hi)
 	if !ok {
+		// The eager fallback wraps the range in a closure. It is the one
+		// deliberate allocation here: reachable only for bounds beyond
+		// int32, which no loop in this repository produces.
+		//lint:ignore noalloc cold int32-overflow fallback; wrapping closure allocates by design
 		w.Spawn(g, func(cw *Worker) { rt(cw, lo, hi) })
 		return
 	}
@@ -1156,6 +1190,7 @@ func (w *Worker) takePinned() (spawned, bool) {
 // notify/WakeAll traffic (new spawns, injected roots, the cancel edge)
 // reaches it too — a parked waiter is genuine idle capacity, and any wake
 // sends it through a full runOne sweep before it can block again.
+//sched:noalloc
 func (w *Worker) Wait(g *Group) {
 	backoff := 0
 	for !g.Finished() {
@@ -1208,6 +1243,7 @@ func (w *Worker) Wait(g *Group) {
 	// it here rather than waiting for the next runOne success or park.
 	w.noteFed()
 	if tp := g.panics.Load(); tp != nil {
+		//lint:ignore noalloc cold unwind path: the re-raised panic value must escape
 		panic(&TaskPanicError{Value: tp.value, Stack: tp.stack})
 	}
 }
@@ -1425,6 +1461,7 @@ func (w *Worker) sweepSteal(victims []*Worker, remote bool) (spawned, bool) {
 // accounting on, the clock is read only at burst boundaries: once when a
 // busy burst begins, once when the worker gives up and parks — never per
 // task.
+//sched:noalloc
 func (w *Worker) mainLoop() {
 	defer w.pool.wg.Done()
 	for {
@@ -1533,6 +1570,8 @@ func (w *Worker) mainLoop() {
 // census. The store overwrites a pending wNotified mark, which is safe —
 // every unpark path re-enters a full runOne sweep before the worker can
 // block again (or the worker is exiting on the quitting edge).
+//
+//sched:noalloc
 func (w *Worker) unpark() {
 	w.state.Store(wActive)
 	w.pool.nparked.Add(-1)
